@@ -1,0 +1,130 @@
+//! Classifier-evaluation micro-benchmarks (Section 3.4 / 4.2 ablations):
+//! rule-walk versus the compiled CASE expression the ETL generator emits,
+//! throughput versus rule-ladder depth, and the classifier-language parser.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use guava::multiclass::lang::parse_rule;
+use guava::prelude::*;
+use guava_relational::value::DataType;
+
+fn ladder_classifier(rules: usize) -> BoundClassifier {
+    let tool = ReportingTool::new(
+        "t",
+        "1",
+        vec![FormDef::new(
+            "f",
+            "F",
+            vec![Control::numeric("packs", "p", DataType::Int)],
+        )],
+    );
+    let tree = GTree::derive(&tool).unwrap();
+    let labels: Vec<String> = (0..rules).map(|i| format!("bucket{i}")).collect();
+    let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let schema = StudySchema::new(
+        "s",
+        EntityDef::new("E").with_attribute(AttributeDef::new(
+            "A",
+            vec![Domain::categorical("D", "buckets", &refs)],
+        )),
+    );
+    let rule_srcs: Vec<String> = (0..rules)
+        .map(|i| format!("'bucket{i}' <- packs <= {}", (i + 1) * 10))
+        .collect();
+    let rule_refs: Vec<&str> = rule_srcs.iter().map(String::as_str).collect();
+    Classifier::parse_rules(
+        "ladder",
+        "t",
+        "",
+        Target::Domain {
+            entity: "E".into(),
+            attribute: "A".into(),
+            domain: "D".into(),
+        },
+        &rule_refs,
+    )
+    .unwrap()
+    .bind(&tree, &schema)
+    .unwrap()
+}
+
+fn rows(n: usize, max: i64) -> Vec<Row> {
+    (0..n)
+        .map(|i| vec![Value::Int((i as i64 * 37) % max)])
+        .collect()
+}
+
+fn bench_rule_depth(c: &mut Criterion) {
+    let data = rows(10_000, 160);
+    let mut group = c.benchmark_group("classifier_rule_depth");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    for &depth in &[2usize, 4, 8, 16] {
+        let classifier = ladder_classifier(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &classifier, |b, cl| {
+            b.iter(|| {
+                let mut matched = 0usize;
+                for row in &data {
+                    if !cl.classify(black_box(row)).unwrap().is_null() {
+                        matched += 1;
+                    }
+                }
+                black_box(matched)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk_vs_case(c: &mut Criterion) {
+    let data = rows(10_000, 160);
+    let classifier = ladder_classifier(8);
+    let case = classifier.as_case_expr();
+    let mut group = c.benchmark_group("classifier_walk_vs_case");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("rule_walk", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for row in &data {
+                if !classifier.classify(black_box(row)).unwrap().is_null() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("compiled_case", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for row in &data {
+                if !case
+                    .eval(&classifier.eval_schema, black_box(row))
+                    .unwrap()
+                    .is_null()
+                {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let srcs = [
+        "'None' <- PacksPerDay = 0",
+        "'Light' <- 0 < PacksPerDay AND PacksPerDay < 2",
+        "TumorX * TumorY * TumorZ * 0.52 <- TumorX > 0 AND TumorY > 0 AND TumorZ > 0",
+        "Procedure <- Procedure AND SurgeryPerformed = TRUE",
+        "TRUE <- smoking = 2 AND quit_months <= 12 AND status IN ('a', 'b', 'c')",
+    ];
+    c.bench_function("classifier_parse", |b| {
+        b.iter(|| {
+            for s in &srcs {
+                black_box(parse_rule(black_box(s)).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_rule_depth, bench_walk_vs_case, bench_parser);
+criterion_main!(benches);

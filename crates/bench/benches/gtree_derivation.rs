@@ -1,0 +1,86 @@
+//! Hypothesis 1 cost experiment: g-tree derivation and query-rewrite
+//! latency as the UI grows. The paper's IDE pass runs at build time; this
+//! establishes that derivation is cheap enough to run on every build, and
+//! that decode-plan construction (the per-query rewrite) is microseconds.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use guava::clinical::cori;
+use guava::prelude::*;
+use guava_relational::value::DataType;
+
+/// A synthetic tool with `forms` forms of `controls` controls each.
+fn big_tool(forms: usize, controls: usize) -> ReportingTool {
+    let forms: Vec<FormDef> = (0..forms)
+        .map(|f| {
+            let controls: Vec<Control> = (0..controls)
+                .map(|i| match i % 4 {
+                    0 => Control::check_box(format!("f{f}_chk{i}"), format!("Question {i}?")),
+                    1 => Control::numeric(
+                        format!("f{f}_num{i}"),
+                        format!("Count {i}"),
+                        DataType::Int,
+                    ),
+                    2 => Control::text_box(format!("f{f}_txt{i}"), format!("Notes {i}")),
+                    _ => Control::drop_down(
+                        format!("f{f}_dd{i}"),
+                        format!("Pick {i}"),
+                        vec![ChoiceOption::new("A", 0i64), ChoiceOption::new("B", 1i64)],
+                    ),
+                })
+                .collect();
+            FormDef::new(format!("form{f}"), format!("Form {f}"), controls)
+        })
+        .collect();
+    ReportingTool::new("big", "1.0", forms)
+}
+
+fn bench_derivation_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gtree_derive");
+    for &controls in &[20usize, 80, 320] {
+        let tool = big_tool(4, controls);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(4 * controls),
+            &tool,
+            |b, tool| {
+                b.iter(|| {
+                    let tree = GTree::derive(black_box(tool)).unwrap();
+                    black_box(tree.root.walk().count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode_plan_construction(c: &mut Criterion) {
+    // The per-query rewrite cost for a real contributor stack.
+    let stack = cori::stack().unwrap();
+    let naive_plan = Plan::scan("procedure")
+        .select(Expr::col("smoking").eq(Expr::lit(2i64)))
+        .project_cols(&["instance_id", "smoking", "quit_months"]);
+    c.bench_function("decode_plan_construction", |b| {
+        b.iter(|| {
+            let plan = stack.decode_plan(black_box(&naive_plan)).unwrap();
+            black_box(plan.scanned_tables().len())
+        })
+    });
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let v1 = GTree::derive(&big_tool(4, 80)).unwrap();
+    let v2 = GTree::derive(&big_tool(4, 81)).unwrap();
+    c.bench_function("gtree_diff_320_nodes", |b| {
+        b.iter(|| {
+            let d = GTreeDiff::compute(black_box(&v1), black_box(&v2));
+            black_box(d.changes.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_derivation_scale,
+    bench_decode_plan_construction,
+    bench_diff
+);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Figure 7 / Section 4.2 experiment: materialization policies.
+//!
+//! "If the classifiers/domains ratio is high, then a comprehensive
+//! materialized study schema may be too large to manage." The sweeps:
+//! build cost and storage versus number of classifiers (Full), query cost
+//! per policy (Full should be cheapest to read, OnDemand cheapest to
+//! build), and the algebraic-derivation middle ground.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use guava::clinical::prelude::*;
+use guava::clinical::{classifiers, cori};
+use guava::prelude::*;
+
+struct Setup {
+    naive_form: Table,
+    entity: BoundClassifier,
+    domain_classifiers: Vec<BoundClassifier>,
+}
+
+fn setup(n: usize) -> Setup {
+    let profiles = generate(&GeneratorConfig::default().with_size(n));
+    let physical = cori::physical_database(&profiles).unwrap();
+    let stack = cori::stack().unwrap();
+    let naive_form = stack.query(&physical, &Plan::scan("procedure")).unwrap();
+    let tree = GTree::derive(&cori::tool()).unwrap();
+    let schema = study_schema();
+    let all = classifiers::cori();
+    let entity = all
+        .iter()
+        .find(|c| matches!(c.target, Target::Entity { .. }))
+        .unwrap()
+        .bind(&tree, &schema)
+        .unwrap();
+    let domain_classifiers: Vec<BoundClassifier> = all
+        .iter()
+        .filter(|c| matches!(c.target, Target::Domain { .. }))
+        .map(|c| c.bind(&tree, &schema).unwrap())
+        .collect();
+    Setup {
+        naive_form,
+        entity,
+        domain_classifiers,
+    }
+}
+
+fn bench_build_by_classifier_count(c: &mut Criterion) {
+    let s = setup(1_000);
+    let mut group = c.benchmark_group("materialize_build");
+    group.sample_size(10);
+    for &k in &[2usize, 4, 8, 16] {
+        let refs: Vec<&BoundClassifier> = s.domain_classifiers.iter().take(k).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &refs, |b, refs| {
+            b.iter(|| {
+                let m = materialize("cori", &s.naive_form, &s.entity, black_box(refs)).unwrap();
+                black_box(m.cell_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_by_policy(c: &mut Criterion) {
+    let s = setup(1_000);
+    let refs: Vec<&BoundClassifier> = s.domain_classifiers.iter().collect();
+    let often = vec!["Habits (Cancer)".to_owned(), "Any Hypoxia".to_owned()];
+    let stores = [
+        (
+            "full",
+            StudyStore::build(
+                "cori",
+                s.naive_form.clone(),
+                &s.entity,
+                &refs,
+                MaterializationPolicy::Full,
+            )
+            .unwrap(),
+        ),
+        (
+            "on_demand",
+            StudyStore::build(
+                "cori",
+                s.naive_form.clone(),
+                &s.entity,
+                &refs,
+                MaterializationPolicy::OnDemand,
+            )
+            .unwrap(),
+        ),
+        (
+            "selective",
+            StudyStore::build(
+                "cori",
+                s.naive_form.clone(),
+                &s.entity,
+                &refs,
+                MaterializationPolicy::Selective(often),
+            )
+            .unwrap(),
+        ),
+    ];
+    let mut group = c.benchmark_group("materialize_query");
+    group.sample_size(20);
+    for (name, store) in &stores {
+        // Query a classifier that only Full materialized.
+        group.bench_with_input(BenchmarkId::new("cold_column", name), store, |b, store| {
+            b.iter(|| {
+                let col = store
+                    .classifier_column(black_box("Status"), &s.entity, &refs)
+                    .unwrap();
+                black_box(col.len())
+            })
+        });
+        // And one that Selective also materialized.
+        group.bench_with_input(BenchmarkId::new("hot_column", name), store, |b, store| {
+            b.iter(|| {
+                let col = store
+                    .classifier_column(black_box("Habits (Cancer)"), &s.entity, &refs)
+                    .unwrap();
+                black_box(col.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_derived_vs_on_demand(c: &mut Criterion) {
+    let s = setup(1_000);
+    let refs: Vec<&BoundClassifier> = s.domain_classifiers.iter().collect();
+    let mut store = StudyStore::build(
+        "cori",
+        s.naive_form.clone(),
+        &s.entity,
+        &refs,
+        MaterializationPolicy::Selective(vec!["Packs Per Day".into()]),
+    )
+    .unwrap();
+    store.register_derived(DerivedClassifier {
+        name: "Cigarettes Per Day".into(),
+        base: "Packs Per Day".into(),
+        transform: Expr::col("Packs Per Day").mul(Expr::lit(20i64)),
+    });
+    let mut group = c.benchmark_group("materialize_derived");
+    group.sample_size(20);
+    group.bench_function("algebraic_derivation", |b| {
+        b.iter(|| {
+            let col = store
+                .classifier_column(black_box("Cigarettes Per Day"), &s.entity, &refs)
+                .unwrap();
+            black_box(col.len())
+        })
+    });
+    group.bench_function("on_demand_equivalent", |b| {
+        // The same data obtained by re-running the base classifier over
+        // the naive rows (what OnDemand would do).
+        b.iter(|| {
+            let col = store
+                .classifier_column(black_box("Status"), &s.entity, &refs)
+                .unwrap();
+            black_box(col.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build_by_classifier_count,
+    bench_query_by_policy,
+    bench_derived_vs_on_demand
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Shared fixtures for the benchmark harness and the `tables` binary.
+
+use guava::clinical::prelude::*;
+use guava::etl::prelude::*;
+use guava::prelude::*;
+
+/// A fully-built experimental setup at a given dataset size.
+pub struct Fixture {
+    pub profiles: Vec<Profile>,
+    pub contributors: Vec<Contributor>,
+}
+
+impl Fixture {
+    /// Deterministic fixture: `n` procedures per contributor.
+    pub fn new(n: usize) -> Fixture {
+        let profiles = generate(&GeneratorConfig::default().with_size(n));
+        let contributors = build_all(&profiles).expect("contributors build");
+        Fixture {
+            profiles,
+            contributors,
+        }
+    }
+
+    pub fn bindings(&self) -> Vec<ContributorBinding> {
+        bindings(&self.contributors)
+    }
+
+    pub fn catalog(&self) -> Catalog {
+        physical_catalog(&self.contributors)
+    }
+
+    /// The CORI contributor.
+    pub fn cori(&self) -> &Contributor {
+        &self.contributors[0]
+    }
+}
+
+/// Compile and fully run a study over the fixture; returns the primary
+/// result table length (used as a black-box value in benches).
+pub fn run_study_len(fixture: &Fixture, study: &guava::multiclass::Study) -> usize {
+    let compiled =
+        compile(study, &study_schema(), &registry(), &fixture.bindings()).expect("study compiles");
+    let mut catalog = fixture.catalog();
+    compiled.workflow.run(&mut catalog).expect("workflow runs");
+    catalog
+        .database(&compiled.output_db)
+        .unwrap()
+        .table("Procedure")
+        .unwrap()
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_and_runs() {
+        let f = Fixture::new(25);
+        assert_eq!(f.contributors.len(), 3);
+        let study = study2_definition(&f.contributors, ExSmokerMeaning::EverQuit);
+        assert!(run_study_len(&f, &study) > 0);
+    }
+}

@@ -1,0 +1,565 @@
+//! The full classifier suite, per contributor.
+//!
+//! Each contributor's classifiers are written against *its own* g-tree
+//! nodes — the same clinical concept is reached through different
+//! vocabulary, polarity, units, and modeling at each vendor, which is the
+//! analyst judgment the paper assigns to domain experts (Section 3.1).
+
+use guava_multiclass::annotate::Annotation;
+use guava_multiclass::classifier::{Classifier, Target};
+use guava_multiclass::study::ClassifierRegistry;
+
+fn domain(attribute: &str, domain: &str) -> Target {
+    Target::Domain {
+        entity: "Procedure".into(),
+        attribute: attribute.into(),
+        domain: domain.into(),
+    }
+}
+
+fn entity() -> Target {
+    Target::Entity {
+        entity: "Procedure".into(),
+    }
+}
+
+fn cleaner() -> Target {
+    Target::Cleaner {
+        entity: "Procedure".into(),
+    }
+}
+
+fn c(name: &str, contributor: &str, note: &str, target: Target, rules: &[&str]) -> Classifier {
+    let mut c = Classifier::parse_rules(name, contributor, note, target, rules)
+        .unwrap_or_else(|e| panic!("classifier `{name}` for `{contributor}`: {e}"));
+    c.provenance.annotate(Annotation::new(
+        "analyst",
+        "2006-01-15T00:00:00",
+        note.to_owned(),
+    ));
+    c
+}
+
+/// CORI classifiers (form `procedure`).
+pub fn cori() -> Vec<Classifier> {
+    vec![
+        c(
+            "All Procedures",
+            "cori",
+            "every saved report is a procedure",
+            entity(),
+            &["procedure <- procedure"],
+        ),
+        c(
+            "Kind",
+            "cori",
+            "EGD vs colonoscopy from the coded drop-down",
+            domain("ProcType", "kind"),
+            &[
+                "'UpperGI' <- proc_type = 1",
+                "'Colonoscopy' <- proc_type = 2",
+            ],
+        ),
+        c(
+            "Reflux Indication",
+            "cori",
+            "checkbox pass-through",
+            domain("RefluxIndication", "yesno"),
+            &["ind_reflux <- TRUE"],
+        ),
+        c(
+            "Renal Failure",
+            "cori",
+            "checkbox pass-through",
+            domain("RenalFailure", "yesno"),
+            &["renal_failure <- TRUE"],
+        ),
+        c(
+            "Exams Normal",
+            "cori",
+            "both examinations within normal limits",
+            domain("ExamsNormal", "yesno"),
+            &["cardio_wnl AND abdominal_wnl <- TRUE"],
+        ),
+        c(
+            "Transient Hypoxia",
+            "cori",
+            "complication checkbox",
+            domain("TransientHypoxia", "yesno"),
+            &["hypoxia <- TRUE"],
+        ),
+        c(
+            "Any Hypoxia",
+            "cori",
+            "transient or prolonged",
+            domain("Hypoxia", "yesno"),
+            &["hypoxia OR prolonged_hypoxia <- TRUE"],
+        ),
+        c(
+            "Surgery",
+            "cori",
+            "intervention checkbox",
+            domain("Surgery", "yesno"),
+            &["int_surgery <- TRUE"],
+        ),
+        c(
+            "IV Fluids",
+            "cori",
+            "intervention checkbox",
+            domain("IvFluids", "yesno"),
+            &["int_iv_fluids <- TRUE"],
+        ),
+        c(
+            "Oxygen",
+            "cori",
+            "intervention checkbox",
+            domain("Oxygen", "yesno"),
+            &["int_oxygen <- TRUE"],
+        ),
+        c(
+            "Packs Per Day",
+            "cori",
+            "frequency answer; 0 for never-smokers",
+            domain("Smoking", "packs_per_day"),
+            &["0 <- smoking = 0", "frequency <- frequency IS ANSWERED"],
+        ),
+        c(
+            "Status",
+            "cori",
+            "direct mapping from the three-way radio",
+            domain("Smoking", "status"),
+            &[
+                "'None' <- smoking = 0",
+                "'Current' <- smoking = 1",
+                "'Previous' <- smoking = 2",
+            ],
+        ),
+        // Figure 5a, left: thresholds agreed with the cancer study.
+        c(
+            "Habits (Cancer)",
+            "cori",
+            "Classifies packs per day according to conversations with cancer study on 5/3/02",
+            domain("Smoking", "class"),
+            &[
+                "'None' <- smoking = 0",
+                "'Light' <- frequency < 2",
+                "'Moderate' <- frequency < 5",
+                "'Heavy' <- frequency >= 5",
+            ],
+        ),
+        // Figure 5a, right: tighter thresholds from the chemistry flier.
+        c(
+            "Habits (Chemistry)",
+            "cori",
+            "Classifies packs per day according to flier from chemical studies",
+            domain("Smoking", "class"),
+            &[
+                "'None' <- smoking = 0",
+                "'Light' <- frequency < 1",
+                "'Moderate' <- frequency < 2",
+                "'Heavy' <- frequency >= 2",
+            ],
+        ),
+        // The Study-2 pair: same attribute, different meanings (Section 2).
+        c(
+            "ExSmoker (quit within a year)",
+            "cori",
+            "study definition: quit in the last 12 months",
+            domain("ExSmoker", "yesno"),
+            &[
+                "TRUE <- smoking = 2 AND quit_months <= 12",
+                "FALSE <- smoking IS ANSWERED",
+            ],
+        ),
+        c(
+            "ExSmoker (ever quit)",
+            "cori",
+            "loose reading: anyone who ever smoked and stopped",
+            domain("ExSmoker", "yesno"),
+            &["TRUE <- smoking = 2", "FALSE <- smoking IS ANSWERED"],
+        ),
+        c(
+            "Implausible Reports",
+            "cori",
+            "discard data-entry errors: more than 10 packs/day or a quit date over 75 years back",
+            cleaner(),
+            &["DISCARD <- frequency > 10", "DISCARD <- quit_months > 900"],
+        ),
+        c(
+            "Alcohol",
+            "cori",
+            "coded selections only; free-text answers stay unclassified",
+            domain("Alcohol", "use"),
+            &[
+                "'None' <- alcohol = 'None'",
+                "'Light' <- alcohol = 'Light'",
+                "'Heavy' <- alcohol = 'Heavy'",
+            ],
+        ),
+    ]
+}
+
+/// EndoPro classifiers (form `exam_report`). Note the polarity inversion
+/// on exams and the cigarettes→packs arithmetic.
+pub fn endopro() -> Vec<Classifier> {
+    vec![
+        c(
+            "All Procedures",
+            "endopro",
+            "every exam report is a procedure",
+            entity(),
+            &["exam_report <- exam_report"],
+        ),
+        c(
+            "Kind",
+            "endopro",
+            "vendor codes EGD/COLON",
+            domain("ProcType", "kind"),
+            &[
+                "'UpperGI' <- procedure_code = 'EGD'",
+                "'Colonoscopy' <- procedure_code = 'COLON'",
+            ],
+        ),
+        c(
+            "Reflux Indication",
+            "endopro",
+            "their GERD-with-asthma wording matches our indication",
+            domain("RefluxIndication", "yesno"),
+            &["indication_gerd_asthma <- TRUE"],
+        ),
+        c(
+            "Renal Failure",
+            "endopro",
+            "history checkbox",
+            domain("RenalFailure", "yesno"),
+            &["renal_hx <- TRUE"],
+        ),
+        c(
+            "Exams Normal",
+            "endopro",
+            "EndoPro records ABNORMAL exams; normal = neither flagged",
+            domain("ExamsNormal", "yesno"),
+            &["NOT cardio_abnormal AND NOT abdomen_abnormal <- TRUE"],
+        ),
+        c(
+            "Transient Hypoxia",
+            "endopro",
+            "adverse-event checkbox",
+            domain("TransientHypoxia", "yesno"),
+            &["ae_hypoxia_transient <- TRUE"],
+        ),
+        c(
+            "Any Hypoxia",
+            "endopro",
+            "either adverse event",
+            domain("Hypoxia", "yesno"),
+            &["ae_hypoxia_transient OR ae_hypoxia_prolonged <- TRUE"],
+        ),
+        c(
+            "Surgery",
+            "endopro",
+            "treatment checkbox",
+            domain("Surgery", "yesno"),
+            &["tx_surgery <- TRUE"],
+        ),
+        c(
+            "IV Fluids",
+            "endopro",
+            "treatment checkbox",
+            domain("IvFluids", "yesno"),
+            &["tx_ivf <- TRUE"],
+        ),
+        c(
+            "Oxygen",
+            "endopro",
+            "treatment checkbox",
+            domain("Oxygen", "yesno"),
+            &["tx_o2 <- TRUE"],
+        ),
+        c(
+            "Packs Per Day",
+            "endopro",
+            "EndoPro counts cigarettes; 20 to a pack",
+            domain("Smoking", "packs_per_day"),
+            &[
+                "0 <- smoker_status = 'NEVER'",
+                "cigs_per_day / 20 <- cigs_per_day IS ANSWERED",
+            ],
+        ),
+        c(
+            "Status",
+            "endopro",
+            "text status codes",
+            domain("Smoking", "status"),
+            &[
+                "'None' <- smoker_status = 'NEVER'",
+                "'Current' <- smoker_status = 'CURRENT'",
+                "'Previous' <- smoker_status = 'FORMER'",
+            ],
+        ),
+        c(
+            "Habits (Cancer)",
+            "endopro",
+            "cancer-study thresholds over cigarettes/20",
+            domain("Smoking", "class"),
+            &[
+                "'None' <- smoker_status = 'NEVER'",
+                "'Light' <- cigs_per_day / 20 < 2",
+                "'Moderate' <- cigs_per_day / 20 < 5",
+                "'Heavy' <- cigs_per_day / 20 >= 5",
+            ],
+        ),
+        c(
+            "ExSmoker (quit within a year)",
+            "endopro",
+            "study definition over the vendor's quit counter",
+            domain("ExSmoker", "yesno"),
+            &[
+                "TRUE <- smoker_status = 'FORMER' AND quit_months_ago <= 12",
+                "FALSE <- smoker_status IS ANSWERED",
+            ],
+        ),
+        c(
+            "ExSmoker (ever quit)",
+            "endopro",
+            "loose reading",
+            domain("ExSmoker", "yesno"),
+            &[
+                "TRUE <- smoker_status = 'FORMER'",
+                "FALSE <- smoker_status IS ANSWERED",
+            ],
+        ),
+        c(
+            "Implausible Reports",
+            "endopro",
+            "discard data-entry errors: more than 200 cigarettes/day equivalent",
+            cleaner(),
+            &[
+                "DISCARD <- cigs_per_day > 200",
+                "DISCARD <- quit_months_ago > 900",
+            ],
+        ),
+        c(
+            "Alcohol",
+            "endopro",
+            "EtOH codes",
+            domain("Alcohol", "use"),
+            &[
+                "'None' <- etoh = 'NONE'",
+                "'Light' <- etoh = 'LIGHT'",
+                "'Heavy' <- etoh = 'HEAVY'",
+            ],
+        ),
+    ]
+}
+
+/// GastroLink classifiers (form `visit`). GastroLink has no three-way
+/// smoking question — status must be *derived* from the tobacco flag and
+/// the quit counter, the modeling mismatch of the paper's introduction.
+pub fn gastrolink() -> Vec<Classifier> {
+    vec![
+        c(
+            "All Procedures",
+            "gastrolink",
+            "every visit is a procedure",
+            entity(),
+            &["visit <- visit"],
+        ),
+        c(
+            "Kind",
+            "gastrolink",
+            "vendor codes 10/20",
+            domain("ProcType", "kind"),
+            &[
+                "'UpperGI' <- study_type = 10",
+                "'Colonoscopy' <- study_type = 20",
+            ],
+        ),
+        c(
+            "Reflux Indication",
+            "gastrolink",
+            "reflux-symptoms checkbox",
+            domain("RefluxIndication", "yesno"),
+            &["reflux_sx <- TRUE"],
+        ),
+        c(
+            "Renal Failure",
+            "gastrolink",
+            "diagnosis checkbox",
+            domain("RenalFailure", "yesno"),
+            &["renal_dx <- TRUE"],
+        ),
+        c(
+            "Exams Normal",
+            "gastrolink",
+            "both unremarkable",
+            domain("ExamsNormal", "yesno"),
+            &["cp_exam_ok AND abd_exam_ok <- TRUE"],
+        ),
+        c(
+            "Transient Hypoxia",
+            "gastrolink",
+            "complication checkbox",
+            domain("TransientHypoxia", "yesno"),
+            &["c_hypoxia_t <- TRUE"],
+        ),
+        c(
+            "Any Hypoxia",
+            "gastrolink",
+            "either hypoxia complication",
+            domain("Hypoxia", "yesno"),
+            &["c_hypoxia_t OR c_hypoxia_p <- TRUE"],
+        ),
+        c(
+            "Surgery",
+            "gastrolink",
+            "resolution checkbox",
+            domain("Surgery", "yesno"),
+            &["rx_surgery <- TRUE"],
+        ),
+        c(
+            "IV Fluids",
+            "gastrolink",
+            "resolution checkbox",
+            domain("IvFluids", "yesno"),
+            &["rx_fluids <- TRUE"],
+        ),
+        c(
+            "Oxygen",
+            "gastrolink",
+            "resolution checkbox",
+            domain("Oxygen", "yesno"),
+            &["rx_oxygen <- TRUE"],
+        ),
+        c(
+            "Packs Per Day",
+            "gastrolink",
+            "direct packs counter; 0 for tobacco-free",
+            domain("Smoking", "packs_per_day"),
+            &[
+                "0 <- tobacco = FALSE",
+                "packs_per_day <- packs_per_day IS ANSWERED",
+            ],
+        ),
+        c(
+            "Status",
+            "gastrolink",
+            "derived: quit counter 0 means still smoking",
+            domain("Smoking", "status"),
+            &[
+                "'None' <- tobacco = FALSE",
+                "'Current' <- quit_months = 0",
+                "'Previous' <- quit_months >= 1",
+            ],
+        ),
+        c(
+            "Habits (Cancer)",
+            "gastrolink",
+            "cancer-study thresholds",
+            domain("Smoking", "class"),
+            &[
+                "'None' <- tobacco = FALSE",
+                "'Light' <- packs_per_day < 2",
+                "'Moderate' <- packs_per_day < 5",
+                "'Heavy' <- packs_per_day >= 5",
+            ],
+        ),
+        c(
+            "ExSmoker (quit within a year)",
+            "gastrolink",
+            "study definition over the quit counter",
+            domain("ExSmoker", "yesno"),
+            &[
+                "TRUE <- tobacco = TRUE AND quit_months >= 1 AND quit_months <= 12",
+                "FALSE <- tobacco IS ANSWERED",
+            ],
+        ),
+        c(
+            "ExSmoker (ever quit)",
+            "gastrolink",
+            "loose reading",
+            domain("ExSmoker", "yesno"),
+            &[
+                "TRUE <- tobacco = TRUE AND quit_months >= 1",
+                "FALSE <- tobacco IS ANSWERED",
+            ],
+        ),
+        c(
+            "Implausible Reports",
+            "gastrolink",
+            "discard data-entry errors: implausible pack counts or quit dates",
+            cleaner(),
+            &[
+                "DISCARD <- packs_per_day > 10",
+                "DISCARD <- quit_months > 900",
+            ],
+        ),
+        c(
+            "Alcohol",
+            "gastrolink",
+            "consumption codes",
+            domain("Alcohol", "use"),
+            &[
+                "'None' <- alcohol_code = 0",
+                "'Light' <- alcohol_code = 1",
+                "'Heavy' <- alcohol_code = 2",
+            ],
+        ),
+    ]
+}
+
+/// The complete registry across all three contributors.
+pub fn registry() -> ClassifierRegistry {
+    let mut reg = ClassifierRegistry::new();
+    for classifier in cori().into_iter().chain(endopro()).chain(gastrolink()) {
+        reg.register(classifier)
+            .expect("unique classifier names per contributor");
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_def::study_schema;
+    use guava_gtree::tree::GTree;
+
+    #[test]
+    fn every_classifier_binds_against_its_gtree() {
+        let schema = study_schema();
+        let cases: Vec<(Vec<Classifier>, GTree)> = vec![
+            (cori(), GTree::derive(&crate::cori::tool()).unwrap()),
+            (endopro(), GTree::derive(&crate::endopro::tool()).unwrap()),
+            (
+                gastrolink(),
+                GTree::derive(&crate::gastrolink::tool()).unwrap(),
+            ),
+        ];
+        let mut total = 0;
+        for (classifiers, tree) in cases {
+            for cl in classifiers {
+                cl.bind(&tree, &schema)
+                    .unwrap_or_else(|e| panic!("{} @ {}: {e}", cl.name, cl.contributor));
+                total += 1;
+            }
+        }
+        assert_eq!(total, 52, "18 for CORI, 17 each for the vendors");
+    }
+
+    #[test]
+    fn registry_offers_choices_for_context_sensitive_attributes() {
+        let reg = registry();
+        // Two ex-smoker semantics per contributor (Section 2's trap).
+        let menu = reg.for_domain("Procedure", "ExSmoker", "yesno");
+        assert_eq!(menu.len(), 6);
+        // Two smoking-class classifiers for CORI (Figure 5a).
+        let cori_classes: Vec<_> = reg
+            .for_domain("Procedure", "Smoking", "class")
+            .into_iter()
+            .filter(|c| c.contributor == "cori")
+            .collect();
+        assert_eq!(cori_classes.len(), 2);
+        // One entity classifier per contributor.
+        assert_eq!(reg.for_entity("Procedure").len(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Assembly of the three contributors: tools, g-trees, pattern stacks, and
+//! generated databases — the left-hand side of Figure 1.
+
+use crate::profile::Profile;
+use crate::{cori, endopro, gastrolink};
+use guava_etl::compile::ContributorBinding;
+use guava_forms::form::ReportingTool;
+use guava_gtree::tree::GTree;
+use guava_patterns::stack::PatternStack;
+use guava_relational::database::{Catalog, Database};
+use guava_relational::error::RelResult;
+use std::collections::BTreeMap;
+
+/// One contributor, fully materialized from a profile set.
+#[derive(Debug, Clone)]
+pub struct Contributor {
+    pub tool: ReportingTool,
+    pub tree: GTree,
+    pub stack: PatternStack,
+    /// The naïve (in-memory) database — ground truth for H3 validation.
+    pub naive: Database,
+    /// The physical database — what the warehouse actually receives.
+    pub physical: Database,
+}
+
+impl Contributor {
+    pub fn name(&self) -> &str {
+        &self.tree.tool
+    }
+
+    pub fn binding(&self) -> ContributorBinding {
+        ContributorBinding::new(self.tree.clone(), self.stack.clone())
+    }
+}
+
+/// Build all three contributors from one profile set. Every contributor
+/// receives the *same* underlying clinical reality, typed into different
+/// tools — which is what makes cross-contributor counts comparable.
+pub fn build_all(profiles: &[Profile]) -> RelResult<Vec<Contributor>> {
+    let mut out = Vec::with_capacity(3);
+
+    let tool = cori::tool();
+    out.push(Contributor {
+        tree: GTree::derive(&tool).expect("cori g-tree"),
+        stack: cori::stack()?,
+        naive: cori::naive_database(profiles)?,
+        physical: cori::physical_database(profiles)?,
+        tool,
+    });
+
+    let tool = endopro::tool();
+    out.push(Contributor {
+        tree: GTree::derive(&tool).expect("endopro g-tree"),
+        stack: endopro::stack()?,
+        naive: endopro::naive_database(profiles)?,
+        physical: endopro::physical_database(profiles)?,
+        tool,
+    });
+
+    let tool = gastrolink::tool();
+    out.push(Contributor {
+        tree: GTree::derive(&tool).expect("gastrolink g-tree"),
+        stack: gastrolink::stack()?,
+        naive: gastrolink::naive_database(profiles)?,
+        physical: gastrolink::physical_database(profiles)?,
+        tool,
+    });
+
+    Ok(out)
+}
+
+/// Bindings for the ETL compiler.
+pub fn bindings(contributors: &[Contributor]) -> Vec<ContributorBinding> {
+    contributors.iter().map(Contributor::binding).collect()
+}
+
+/// A catalog of the physical databases, named by contributor — the input
+/// to a compiled workflow.
+pub fn physical_catalog(contributors: &[Contributor]) -> Catalog {
+    let mut catalog = Catalog::new();
+    for c in contributors {
+        let mut db = c.physical.clone();
+        db.name = c.name().to_owned();
+        catalog.insert(db);
+    }
+    catalog
+}
+
+/// Naïve databases keyed by contributor — the oracle for `direct_eval`.
+pub fn naive_map(contributors: &[Contributor]) -> BTreeMap<String, Database> {
+    contributors
+        .iter()
+        .map(|c| {
+            let mut db = c.naive.clone();
+            db.name = c.name().to_owned();
+            (c.name().to_owned(), db)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{generate, GeneratorConfig};
+
+    #[test]
+    fn all_three_contributors_build() {
+        let profiles = generate(&GeneratorConfig::default().with_size(30));
+        let cs = build_all(&profiles).unwrap();
+        assert_eq!(cs.len(), 3);
+        let names: Vec<&str> = cs.iter().map(Contributor::name).collect();
+        assert_eq!(names, vec!["cori", "endopro", "gastrolink"]);
+        for c in &cs {
+            c.tool.validate().unwrap();
+            assert!(c.physical.total_rows() > 0);
+        }
+        // Physical layouts genuinely differ.
+        assert!(cs[0].physical.has_table(crate::cori::PHYSICAL_TABLE));
+        assert!(cs[1].physical.has_table(crate::endopro::PHYSICAL_TABLE));
+        assert!(cs[2].physical.has_table(crate::gastrolink::PHYSICAL_TABLE));
+    }
+
+    #[test]
+    fn catalog_and_naive_map_align() {
+        let profiles = generate(&GeneratorConfig::default().with_size(20));
+        let cs = build_all(&profiles).unwrap();
+        let catalog = physical_catalog(&cs);
+        let naive = naive_map(&cs);
+        assert_eq!(catalog.len(), 3);
+        assert_eq!(naive.len(), 3);
+        for c in &cs {
+            assert!(catalog.database(c.name()).is_ok());
+            assert!(naive.contains_key(c.name()));
+        }
+    }
+}

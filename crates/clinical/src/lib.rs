@@ -1,0 +1,45 @@
+//! # guava-clinical
+//!
+//! The CORI clinical-warehouse simulation (paper Section 2) — the
+//! substitution for the production data we cannot have (DESIGN.md).
+//!
+//! Three contributor reporting tools share one seeded clinical reality:
+//!
+//! * [`cori`] — the paper's own tool (Figure 2 dialog included); physical
+//!   layout Rename + Audit.
+//! * [`endopro`] — a commercial vendor with inverted exam polarity,
+//!   cigarette (not pack) counts, Y/N codes, and a generic EAV layout.
+//! * [`gastrolink`] — a vendor whose smoking model is structurally
+//!   different (tobacco flag + quit counter); Merge + NullSentinel +
+//!   Lookup layout.
+//!
+//! [`profile`] generates ground-truth procedure profiles and the vendors'
+//! data-entry simulations type them into each tool; [`classifiers`] holds
+//! the full per-vendor classifier suite; [`studies`] runs the paper's
+//! Study 1 and Study 2 end to end; [`paper_artifacts`] reconstructs the
+//! paper's figures verbatim; [`gold`] supplies Hypothesis-2 gold sets.
+
+pub mod classifiers;
+pub mod contributors;
+pub mod cori;
+pub mod endopro;
+pub mod gastrolink;
+pub mod gold;
+pub mod paper_artifacts;
+pub mod profile;
+pub mod schema_def;
+pub mod studies;
+
+pub mod prelude {
+    pub use crate::classifiers::registry;
+    pub use crate::contributors::{bindings, build_all, naive_map, physical_catalog, Contributor};
+    pub use crate::gold::{extraction_from_table, gold_ex_smokers, gold_study1_eligible};
+    pub use crate::profile::{generate, GeneratorConfig, ProcedureKind, Profile, Smoking};
+    pub use crate::schema_def::study_schema;
+    pub use crate::studies::{
+        cross_check, run_study, study1_definition, study2_definition, ExSmokerMeaning,
+        Study1Report, Study2Report,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,391 @@
+//! The paper's figures and tables as constructable artifacts, verbatim —
+//! used by the `tables` harness to regenerate each one and by tests that
+//! pin their content.
+
+use guava_forms::control::{ChoiceOption, Control, EnableWhen};
+use guava_forms::form::{FormDef, ReportingTool};
+use guava_gtree::tree::GTree;
+use guava_multiclass::classifier::{Classifier, Target};
+use guava_multiclass::domain::Domain;
+use guava_multiclass::study_schema::{AttributeDef, EntityDef, StudySchema};
+use guava_relational::value::DataType;
+
+/// Figure 2: "an example dialog from a clinical tool and its corresponding
+/// g-tree" — Procedure form with Complications (Hypoxia, Surgeon
+/// Consulted, Other) and Medical History (Renal Failure, Smoking ▸
+/// Frequency, Alcohol) groups.
+pub fn figure2_tool() -> ReportingTool {
+    ReportingTool::new(
+        "clinical_tool",
+        "1.0",
+        vec![FormDef::new(
+            "Procedure",
+            "Procedure",
+            vec![
+                Control::group("Complications", "Complications")
+                    .child(Control::check_box("Hypoxia", "Hypoxia"))
+                    .child(Control::check_box("SurgeonConsulted", "Surgeon Consulted"))
+                    .child(Control::text_box("Other", "Other")),
+                Control::group("MedicalHistory", "Medical History")
+                    .child(Control::check_box("RenalFailure", "Renal Failure"))
+                    .child(
+                        Control::radio(
+                            "Smoking",
+                            "Does the patient smoke?",
+                            vec![
+                                ChoiceOption::new("No", 0i64),
+                                ChoiceOption::new("Yes", 1i64),
+                            ],
+                        )
+                        .child(
+                            Control::numeric("Frequency", "Packs per day", DataType::Float)
+                                .enabled_when("Smoking", EnableWhen::Answered),
+                        ),
+                    )
+                    .child(
+                        Control::drop_down(
+                            "Alcohol",
+                            "Alcohol use",
+                            vec![
+                                ChoiceOption::new("None", 0i64),
+                                ChoiceOption::new("Light", 1i64),
+                                ChoiceOption::new("Moderate", 2i64),
+                                ChoiceOption::new("Heavy", 3i64),
+                            ],
+                        )
+                        .allows_other(),
+                    ),
+            ],
+        )],
+    )
+}
+
+/// The Figure 2 g-tree, derived as the IDE would (Hypothesis #1).
+pub fn figure2_gtree() -> GTree {
+    GTree::derive(&figure2_tool()).expect("figure 2 tool is well-formed")
+}
+
+/// Figure 4: the study schema with Procedure atop the has-a tree, child
+/// entities Finding-of-Fissure and New-Medication, and multi-domain
+/// attributes.
+pub fn figure4_study_schema() -> StudySchema {
+    use guava_multiclass::domain::DomainSpec;
+    let procedure = EntityDef::new("Procedure")
+        .with_attribute(AttributeDef::new(
+            "TransientHypoxia",
+            vec![Domain::boolean("yesno", "Boolean (yes/no)")],
+        ))
+        .with_attribute(AttributeDef::new(
+            "ProlongedHypoxia",
+            vec![Domain::boolean("yesno", "Boolean (yes/no)")],
+        ))
+        .with_attribute(AttributeDef::new(
+            "SurgeryPerformed",
+            vec![Domain::boolean("yesno", "Boolean (yes/no)")],
+        ))
+        .with_attribute(AttributeDef::new(
+            "Smoking",
+            vec![
+                Domain::new(
+                    "packs_per_day",
+                    "Integer (Packs/Day)",
+                    DomainSpec::Integer {
+                        min: Some(0),
+                        max: None,
+                    },
+                ),
+                Domain::categorical(
+                    "status",
+                    "None, Current, Prev",
+                    &["None", "Current", "Prev"],
+                ),
+                Domain::categorical(
+                    "class",
+                    "None, Lt, Med, Hvy",
+                    &["None", "Light", "Moderate", "Heavy"],
+                ),
+            ],
+        ))
+        .with_attribute(AttributeDef::new(
+            "AlcoholUse",
+            vec![Domain::categorical(
+                "use",
+                "None, Light, Heavy",
+                &["None", "Light", "Heavy"],
+            )],
+        ))
+        .with_child(
+            EntityDef::new("FindingOfFissure")
+                .with_attribute(AttributeDef::new(
+                    "Size",
+                    vec![Domain::new(
+                        "millimeters",
+                        "Integer (mm)",
+                        DomainSpec::Integer {
+                            min: Some(0),
+                            max: None,
+                        },
+                    )],
+                ))
+                .with_attribute(AttributeDef::new(
+                    "ImagesTaken",
+                    vec![Domain::boolean("yesno", "Boolean (yes/no)")],
+                )),
+        )
+        .with_child(
+            EntityDef::new("NewMedication")
+                .with_attribute(AttributeDef::new(
+                    "Drug",
+                    vec![
+                        Domain::new("name", "String (Name)", DomainSpec::Text),
+                        Domain::new("barcode", "String (Bar code)", DomainSpec::Text),
+                    ],
+                ))
+                .with_attribute(AttributeDef::new(
+                    "Dosage",
+                    vec![Domain::new(
+                        "milligrams",
+                        "Integer (mg)",
+                        DomainSpec::Integer {
+                            min: Some(0),
+                            max: None,
+                        },
+                    )],
+                ))
+                .with_attribute(AttributeDef::new(
+                    "Instructions",
+                    vec![
+                        Domain::new("full", "String (full instructions)", DomainSpec::Text),
+                        Domain::new(
+                            "pills_per_day",
+                            "Integer (pills/day)",
+                            DomainSpec::Integer {
+                                min: Some(0),
+                                max: None,
+                            },
+                        ),
+                    ],
+                )),
+        );
+    StudySchema::new("figure4", procedure)
+}
+
+/// The g-tree that Figure 5's classifiers reference: the Figure 2 form
+/// extended with the tumor-dimension and surgery controls the classifiers
+/// need.
+pub fn figure5_tool() -> ReportingTool {
+    let mut tool = figure2_tool();
+    let form = &mut tool.forms[0];
+    form.controls.push(
+        Control::group("Measurements", "Measurements")
+            .child(Control::numeric(
+                "PacksPerDay",
+                "Packs per day (avg)",
+                DataType::Int,
+            ))
+            .child(Control::numeric(
+                "TumorX",
+                "Tumor extent X (mm)",
+                DataType::Float,
+            ))
+            .child(Control::numeric(
+                "TumorY",
+                "Tumor extent Y (mm)",
+                DataType::Float,
+            ))
+            .child(Control::numeric(
+                "TumorZ",
+                "Tumor extent Z (mm)",
+                DataType::Float,
+            ))
+            .child(Control::check_box("SurgeryPerformed", "Surgery performed")),
+    );
+    tool
+}
+
+/// Figure 5's four classifiers, verbatim.
+pub fn figure5_classifiers() -> Vec<Classifier> {
+    let smoking_class = Target::Domain {
+        entity: "Procedure".into(),
+        attribute: "Smoking".into(),
+        domain: "class".into(),
+    };
+    vec![
+        Classifier::parse_rules(
+            "Habits (Cancer)",
+            "clinical_tool",
+            "Classifies packs per day according to conversations with cancer study on 5/3/02",
+            smoking_class.clone(),
+            &[
+                "'None' <- PacksPerDay = 0",
+                "'Light' <- 0 < PacksPerDay AND PacksPerDay < 2",
+                "'Moderate' <- 2 <= PacksPerDay AND PacksPerDay < 5",
+                "'Heavy' <- PacksPerDay >= 5",
+            ],
+        )
+        .expect("Habits (Cancer) parses"),
+        Classifier::parse_rules(
+            "Habits (Chemistry)",
+            "clinical_tool",
+            "Classifies packs per day according to flier from chemical studies",
+            smoking_class,
+            &[
+                "'None' <- PacksPerDay = 0",
+                "'Light' <- 0 < PacksPerDay AND PacksPerDay < 1",
+                "'Moderate' <- 1 <= PacksPerDay AND PacksPerDay < 2",
+                "'Heavy' <- PacksPerDay >= 2",
+            ],
+        )
+        .expect("Habits (Chemistry) parses"),
+        Classifier::parse_rules(
+            "Tumor Size",
+            "clinical_tool",
+            "Estimates tumor volume based on dimensions in 3-space. Assumes 52% occupancy \
+             from sphere-to-cube ratio.",
+            Target::Domain {
+                entity: "Procedure".into(),
+                attribute: "TumorVolume".into(),
+                domain: "cubic_mm".into(),
+            },
+            &["TumorX * TumorY * TumorZ * 0.52 <- TumorX > 0 AND TumorY > 0 AND TumorZ > 0"],
+        )
+        .expect("Tumor Size parses"),
+        Classifier::parse_rules(
+            "Relevant Procedures",
+            "clinical_tool",
+            "Only consider procedures where surgery was performed",
+            Target::Entity {
+                entity: "Procedure".into(),
+            },
+            &["Procedure <- Procedure AND SurgeryPerformed = TRUE"],
+        )
+        .expect("Relevant Procedures parses"),
+    ]
+}
+
+/// The study schema Figure 5's classifiers bind against (Figure 4 plus the
+/// TumorVolume attribute Figure 5b implies).
+pub fn figure5_study_schema() -> StudySchema {
+    use guava_multiclass::domain::DomainSpec;
+    let mut s = figure4_study_schema();
+    s.add_attribute(
+        "Procedure",
+        AttributeDef::new(
+            "TumorVolume",
+            vec![Domain::new(
+                "cubic_mm",
+                "Estimated tumor volume (mm^3)",
+                DomainSpec::Real {
+                    min: Some(0.0),
+                    max: None,
+                },
+            )],
+        ),
+    )
+    .expect("TumorVolume is new");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guava_gtree::node::GNodeKind;
+    use guava_relational::value::Value;
+
+    #[test]
+    fn figure2_gtree_matches_paper_shape() {
+        let g = figure2_gtree();
+        // "There is a node in the g-tree for every control on the screen,
+        // even those that do not normally store data, such as group boxes."
+        assert_eq!(g.node("Complications").unwrap().kind, GNodeKind::Decoration);
+        assert_eq!(
+            g.node("MedicalHistory").unwrap().kind,
+            GNodeKind::Decoration
+        );
+        // "Because the frequency textbox does not become enabled until
+        // someone answers the smoking question, the frequency node appears
+        // as a child of the smoking node."
+        let smoking = g.node("Smoking").unwrap();
+        assert_eq!(smoking.children[0].name, "Frequency");
+    }
+
+    #[test]
+    fn figure3_node_details() {
+        let g = figure2_gtree();
+        // (a) alcohol: one data value per selection plus free text.
+        let alcohol = g.node("Alcohol").unwrap();
+        assert_eq!(alcohol.options.len(), 4);
+        assert!(alcohol.free_text_option);
+        // (b) smoking: option for unselected.
+        assert!(g.node("Smoking").unwrap().unselected_option);
+        // (c) frequency: enablement on the smoking control.
+        let freq = g.node("Frequency").unwrap();
+        let rule = freq.enable.as_ref().unwrap();
+        assert_eq!(rule.controller, "Smoking");
+    }
+
+    #[test]
+    fn figure4_schema_structure() {
+        let s = figure4_study_schema();
+        s.validate().unwrap();
+        let names: Vec<&str> = s.entities().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Procedure", "FindingOfFissure", "NewMedication"]
+        );
+        // Smoking carries three domains (the Table 2 triple).
+        assert_eq!(
+            s.entity("Procedure")
+                .unwrap()
+                .attribute("Smoking")
+                .unwrap()
+                .domains
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn figure5_classifiers_bind_and_classify() {
+        let tree = GTree::derive(&figure5_tool()).unwrap();
+        let schema = figure5_study_schema();
+        let classifiers = figure5_classifiers();
+        let bound: Vec<_> = classifiers
+            .iter()
+            .map(|c| {
+                c.bind(&tree, &schema)
+                    .unwrap_or_else(|e| panic!("{}: {e}", c.name))
+            })
+            .collect();
+
+        // Figure 5a: 3 packs/day is Moderate for the cancer study but
+        // Heavy for the chemistry study — the same data, two readings.
+        let mk_row = |packs: i64| {
+            let mut row = vec![Value::Null; bound[0].eval_schema.arity()];
+            let idx = bound[0].eval_schema.index_of("PacksPerDay").unwrap();
+            row[idx] = Value::Int(packs);
+            row
+        };
+        assert_eq!(
+            bound[0].classify(&mk_row(3)).unwrap(),
+            Value::text("Moderate")
+        );
+        assert_eq!(bound[1].classify(&mk_row(3)).unwrap(), Value::text("Heavy"));
+
+        // Figure 5b: volume formula.
+        let mut row = vec![Value::Null; bound[2].eval_schema.arity()];
+        for (n, v) in [("TumorX", 2.0), ("TumorY", 3.0), ("TumorZ", 4.0)] {
+            let idx = bound[2].eval_schema.index_of(n).unwrap();
+            row[idx] = Value::Float(v);
+        }
+        assert_eq!(bound[2].classify(&row).unwrap(), Value::Float(24.0 * 0.52));
+
+        // Figure 5c: entity classifier keeps only surgical procedures.
+        let mut row = vec![Value::Null; bound[3].eval_schema.arity()];
+        let idx = bound[3].eval_schema.index_of("SurgeryPerformed").unwrap();
+        row[idx] = Value::Bool(true);
+        assert!(bound[3].selects(&row).unwrap());
+        row[idx] = Value::Bool(false);
+        assert!(!bound[3].selects(&row).unwrap());
+    }
+}

@@ -1,0 +1,272 @@
+//! Ground-truth clinical profiles and the synthetic report generator.
+//!
+//! The paper's data is CORI's production warehouse of endoscopy reports —
+//! which we cannot have. The substitution (DESIGN.md) is a seeded
+//! generator that first draws a *ground-truth profile* per procedure and
+//! then "types it into" each vendor's reporting tool through the real
+//! data-entry engine. Because the ground truth is retained, extraction
+//! quality (Hypothesis #2) is measurable exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Smoking status as the *world* knows it (not as any tool encodes it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Smoking {
+    Never,
+    Current,
+    /// Former smoker; `months_since_quit` says how long ago they quit.
+    Former,
+}
+
+/// Procedure type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcedureKind {
+    /// Upper GI endoscopy (EGD) — the population of Study 1.
+    UpperGi,
+    Colonoscopy,
+}
+
+/// The ground truth for one procedure report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// 1-based instance id, also used as the form instance id everywhere.
+    pub id: i64,
+    pub kind: ProcedureKind,
+    /// Days since epoch of the procedure.
+    pub date_days: i64,
+    /// Indication: asthma-specific ENT/pulmonary reflux symptoms.
+    pub reflux_indication: bool,
+    pub renal_failure: bool,
+    /// Cardiopulmonary / abdominal examinations within normal limits.
+    pub cardio_wnl: bool,
+    pub abdominal_wnl: bool,
+    pub smoking: Smoking,
+    /// Packs per day (current or former smokers; 0 for never).
+    pub packs_per_day: f64,
+    /// Months since quitting (former smokers only; 0 otherwise).
+    pub months_since_quit: i64,
+    /// Alcohol use: 0 none, 1 light, 2 heavy.
+    pub alcohol: i64,
+    /// Complications.
+    pub transient_hypoxia: bool,
+    pub prolonged_hypoxia: bool,
+    /// Interventions taken for the complication.
+    pub surgery: bool,
+    pub iv_fluids: bool,
+    pub oxygen: bool,
+    /// Some providers leave optional questions blank; this mask marks the
+    /// smoking question as unanswered (exercises NULL paths end to end).
+    pub smoking_unanswered: bool,
+}
+
+impl Profile {
+    /// Is this patient an ex-smoker under the *strict* study definition
+    /// ("quit in the last year")?
+    pub fn ex_smoker_strict(&self) -> bool {
+        self.smoking == Smoking::Former && self.months_since_quit <= 12
+    }
+
+    /// Ex-smoker under the *loose* reading ("anyone who has ever smoked
+    /// and quit") — the semantic trap of Section 2.
+    pub fn ex_smoker_loose(&self) -> bool {
+        self.smoking == Smoking::Former
+    }
+
+    /// Any hypoxia complication.
+    pub fn hypoxia(&self) -> bool {
+        self.transient_hypoxia || self.prolonged_hypoxia
+    }
+
+    /// Study 1 cohort membership, step by step (Section 2).
+    pub fn study1_population(&self) -> bool {
+        self.kind == ProcedureKind::UpperGi
+    }
+
+    pub fn study1_indicated(&self) -> bool {
+        self.study1_population() && self.reflux_indication
+    }
+
+    pub fn study1_eligible(&self) -> bool {
+        self.study1_indicated() && !self.renal_failure && self.cardio_wnl && self.abdominal_wnl
+    }
+
+    pub fn study1_complicated(&self) -> bool {
+        self.study1_eligible() && self.transient_hypoxia
+    }
+}
+
+/// Generator configuration. Probabilities are chosen so every branch of
+/// both studies has non-trivial counts at moderate sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    pub seed: u64,
+    pub procedures: usize,
+    pub upper_gi_fraction: f64,
+    pub reflux_fraction: f64,
+    pub renal_failure_fraction: f64,
+    pub exam_wnl_fraction: f64,
+    pub smoker_fraction: f64,
+    pub former_smoker_fraction: f64,
+    pub hypoxia_fraction: f64,
+    pub unanswered_fraction: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> GeneratorConfig {
+        GeneratorConfig {
+            seed: 0x5EED_CAFE,
+            procedures: 500,
+            upper_gi_fraction: 0.55,
+            reflux_fraction: 0.30,
+            renal_failure_fraction: 0.08,
+            exam_wnl_fraction: 0.85,
+            smoker_fraction: 0.45,
+            former_smoker_fraction: 0.5,
+            hypoxia_fraction: 0.12,
+            unanswered_fraction: 0.05,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    pub fn with_size(mut self, procedures: usize) -> GeneratorConfig {
+        self.procedures = procedures;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> GeneratorConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generate `config.procedures` ground-truth profiles, deterministically.
+pub fn generate(config: &GeneratorConfig) -> Vec<Profile> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let base_date = guava_relational::value::days_from_civil(2005, 1, 1);
+    (0..config.procedures)
+        .map(|i| {
+            let kind = if rng.gen_bool(config.upper_gi_fraction) {
+                ProcedureKind::UpperGi
+            } else {
+                ProcedureKind::Colonoscopy
+            };
+            let smokes = rng.gen_bool(config.smoker_fraction);
+            let smoking = if !smokes {
+                Smoking::Never
+            } else if rng.gen_bool(config.former_smoker_fraction) {
+                Smoking::Former
+            } else {
+                Smoking::Current
+            };
+            let packs = match smoking {
+                Smoking::Never => 0.0,
+                // Quantized to halves: what providers actually type.
+                _ => (rng.gen_range(1..=12) as f64) / 2.0,
+            };
+            let months_since_quit = match smoking {
+                Smoking::Former => rng.gen_range(1..=120),
+                _ => 0,
+            };
+            let transient = rng.gen_bool(config.hypoxia_fraction);
+            let prolonged = transient && rng.gen_bool(0.25);
+            // Interventions only make sense given a complication.
+            let (surgery, iv, oxygen) = if transient || prolonged {
+                (rng.gen_bool(0.10), rng.gen_bool(0.40), rng.gen_bool(0.70))
+            } else {
+                (false, false, false)
+            };
+            Profile {
+                id: i as i64 + 1,
+                kind,
+                date_days: base_date + rng.gen_range(0..365),
+                reflux_indication: kind == ProcedureKind::UpperGi
+                    && rng.gen_bool(config.reflux_fraction),
+                renal_failure: rng.gen_bool(config.renal_failure_fraction),
+                cardio_wnl: rng.gen_bool(config.exam_wnl_fraction),
+                abdominal_wnl: rng.gen_bool(config.exam_wnl_fraction),
+                smoking,
+                packs_per_day: packs,
+                months_since_quit,
+                alcohol: rng.gen_range(0..3),
+                transient_hypoxia: transient,
+                prolonged_hypoxia: prolonged,
+                surgery,
+                iv_fluids: iv,
+                oxygen,
+                smoking_unanswered: rng.gen_bool(config.unanswered_fraction),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = GeneratorConfig::default().with_size(50);
+        assert_eq!(generate(&c), generate(&c));
+        let other = generate(&c.clone().with_seed(7));
+        assert_ne!(generate(&c), other);
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let profiles = generate(&GeneratorConfig::default().with_size(400));
+        assert_eq!(profiles.len(), 400);
+        for p in &profiles {
+            // Never-smokers have no packs and no quit date.
+            if p.smoking == Smoking::Never {
+                assert_eq!(p.packs_per_day, 0.0);
+                assert_eq!(p.months_since_quit, 0);
+            }
+            if p.smoking == Smoking::Former {
+                assert!(p.months_since_quit >= 1);
+            }
+            // Interventions imply a complication.
+            if p.surgery || p.iv_fluids || p.oxygen {
+                assert!(p.hypoxia());
+            }
+            // Reflux indication only occurs for upper GI procedures.
+            if p.reflux_indication {
+                assert_eq!(p.kind, ProcedureKind::UpperGi);
+            }
+            // Study-1 funnel is monotone.
+            assert!(!p.study1_indicated() || p.study1_population());
+            assert!(!p.study1_eligible() || p.study1_indicated());
+            assert!(!p.study1_complicated() || p.study1_eligible());
+        }
+    }
+
+    #[test]
+    fn every_cohort_is_populated() {
+        let profiles = generate(&GeneratorConfig::default());
+        assert!(
+            profiles.iter().any(|p| p.study1_complicated()),
+            "study 1 tail populated"
+        );
+        assert!(profiles.iter().any(|p| p.ex_smoker_strict()));
+        assert!(
+            profiles.iter().filter(|p| p.ex_smoker_loose()).count()
+                > profiles.iter().filter(|p| p.ex_smoker_strict()).count(),
+            "the strict/loose ex-smoker distinction is observable"
+        );
+        assert!(profiles.iter().any(|p| p.smoking_unanswered));
+    }
+
+    #[test]
+    fn ex_smoker_definitions() {
+        let mut p = generate(&GeneratorConfig::default().with_size(1))[0].clone();
+        p.smoking = Smoking::Former;
+        p.months_since_quit = 6;
+        assert!(p.ex_smoker_strict() && p.ex_smoker_loose());
+        p.months_since_quit = 60;
+        assert!(!p.ex_smoker_strict() && p.ex_smoker_loose());
+        p.smoking = Smoking::Current;
+        assert!(!p.ex_smoker_loose());
+    }
+}

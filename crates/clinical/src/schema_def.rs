@@ -1,0 +1,147 @@
+//! The operational CORI study schema (Section 3.3): "for the data analysts
+//! at CORI, the primary entity of interest is always the procedure; we
+//! expect that CORI would only need to have one study schema."
+//!
+//! The `Smoking` attribute carries Table 2's three mutually lossy domains
+//! verbatim, plus the boolean `ExSmoker` view that Study 2 needs — the
+//! attribute whose meaning is context-sensitive.
+
+use guava_multiclass::domain::{Domain, DomainSpec};
+use guava_multiclass::study_schema::{AttributeDef, EntityDef, StudySchema};
+
+/// Table 2, domain 1: "Positive Integers — number of packs smoked per day"
+/// (we use reals because providers enter half packs).
+pub fn domain_packs_per_day() -> Domain {
+    Domain::new(
+        "packs_per_day",
+        "Number of packs smoked per day",
+        DomainSpec::Real {
+            min: Some(0.0),
+            max: None,
+        },
+    )
+}
+
+/// Table 2, domain 2: "None, Current, Previous".
+pub fn domain_smoking_status() -> Domain {
+    Domain::categorical(
+        "status",
+        "No smoking, current smoker, or has smoked in the past",
+        &["None", "Current", "Previous"],
+    )
+}
+
+/// Table 2, domain 3: "None, Light, Moderate, Heavy".
+pub fn domain_smoking_class() -> Domain {
+    Domain::categorical(
+        "class",
+        "General classification of smoking habits",
+        &["None", "Light", "Moderate", "Heavy"],
+    )
+}
+
+fn yesno(desc: &str) -> Vec<Domain> {
+    vec![Domain::boolean("yesno", desc)]
+}
+
+/// The study schema both paper studies run against.
+pub fn study_schema() -> StudySchema {
+    let procedure = EntityDef::new("Procedure")
+        .with_attribute(AttributeDef::new(
+            "ProcType",
+            vec![Domain::categorical(
+                "kind",
+                "Procedure kind",
+                &["UpperGI", "Colonoscopy"],
+            )],
+        ))
+        .with_attribute(AttributeDef::new(
+            "RefluxIndication",
+            yesno("Asthma-specific ENT/Pulmonary Reflux symptoms indication"),
+        ))
+        .with_attribute(AttributeDef::new(
+            "RenalFailure",
+            yesno("History of renal failure"),
+        ))
+        .with_attribute(AttributeDef::new(
+            "ExamsNormal",
+            yesno("Cardiopulmonary and abdominal examinations within normal limits"),
+        ))
+        .with_attribute(AttributeDef::new(
+            "TransientHypoxia",
+            yesno("Transient hypoxia complication"),
+        ))
+        .with_attribute(AttributeDef::new(
+            "Hypoxia",
+            yesno("Any hypoxia complication"),
+        ))
+        .with_attribute(AttributeDef::new("Surgery", yesno("Surgery intervention")))
+        .with_attribute(AttributeDef::new(
+            "IvFluids",
+            yesno("IV fluids intervention"),
+        ))
+        .with_attribute(AttributeDef::new(
+            "Oxygen",
+            yesno("Oxygen administration intervention"),
+        ))
+        .with_attribute(AttributeDef::new(
+            "Smoking",
+            vec![
+                domain_packs_per_day(),
+                domain_smoking_status(),
+                domain_smoking_class(),
+            ],
+        ))
+        .with_attribute(AttributeDef::new(
+            "ExSmoker",
+            yesno("Is the patient an ex-smoker? (meaning is study-specific)"),
+        ))
+        .with_attribute(AttributeDef::new(
+            "Alcohol",
+            vec![Domain::categorical(
+                "use",
+                "Alcohol use",
+                &["None", "Light", "Heavy"],
+            )],
+        ));
+    let mut s = StudySchema::new("cori_procedures", procedure);
+    s.provenance
+        .annotate(guava_multiclass::annotate::Annotation::new(
+            "jterwill",
+            "2005-11-01T00:00:00",
+            "initial CORI study schema; Smoking carries the three Table-2 domains",
+        ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_is_valid_and_resolvable() {
+        let s = study_schema();
+        s.validate().unwrap();
+        assert!(s.resolve("Procedure", "Smoking", "packs_per_day").is_ok());
+        assert!(s.resolve("Procedure", "Smoking", "status").is_ok());
+        assert!(s.resolve("Procedure", "Smoking", "class").is_ok());
+        assert!(s.resolve("Procedure", "ExSmoker", "yesno").is_ok());
+    }
+
+    #[test]
+    fn table2_domains_are_mutually_lossy() {
+        let d1 = domain_packs_per_day();
+        let d2 = domain_smoking_status();
+        let d3 = domain_smoking_class();
+        // packs/day is unbounded: it cannot embed into either finite
+        // domain, and the 4-class domain cannot round-trip through the
+        // 3-status domain — "no way to translate any one representation
+        // into another without losing information".
+        assert!(!d1.embeds_into(&d2));
+        assert!(!d1.embeds_into(&d3));
+        assert!(
+            !d3.embeds_into(&d2),
+            "4 classes cannot round-trip through 3 statuses"
+        );
+    }
+}

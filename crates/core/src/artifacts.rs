@@ -1,0 +1,167 @@
+//! Artifact bundles: persisting the analyst-facing state.
+//!
+//! "Analysts are also able to use MultiClass to document, inspect, reuse,
+//! and modify integration decisions from prior studies" (Section 1) — which
+//! requires the decisions to outlive the process. A bundle captures every
+//! MultiClass artifact (study schema, classifiers, studies) plus the GUAVA
+//! g-trees and pattern stacks, as one JSON document. Contributor *data* is
+//! deliberately excluded: decisions are small, warehouses are not.
+
+use guava_etl::compile::ContributorBinding;
+use guava_multiclass::classifier::Classifier;
+use guava_multiclass::study::Study;
+use guava_multiclass::study_schema::StudySchema;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A serializable snapshot of the integration decisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactBundle {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    pub study_schema: StudySchema,
+    pub classifiers: Vec<Classifier>,
+    pub studies: Vec<Study>,
+    pub bindings: Vec<ContributorBinding>,
+}
+
+/// The current bundle format version.
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// Errors raised while saving/loading bundles.
+#[derive(Debug)]
+pub enum ArtifactError {
+    Io(std::io::Error),
+    Format(serde_json::Error),
+    /// The bundle was written by an incompatible library version.
+    Version {
+        found: u32,
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "io error: {e}"),
+            ArtifactError::Format(e) => write!(f, "format error: {e}"),
+            ArtifactError::Version { found, supported } => {
+                write!(f, "bundle version {found} not supported (max {supported})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl ArtifactBundle {
+    pub fn new(
+        study_schema: StudySchema,
+        classifiers: Vec<Classifier>,
+        studies: Vec<Study>,
+        bindings: Vec<ContributorBinding>,
+    ) -> ArtifactBundle {
+        ArtifactBundle {
+            version: BUNDLE_VERSION,
+            study_schema,
+            classifiers,
+            studies,
+            bindings,
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> Result<String, ArtifactError> {
+        serde_json::to_string_pretty(self).map_err(ArtifactError::Format)
+    }
+
+    /// Parse from JSON, checking the format version.
+    pub fn from_json(json: &str) -> Result<ArtifactBundle, ArtifactError> {
+        let bundle: ArtifactBundle = serde_json::from_str(json).map_err(ArtifactError::Format)?;
+        if bundle.version > BUNDLE_VERSION {
+            return Err(ArtifactError::Version {
+                found: bundle.version,
+                supported: BUNDLE_VERSION,
+            });
+        }
+        Ok(bundle)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.to_json()?).map_err(ArtifactError::Io)
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<ArtifactBundle, ArtifactError> {
+        let text = std::fs::read_to_string(path).map_err(ArtifactError::Io)?;
+        ArtifactBundle::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guava_clinical::prelude::*;
+    use guava_clinical::{classifiers, contributors};
+
+    fn bundle() -> ArtifactBundle {
+        let profiles = generate(&GeneratorConfig::default().with_size(5));
+        let contributors = contributors::build_all(&profiles).unwrap();
+        let studies = vec![
+            study1_definition(&contributors),
+            study2_definition(&contributors, ExSmokerMeaning::QuitWithinYear),
+        ];
+        ArtifactBundle::new(
+            study_schema(),
+            classifiers::cori()
+                .into_iter()
+                .chain(classifiers::endopro())
+                .collect(),
+            studies,
+            contributors::bindings(&contributors),
+        )
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let b = bundle();
+        let json = b.to_json().unwrap();
+        let back = ArtifactBundle::from_json(&json).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let b = bundle();
+        let path = std::env::temp_dir().join("guava_bundle_test.json");
+        b.save(&path).unwrap();
+        let back = ArtifactBundle::load(&path).unwrap();
+        assert_eq!(back, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newer_versions_rejected() {
+        let mut b = bundle();
+        b.version = BUNDLE_VERSION + 1;
+        let json = serde_json::to_string(&b).unwrap();
+        assert!(matches!(
+            ArtifactBundle::from_json(&json),
+            Err(ArtifactError::Version { .. })
+        ));
+    }
+
+    #[test]
+    fn loaded_classifiers_still_bind() {
+        // The point of persistence: decisions survive and stay executable.
+        let b = bundle();
+        let json = b.to_json().unwrap();
+        let back = ArtifactBundle::from_json(&json).unwrap();
+        let cori_binding = back.bindings.iter().find(|bd| bd.name() == "cori").unwrap();
+        for c in back.classifiers.iter().filter(|c| c.contributor == "cori") {
+            c.bind(&cori_binding.tree, &back.study_schema)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.name));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! `guava` — command-line inspection of GUAVA/MultiClass artifacts.
+//!
+//! The analysts the paper targets work with *artifacts* — g-trees,
+//! classifiers, study schemas, studies — not with code. This CLI renders
+//! those artifacts from a saved [`ArtifactBundle`] JSON file.
+//!
+//! ```text
+//! guava demo <bundle.json>                 write a demo bundle (CORI simulation)
+//! guava summary <bundle.json>              inventory of the bundle
+//! guava gtree <bundle.json> <contributor>  render a contributor's g-tree
+//! guava node <bundle.json> <node>          Figure-3 context detail for one node
+//! guava classifiers <bundle.json> [contributor]
+//! guava studies <bundle.json>              archived studies and their decisions
+//! guava xml <bundle.json> <contributor>    g-tree as XML (paper storage format)
+//! ```
+
+use guava::artifacts::ArtifactBundle;
+use guava::clinical::prelude::*;
+use guava::clinical::{classifiers, contributors};
+use guava::prelude::Target;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("demo") => cmd_demo(
+            args.get(1)
+                .map(String::as_str)
+                .unwrap_or("guava_bundle.json"),
+        ),
+        Some("summary") => with_bundle(&args, 1, |b, _| cmd_summary(b)),
+        Some("gtree") => with_bundle(&args, 2, |b, rest| cmd_gtree(b, &rest[0])),
+        Some("node") => with_bundle(&args, 2, |b, rest| cmd_node(b, &rest[0])),
+        Some("classifiers") => with_bundle(&args, 1, |b, rest| {
+            cmd_classifiers(b, rest.first().map(String::as_str))
+        }),
+        Some("studies") => with_bundle(&args, 1, |b, _| cmd_studies(b)),
+        Some("xml") => with_bundle(&args, 2, |b, rest| cmd_xml(b, &rest[0])),
+        _ => {
+            eprintln!("usage: guava <demo|summary|gtree|node|classifiers|studies|xml> <bundle.json> [args]");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn with_bundle(
+    args: &[String],
+    min_rest: usize,
+    f: impl FnOnce(&ArtifactBundle, &[String]) -> CmdResult,
+) -> CmdResult {
+    let path = args.get(1).ok_or("missing bundle path")?;
+    let rest = &args[2..];
+    if rest.len() + 1 < min_rest {
+        return Err("missing arguments".into());
+    }
+    let bundle = ArtifactBundle::load(path)?;
+    f(&bundle, rest)
+}
+
+/// Build the CORI-simulation bundle and write it — the quickest way to get
+/// an artifact file to explore.
+fn cmd_demo(path: &str) -> CmdResult {
+    let profiles = generate(&GeneratorConfig::default().with_size(50));
+    let contributors = contributors::build_all(&profiles)?;
+    let studies = vec![
+        study1_definition(&contributors),
+        study2_definition(&contributors, ExSmokerMeaning::QuitWithinYear),
+        study2_definition(&contributors, ExSmokerMeaning::EverQuit),
+    ];
+    let bundle = ArtifactBundle::new(
+        study_schema(),
+        classifiers::cori()
+            .into_iter()
+            .chain(classifiers::endopro())
+            .chain(classifiers::gastrolink())
+            .collect(),
+        studies,
+        contributors::bindings(&contributors),
+    );
+    bundle.save(path)?;
+    println!("wrote {path}");
+    println!("try: guava summary {path}");
+    Ok(())
+}
+
+fn cmd_summary(b: &ArtifactBundle) -> CmdResult {
+    println!(
+        "bundle v{} — study schema `{}`",
+        b.version, b.study_schema.name
+    );
+    println!("\ncontributors:");
+    for binding in &b.bindings {
+        println!(
+            "  {:<12} v{:<6} {} forms, {} attribute nodes, patterns: {}",
+            binding.name(),
+            binding.tree.version,
+            binding.tree.forms().len(),
+            binding.tree.attributes().len(),
+            binding
+                .stack
+                .patterns
+                .iter()
+                .map(|p| p.name())
+                .collect::<Vec<_>>()
+                .join(" + "),
+        );
+    }
+    println!("\nstudy schema entities:");
+    for e in b.study_schema.entities() {
+        println!("  {} ({} attributes)", e.name, e.attributes.len());
+    }
+    println!("\nclassifiers: {} total", b.classifiers.len());
+    println!("studies: {} archived", b.studies.len());
+    Ok(())
+}
+
+fn find_binding<'a>(
+    b: &'a ArtifactBundle,
+    contributor: &str,
+) -> Result<&'a guava::etl::compile::ContributorBinding, String> {
+    b.bindings
+        .iter()
+        .find(|bd| bd.name() == contributor)
+        .ok_or_else(|| {
+            format!(
+                "no contributor `{contributor}` (have: {})",
+                b.bindings
+                    .iter()
+                    .map(|bd| bd.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+fn cmd_gtree(b: &ArtifactBundle, contributor: &str) -> CmdResult {
+    let binding = find_binding(b, contributor)?;
+    print!("{}", binding.tree.render());
+    Ok(())
+}
+
+fn cmd_node(b: &ArtifactBundle, node: &str) -> CmdResult {
+    for binding in &b.bindings {
+        if let Ok(n) = binding.tree.node(node) {
+            println!("(contributor `{}`)", binding.name());
+            print!("{}", n.describe());
+            return Ok(());
+        }
+    }
+    Err(format!("no node `{node}` in any contributor's g-tree").into())
+}
+
+fn cmd_classifiers(b: &ArtifactBundle, contributor: Option<&str>) -> CmdResult {
+    for c in &b.classifiers {
+        if let Some(only) = contributor {
+            if c.contributor != only {
+                continue;
+            }
+        }
+        let kind = match &c.target {
+            Target::Domain { .. } => "domain",
+            Target::Entity { .. } => "entity",
+            Target::Cleaner { .. } => "cleaner",
+        };
+        println!(
+            "{:<34} [{:<10}] {:<7} -> {}",
+            c.name, c.contributor, kind, c.target
+        );
+        if !c.note.is_empty() {
+            println!("    \"{}\"", c.note);
+        }
+        for r in &c.rules {
+            println!("    {} <- {}", r.output, r.guard);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_studies(b: &ArtifactBundle) -> CmdResult {
+    for s in &b.studies {
+        println!(
+            "study `{}` over `{}` (primary: {})",
+            s.name, s.study_schema, s.primary_entity
+        );
+        println!("  question: {}", s.question);
+        for col in &s.columns {
+            println!("  column: {col}");
+        }
+        for sel in &s.selections {
+            println!(
+                "  {}: entities {:?}, domains {:?}{}",
+                sel.contributor,
+                sel.entity_classifiers,
+                sel.domain_classifiers,
+                if sel.cleaning_classifiers.is_empty() {
+                    String::new()
+                } else {
+                    format!(", cleaning {:?}", sel.cleaning_classifiers)
+                }
+            );
+        }
+        if let Some(f) = &s.filter {
+            println!("  filter: {f}");
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_xml(b: &ArtifactBundle, contributor: &str) -> CmdResult {
+    let binding = find_binding(b, contributor)?;
+    print!("{}", binding.tree.to_xml());
+    Ok(())
+}

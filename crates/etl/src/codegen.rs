@@ -1,0 +1,306 @@
+//! Code generators: compiled studies → Datalog programs and XQuery text.
+//!
+//! "Our approach is to identify all of the nodes in a g-tree that are
+//! referenced by the set of classifiers. Then, treat each entity
+//! classifier as a for-each to iterate through objects, each domain
+//! classifier as a variable assignment, and each rule in a classifier as a
+//! conditional statement" (Section 4.2). The Datalog output is executable
+//! (see [`crate::datalog`]); the XQuery output is a textual artifact, like
+//! the paper's hand translations.
+
+use crate::compile::{CompiledStudy, EntityPlan, INSTANCE_COLUMN};
+use crate::datalog::{DatalogProgram, DatalogRule, HeadArg};
+use guava_relational::expr::Expr;
+
+/// Translate one entity plan into Datalog rules.
+///
+/// The body relation is the contributor's (naïve) form relation. Guarded
+/// rule ordering becomes explicit: rule *i*'s condition is its own guard
+/// conjoined with the negations of guards 1..i−1, so the rule set derives
+/// exactly the first-match-wins value. The entity classifier's guard
+/// (any-rule-matches) conjoins into every condition.
+pub fn entity_plan_to_datalog(plan: &EntityPlan) -> DatalogProgram {
+    let mut rules = Vec::new();
+    // The keep predicate folds the entity classifier's guard with the
+    // negated cleaning guards (Section 6 extension).
+    let entity_guard = plan.keep_predicate();
+
+    // One derived relation per study column; single-column classifier
+    // outputs keyed by instance id.
+    for (col, dc) in &plan.domain_classifiers {
+        let head = format!(
+            "{}__{}",
+            plan.contributor
+                .replace(|c: char| !c.is_alphanumeric(), "_"),
+            col.column_name().to_lowercase()
+        );
+        let mut earlier: Option<Expr> = None;
+        for rule in &dc.rules {
+            let mut condition = rule.guard.clone();
+            if let Some(prev) = &earlier {
+                // NULL-safe negation: "no earlier rule matched" means every
+                // earlier guard was FALSE *or NULL*. A bare NOT would turn a
+                // NULL earlier guard into NULL and wrongly suppress the
+                // tuple that the ETL CASE falls through to.
+                condition = condition
+                    .and(Expr::Coalesce(vec![prev.clone(), Expr::lit(false)]).not());
+            }
+            condition = condition.and(entity_guard.clone());
+            rules.push(DatalogRule {
+                head: head.clone(),
+                head_args: vec![
+                    HeadArg::Var(INSTANCE_COLUMN.into()),
+                    HeadArg::Computed(rule.output.clone()),
+                ],
+                body: plan.form.clone(),
+                condition,
+            });
+            earlier = Some(match earlier {
+                None => rule.guard.clone(),
+                Some(prev) => prev.or(rule.guard.clone()),
+            });
+        }
+    }
+    // The entity relation itself: which instances exist in the study.
+    rules.push(DatalogRule {
+        head: format!(
+            "{}__{}",
+            plan.contributor
+                .replace(|c: char| !c.is_alphanumeric(), "_"),
+            plan.entity.to_lowercase()
+        ),
+        head_args: vec![HeadArg::Var(INSTANCE_COLUMN.into())],
+        body: plan.form.clone(),
+        condition: entity_guard,
+    });
+    DatalogProgram { rules }
+}
+
+/// Translate a whole compiled study into one Datalog program.
+pub fn study_to_datalog(compiled: &CompiledStudy) -> DatalogProgram {
+    let mut program = DatalogProgram::default();
+    for ep in &compiled.entity_plans {
+        program.rules.extend(entity_plan_to_datalog(ep).rules);
+    }
+    program
+}
+
+/// Generate XQuery text for a compiled study: one FLWOR block per
+/// (contributor, entity), entity classifier as the `where`, domain
+/// classifiers as `let` bindings with nested `if` conditionals.
+pub fn study_to_xquery(compiled: &CompiledStudy) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("(: study `{}` :)\n", compiled.study_name));
+    for ep in &compiled.entity_plans {
+        out.push_str(&format!(
+            "(: contributor `{}`, entity `{}` :)\n",
+            ep.contributor, ep.entity
+        ));
+        out.push_str(&format!(
+            "for $i in doc(\"{}.xml\")//{}\n",
+            ep.contributor, ep.form
+        ));
+        // Entity selection plus negated cleaning guards (Section 6).
+        out.push_str(&format!("where {}\n", xq_expr(&ep.keep_predicate())));
+        for (col, dc) in &ep.domain_classifiers {
+            out.push_str(&format!("let ${} :=\n", col.column_name()));
+            for (depth, rule) in dc.rules.iter().enumerate() {
+                let pad = "  ".repeat(depth + 1);
+                out.push_str(&format!(
+                    "{pad}if ({}) then {}\n",
+                    xq_expr(&rule.guard),
+                    xq_expr(&rule.output)
+                ));
+                out.push_str(&format!("{pad}else\n"));
+            }
+            let pad = "  ".repeat(dc.rules.len() + 1);
+            out.push_str(&format!("{pad}()\n"));
+        }
+        out.push_str(&format!(
+            "return <{} source=\"{}\">\n",
+            ep.entity, ep.contributor
+        ));
+        out.push_str(&format!(
+            "  <{INSTANCE_COLUMN}>{{$i/{INSTANCE_COLUMN}}}</{INSTANCE_COLUMN}>\n"
+        ));
+        for (col, _) in &ep.domain_classifiers {
+            let name = col.column_name();
+            out.push_str(&format!("  <{name}>{{${name}}}</{name}>\n"));
+        }
+        out.push_str(&format!("</{}>\n\n", ep.entity));
+    }
+    out
+}
+
+/// Render an expression in XQuery surface syntax: node references become
+/// `$i/node` paths, `<>` becomes `!=`, `IS NOT NULL` becomes `exists()`.
+fn xq_expr(e: &Expr) -> String {
+    match e {
+        Expr::Col(c) => format!("$i/{c}"),
+        Expr::Lit(guava_relational::value::Value::Text(s)) => format!("\"{s}\""),
+        Expr::Lit(v) => v.to_string().to_lowercase(),
+        Expr::Bin(op, a, b) => {
+            use guava_relational::expr::BinOp::*;
+            let sym = match op {
+                Add => "+",
+                Sub => "-",
+                Mul => "*",
+                Div => "div",
+                Eq => "=",
+                Ne => "!=",
+                Lt => "<",
+                Le => "<=",
+                Gt => ">",
+                Ge => ">=",
+                And => "and",
+                Or => "or",
+            };
+            format!("({} {sym} {})", xq_expr(a), xq_expr(b))
+        }
+        Expr::Not(x) => format!("not({})", xq_expr(x)),
+        Expr::Neg(x) => format!("(-{})", xq_expr(x)),
+        Expr::IsNull(x) => format!("empty({})", xq_expr(x)),
+        Expr::IsNotNull(x) => format!("exists({})", xq_expr(x)),
+        Expr::InList(x, vs) => {
+            let list: Vec<String> = vs
+                .iter()
+                .map(|v| match v {
+                    guava_relational::value::Value::Text(s) => format!("\"{s}\""),
+                    v => v.to_string(),
+                })
+                .collect();
+            format!("({} = ({}))", xq_expr(x), list.join(", "))
+        }
+        Expr::Coalesce(es) => {
+            let parts: Vec<String> = es.iter().map(xq_expr).collect();
+            format!("({})[1]", parts.join(", "))
+        }
+        Expr::Case { arms, default } => {
+            let mut s = String::new();
+            for (c, v) in arms {
+                s.push_str(&format!("if ({}) then {} else ", xq_expr(c), xq_expr(v)));
+            }
+            s.push_str(&xq_expr(default));
+            format!("({s})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guava_relational::expr::Expr;
+
+    #[test]
+    fn xq_expr_surface_forms() {
+        let e = Expr::col("PacksPerDay").ge(Expr::lit(5i64));
+        assert_eq!(xq_expr(&e), "($i/PacksPerDay >= 5)");
+        assert_eq!(xq_expr(&Expr::col("x").is_not_null()), "exists($i/x)");
+        assert_eq!(xq_expr(&Expr::lit(true)), "true");
+        assert_eq!(
+            xq_expr(&Expr::col("a").ne(Expr::lit("b"))),
+            "($i/a != \"b\")"
+        );
+        assert_eq!(xq_expr(&Expr::lit(1i64).div(Expr::lit(2i64))), "(1 div 2)");
+    }
+}
+
+#[cfg(test)]
+mod null_fallthrough_tests {
+    //! Regression: a NULL guard on an early rule must not suppress later
+    //! rules in the Datalog translation — first-match-wins means "earlier
+    //! guard not TRUE", which includes NULL.
+
+    use crate::compile::{compile, ContributorBinding};
+    use crate::datalog::DatalogProgram;
+    use guava_forms::control::Control;
+    use guava_forms::form::{FormDef, ReportingTool};
+    use guava_gtree::tree::GTree;
+    use guava_multiclass::prelude::*;
+    use guava_patterns::stack::PatternStack;
+    use guava_relational::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn null_guard_falls_through_in_datalog() {
+        let tool = ReportingTool::new(
+            "t",
+            "1",
+            vec![FormDef::new(
+                "f",
+                "F",
+                vec![Control::numeric("frequency", "freq", DataType::Float)],
+            )],
+        );
+        let tree = GTree::derive(&tool).unwrap();
+        let schema = StudySchema::new(
+            "s",
+            EntityDef::new("E").with_attribute(AttributeDef::new(
+                "A",
+                vec![Domain::categorical("D", "labels", &["Light", "Unknown"])],
+            )),
+        );
+        let mut reg = ClassifierRegistry::new();
+        reg.register(
+            Classifier::parse_rules(
+                "cls",
+                "t",
+                "",
+                Target::Domain { entity: "E".into(), attribute: "A".into(), domain: "D".into() },
+                // Rule 1's guard is NULL when frequency is unanswered; the
+                // catch-all rule 2 must still fire.
+                &["'Light' <- frequency < 2", "'Unknown' <- TRUE"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        reg.register(
+            Classifier::parse_rules(
+                "all",
+                "t",
+                "",
+                Target::Entity { entity: "E".into() },
+                &["f <- f"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        let study = Study::new("s1", "", "s", "E")
+            .with_column(StudyColumn::new("E", "A", "D"))
+            .with_selection(ContributorSelection::new(
+                "t",
+                vec!["all".into()],
+                vec!["cls".into()],
+            ));
+        let compiled = compile(
+            &study,
+            &schema,
+            &reg,
+            &[ContributorBinding::new(tree, PatternStack::naive("t"))],
+        )
+        .unwrap();
+
+        // One instance with frequency unanswered.
+        let naive_schema = Schema::new(
+            "f",
+            vec![
+                Column::required("instance_id", DataType::Int),
+                Column::new("frequency", DataType::Float),
+            ],
+        )
+        .unwrap();
+        let facts = BTreeMap::from([(
+            "f".to_owned(),
+            (naive_schema, vec![vec![Value::Int(1), Value::Null]]),
+        )]);
+        let program: DatalogProgram = super::study_to_datalog(&compiled);
+        let derived = program.evaluate(&facts).unwrap();
+        let tuples = &derived["t__a_d"];
+        assert_eq!(
+            tuples,
+            &vec![vec![Value::Int(1), Value::text("Unknown")]],
+            "the catch-all rule must fire despite the NULL guard on rule 1"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # guava-forms
+//!
+//! The reporting-tool substrate: a declarative model of clinical data-entry
+//! user interfaces (the paper's motivating "software reporting tool that
+//! clinics use to document endoscopic procedures", Section 2).
+//!
+//! The paper's GUAVA prototype extends Visual Studio .NET form components so
+//! the IDE can emit a g-tree from the GUI code. This crate is the
+//! substitution for that GUI layer: forms are declared as control trees
+//! carrying the same context (question wording, answer options, defaults,
+//! required flags, enablement dependencies), a [`entry::DataEntrySession`]
+//! simulates a clinician filling a form with real UI semantics, and
+//! [`form::FormDef::naive_schema`] derives the paper's *naïve schema* —
+//! one table per screen, one column per control.
+//!
+//! ```
+//! use guava_forms::prelude::*;
+//! use guava_relational::value::{DataType, Value};
+//!
+//! let form = FormDef::new("history", "Medical History", vec![
+//!     Control::radio("smoking", "Does the patient smoke?", vec![
+//!         ChoiceOption::new("No", 0i64),
+//!         ChoiceOption::new("Yes", 1i64),
+//!     ]).child(
+//!         Control::numeric("frequency", "Packs per day?", DataType::Float)
+//!             .enabled_when("smoking", EnableWhen::Equals(Value::Int(1))),
+//!     ),
+//! ]);
+//! form.validate().unwrap();
+//!
+//! let mut session = DataEntrySession::open(&form, 1);
+//! assert!(session.set("frequency", 2.0).is_err()); // disabled until smoking answered
+//! session.set("smoking", 1i64).unwrap();
+//! session.set("frequency", 2.0).unwrap();
+//! let report = session.save().unwrap();
+//! assert_eq!(report.answer("frequency"), Value::Float(2.0));
+//! ```
+
+pub mod control;
+pub mod entry;
+pub mod form;
+
+pub mod prelude {
+    pub use crate::control::{ChoiceOption, Control, ControlKind, EnableRule, EnableWhen};
+    pub use crate::entry::{DataEntrySession, EntryError, FormInstance};
+    pub use crate::form::{FormDef, FormError, ReportingTool, INSTANCE_ID};
+}
+
+pub use prelude::*;

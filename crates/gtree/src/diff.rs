@@ -1,0 +1,231 @@
+//! G-tree differencing across reporting-tool versions.
+//!
+//! Section 6 (future work): "we are also interested in handling new
+//! versions of a reporting tool by propagating classifiers to the next
+//! version if their input nodes did not change, and suggest new classifiers
+//! if there is a change." The diff computed here is what drives that
+//! propagation decision in `guava_multiclass::propagate`.
+
+use crate::node::GNode;
+use crate::tree::GTree;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How one node changed between tool versions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeChange {
+    /// Present in the new version only.
+    Added,
+    /// Present in the old version only.
+    Removed,
+    /// Present in both with identical context (question, options, type,
+    /// default, enablement) — classifiers referencing it stay valid.
+    Unchanged,
+    /// Present in both but the context differs; carries a human-readable
+    /// summary of what changed so analysts can re-validate classifiers.
+    Changed(Vec<String>),
+}
+
+/// The diff between two versions of a contributor's g-tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GTreeDiff {
+    pub old_version: String,
+    pub new_version: String,
+    /// Per-node change status, keyed by node name, sorted for determinism.
+    pub changes: BTreeMap<String, NodeChange>,
+}
+
+impl GTreeDiff {
+    /// Compare two g-trees node-by-node (matched by name — the identifier
+    /// classifiers reference).
+    pub fn compute(old: &GTree, new: &GTree) -> GTreeDiff {
+        let old_nodes: BTreeMap<&str, &GNode> =
+            old.root.walk().map(|n| (n.name.as_str(), n)).collect();
+        let new_nodes: BTreeMap<&str, &GNode> =
+            new.root.walk().map(|n| (n.name.as_str(), n)).collect();
+        let mut changes = BTreeMap::new();
+        for (name, o) in &old_nodes {
+            match new_nodes.get(name) {
+                None => {
+                    changes.insert((*name).to_owned(), NodeChange::Removed);
+                }
+                Some(n) if o.same_context(n) => {
+                    changes.insert((*name).to_owned(), NodeChange::Unchanged);
+                }
+                Some(n) => {
+                    changes.insert(
+                        (*name).to_owned(),
+                        NodeChange::Changed(describe_change(o, n)),
+                    );
+                }
+            }
+        }
+        for name in new_nodes.keys() {
+            if !old_nodes.contains_key(name) {
+                changes.insert((*name).to_owned(), NodeChange::Added);
+            }
+        }
+        GTreeDiff {
+            old_version: old.version.clone(),
+            new_version: new.version.clone(),
+            changes,
+        }
+    }
+
+    /// Is this node safe as a classifier input in the new version?
+    pub fn is_stable(&self, node: &str) -> bool {
+        matches!(self.changes.get(node), Some(NodeChange::Unchanged))
+    }
+
+    /// Nodes whose context changed or that disappeared.
+    pub fn broken_nodes(&self) -> Vec<&str> {
+        self.changes
+            .iter()
+            .filter(|(_, c)| matches!(c, NodeChange::Changed(_) | NodeChange::Removed))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Newly introduced nodes — candidates for "suggest new classifiers".
+    pub fn added_nodes(&self) -> Vec<&str> {
+        self.changes
+            .iter()
+            .filter(|(_, c)| matches!(c, NodeChange::Added))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+fn describe_change(old: &GNode, new: &GNode) -> Vec<String> {
+    let mut out = Vec::new();
+    if old.question != new.question {
+        out.push(format!(
+            "question: \"{}\" -> \"{}\"",
+            old.question, new.question
+        ));
+    }
+    if old.options != new.options {
+        out.push(format!(
+            "options: {} -> {} entries",
+            old.options.len(),
+            new.options.len()
+        ));
+    }
+    if old.data_type != new.data_type {
+        out.push(format!("type: {:?} -> {:?}", old.data_type, new.data_type));
+    }
+    if old.default != new.default {
+        out.push("default changed".into());
+    }
+    if old.required != new.required {
+        out.push(format!("required: {} -> {}", old.required, new.required));
+    }
+    if old.enable != new.enable {
+        out.push("enablement rule changed".into());
+    }
+    if old.kind != new.kind {
+        out.push(format!("kind: {:?} -> {:?}", old.kind, new.kind));
+    }
+    if out.is_empty() {
+        out.push("context changed".into());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::GTree;
+    use guava_forms::control::{ChoiceOption, Control};
+    use guava_forms::form::{FormDef, ReportingTool};
+
+    fn v1() -> GTree {
+        GTree::derive(&ReportingTool::new(
+            "t",
+            "1.0",
+            vec![FormDef::new(
+                "proc",
+                "Procedure",
+                vec![
+                    Control::check_box("hypoxia", "Hypoxia?"),
+                    Control::radio(
+                        "smoking",
+                        "Smoke?",
+                        vec![
+                            ChoiceOption::new("No", 0i64),
+                            ChoiceOption::new("Yes", 1i64),
+                        ],
+                    ),
+                ],
+            )],
+        ))
+        .unwrap()
+    }
+
+    fn v2() -> GTree {
+        GTree::derive(&ReportingTool::new(
+            "t",
+            "2.0",
+            vec![FormDef::new(
+                "proc",
+                "Procedure",
+                vec![
+                    Control::check_box("hypoxia", "Hypoxia?"),
+                    // Question reworded and an option added: context changed.
+                    Control::radio(
+                        "smoking",
+                        "Current or past smoker?",
+                        vec![
+                            ChoiceOption::new("Never", 0i64),
+                            ChoiceOption::new("Current", 1i64),
+                            ChoiceOption::new("Past", 2i64),
+                        ],
+                    ),
+                    Control::check_box("asthma", "Asthma?"),
+                ],
+            )],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn diff_classifies_all_nodes() {
+        let d = GTreeDiff::compute(&v1(), &v2());
+        assert_eq!(d.changes["hypoxia"], NodeChange::Unchanged);
+        assert!(matches!(d.changes["smoking"], NodeChange::Changed(_)));
+        assert_eq!(d.changes["asthma"], NodeChange::Added);
+        assert!(d.is_stable("hypoxia"));
+        assert!(!d.is_stable("smoking"));
+    }
+
+    #[test]
+    fn removed_nodes_detected() {
+        let d = GTreeDiff::compute(&v2(), &v1());
+        assert_eq!(d.changes["asthma"], NodeChange::Removed);
+        assert!(d.broken_nodes().contains(&"asthma"));
+    }
+
+    #[test]
+    fn change_description_names_what_moved() {
+        let d = GTreeDiff::compute(&v1(), &v2());
+        if let NodeChange::Changed(reasons) = &d.changes["smoking"] {
+            assert!(reasons.iter().any(|r| r.contains("question")));
+            assert!(reasons.iter().any(|r| r.contains("options")));
+        } else {
+            panic!("expected Changed");
+        }
+    }
+
+    #[test]
+    fn added_nodes_listed() {
+        let d = GTreeDiff::compute(&v1(), &v2());
+        assert_eq!(d.added_nodes(), vec!["asthma"]);
+    }
+
+    #[test]
+    fn identical_trees_all_unchanged() {
+        let d = GTreeDiff::compute(&v1(), &v1());
+        assert!(d.changes.values().all(|c| *c == NodeChange::Unchanged));
+        assert!(d.broken_nodes().is_empty());
+    }
+}

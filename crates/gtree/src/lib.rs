@@ -1,0 +1,33 @@
+//! # guava-gtree
+//!
+//! GUAVA trees (g-trees): the paper's central artifact. A g-tree mirrors a
+//! reporting tool's user interface — one node per control, including purely
+//! visual ones — and records each control's *context*: exact question
+//! wording, answer options, default, required flag, and enablement
+//! dependencies. Analysts explore the g-tree instead of the physical
+//! database, and classifiers reference its nodes.
+//!
+//! * [`tree::GTree::derive`] plays the paper's IDE-extension role
+//!   (Hypothesis #1): total, automatic derivation from a
+//!   [`guava_forms::ReportingTool`].
+//! * [`query::GTreeQuery`] expresses "view" queries against nodes,
+//!   compiling to plans over the naïve schema (which `guava-patterns`
+//!   rewrites to the physical database).
+//! * [`diff::GTreeDiff`] compares tool versions to drive classifier
+//!   propagation (Section 6 future work).
+
+pub mod diff;
+pub mod node;
+pub mod query;
+pub mod tree;
+pub mod xml;
+
+pub mod prelude {
+    pub use crate::diff::{GTreeDiff, NodeChange};
+    pub use crate::node::{GNode, GNodeKind};
+    pub use crate::query::GTreeQuery;
+    pub use crate::tree::{GTree, GTreeError};
+    pub use crate::xml::{from_xml, to_xml};
+}
+
+pub use prelude::*;

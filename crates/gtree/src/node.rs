@@ -1,0 +1,188 @@
+//! G-tree nodes: the context records of GUAVA.
+//!
+//! "Each node in a g-tree captures context information about a control on
+//! the interface, including the exact wording of a control's question and
+//! answer options, whether there is a default value, and whether the
+//! control is required to be filled in" (Section 3.2, Figure 3).
+
+use guava_forms::control::{ChoiceOption, EnableRule};
+use guava_relational::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// What UI artifact a node describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GNodeKind {
+    /// The whole reporting tool (tree root).
+    Tool,
+    /// One form/screen — the nodes entity classifiers must reference.
+    Form,
+    /// A data-bearing control (an *attribute* node).
+    Attribute,
+    /// A dataless control (group box, label): pure context.
+    Decoration,
+}
+
+/// One node of a g-tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GNode {
+    /// Unique name within the tree; classifiers reference nodes by name.
+    pub name: String,
+    pub kind: GNodeKind,
+    /// The UI control class ("RadioGroup", "GroupBox", ...), or "Form"/"Tool".
+    pub control_class: String,
+    /// The exact question wording (or window/group title).
+    pub question: String,
+    /// Answer options: display caption plus the value the tool stores.
+    /// Radio lists additionally start *unselected* — represented by
+    /// [`GNode::unselected_option`].
+    pub options: Vec<ChoiceOption>,
+    /// Whether a radio list exposes an implicit "unselected" state
+    /// (Figure 3b) and whether a drop-down accepts free text (Figure 3a).
+    pub unselected_option: bool,
+    pub free_text_option: bool,
+    /// Database type of the stored value (attribute nodes only).
+    pub data_type: Option<DataType>,
+    pub default: Option<Value>,
+    pub required: bool,
+    /// Enablement dependency, verbatim from the UI (Figure 3c).
+    pub enable: Option<EnableRule>,
+    /// The form whose naïve-schema table holds this node's data (attribute
+    /// nodes), or the form itself (form nodes). Empty for the tool root.
+    pub source_form: String,
+    pub children: Vec<GNode>,
+}
+
+impl GNode {
+    /// Depth-first iteration over this node and all descendants.
+    pub fn walk(&self) -> impl Iterator<Item = &GNode> {
+        let mut stack = vec![self];
+        std::iter::from_fn(move || {
+            let next = stack.pop()?;
+            for c in next.children.iter().rev() {
+                stack.push(c);
+            }
+            Some(next)
+        })
+    }
+
+    /// Does this node hold queryable data?
+    pub fn is_attribute(&self) -> bool {
+        self.kind == GNodeKind::Attribute
+    }
+
+    pub fn is_form(&self) -> bool {
+        self.kind == GNodeKind::Form
+    }
+
+    /// The node detail rendering of Figure 3: everything an analyst sees
+    /// when inspecting one control's context.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Node: {} [{}]\n", self.name, self.control_class));
+        out.push_str(&format!("  Question: \"{}\"\n", self.question));
+        if let Some(t) = self.data_type {
+            out.push_str(&format!("  Stores: {t}\n"));
+        }
+        if !self.options.is_empty() {
+            out.push_str("  Options:\n");
+            for o in &self.options {
+                out.push_str(&format!("    \"{}\" -> {}\n", o.caption, o.stored));
+            }
+            if self.unselected_option {
+                out.push_str("    (unselected) -> NULL\n");
+            }
+            if self.free_text_option {
+                out.push_str("    (free text) -> TEXT\n");
+            }
+        }
+        if let Some(d) = &self.default {
+            out.push_str(&format!("  Default: {d}\n"));
+        }
+        if self.required {
+            out.push_str("  Required: yes\n");
+        }
+        if let Some(rule) = &self.enable {
+            out.push_str(&format!(
+                "  Enablement: {}\n",
+                rule.when.describe(&rule.controller)
+            ));
+        }
+        out
+    }
+
+    /// Context-equality for classifier propagation (Section 6): two nodes
+    /// are *semantically unchanged* when everything an analyst relied on —
+    /// question wording, options, type, enablement — is identical. Children
+    /// are ignored: a node keeps its meaning even if new sub-questions
+    /// appear beneath it.
+    pub fn same_context(&self, other: &GNode) -> bool {
+        self.name == other.name
+            && self.kind == other.kind
+            && self.question == other.question
+            && self.options == other.options
+            && self.unselected_option == other.unselected_option
+            && self.free_text_option == other.free_text_option
+            && self.data_type == other.data_type
+            && self.default == other.default
+            && self.required == other.required
+            && self.enable == other.enable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(name: &str) -> GNode {
+        GNode {
+            name: name.into(),
+            kind: GNodeKind::Attribute,
+            control_class: "CheckBox".into(),
+            question: format!("{name}?"),
+            options: Vec::new(),
+            unselected_option: false,
+            free_text_option: false,
+            data_type: Some(DataType::Bool),
+            default: None,
+            required: false,
+            enable: None,
+            source_form: "f".into(),
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn walk_document_order() {
+        let mut root = leaf("root");
+        root.children = vec![leaf("a"), leaf("b")];
+        root.children[0].children = vec![leaf("a1")];
+        let names: Vec<&str> = root.walk().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["root", "a", "a1", "b"]);
+    }
+
+    #[test]
+    fn describe_mentions_question_and_options() {
+        let mut n = leaf("alcohol");
+        n.control_class = "DropDownList".into();
+        n.options = vec![
+            ChoiceOption::new("None", 0i64),
+            ChoiceOption::new("Light", 1i64),
+        ];
+        n.free_text_option = true;
+        let d = n.describe();
+        assert!(d.contains("alcohol?"));
+        assert!(d.contains("\"None\" -> 0"));
+        assert!(d.contains("(free text)"));
+    }
+
+    #[test]
+    fn same_context_ignores_children() {
+        let a = leaf("x");
+        let mut b = leaf("x");
+        b.children = vec![leaf("new_child")];
+        assert!(a.same_context(&b));
+        let mut c = leaf("x");
+        c.question = "different wording".into();
+        assert!(!a.same_context(&c));
+    }
+}

@@ -1,0 +1,218 @@
+//! Queries addressed to g-tree nodes.
+//!
+//! "The g-tree behaves like a view; when analysts write classifiers, they
+//! express queries against the g-trees" (Section 3.2). A [`GTreeQuery`]
+//! names the attribute nodes an analyst wants, plus a filter predicate,
+//! and compiles to a relational plan over the *naïve schema* — the
+//! in-memory form layout. The `guava-patterns` crate then rewrites that
+//! naïve plan into one against the contributor's physical database.
+
+use crate::tree::{GTree, GTreeError};
+use guava_forms::form::INSTANCE_ID;
+use guava_relational::algebra::Plan;
+use guava_relational::expr::Expr;
+use serde::{Deserialize, Serialize};
+
+/// A query against one form's subtree of the g-tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GTreeQuery {
+    /// The form node whose instances are being queried.
+    pub form: String,
+    /// Attribute nodes to return, in order. The instance id is always
+    /// included implicitly so results stay entity-identifiable.
+    pub nodes: Vec<String>,
+    /// Optional filter over attribute nodes of the same form.
+    pub predicate: Option<Expr>,
+}
+
+impl GTreeQuery {
+    pub fn new(form: impl Into<String>, nodes: Vec<impl Into<String>>) -> GTreeQuery {
+        GTreeQuery {
+            form: form.into(),
+            nodes: nodes.into_iter().map(Into::into).collect(),
+            predicate: None,
+        }
+    }
+
+    pub fn with_predicate(mut self, predicate: Expr) -> GTreeQuery {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    /// Validate the query against a g-tree: the form node must exist and be
+    /// a form; every selected or filtered node must be an attribute of that
+    /// form. This is the check that keeps classifiers meaningful — they may
+    /// only talk about data the UI actually captures.
+    pub fn validate(&self, tree: &GTree) -> Result<(), GTreeError> {
+        let form = tree.node(&self.form)?;
+        if !form.is_form() {
+            return Err(GTreeError::UnknownNode(format!(
+                "`{}` is not a form node",
+                self.form
+            )));
+        }
+        let mut referenced: Vec<&str> = self.nodes.iter().map(String::as_str).collect();
+        let pred_cols: Vec<String>;
+        if let Some(p) = &self.predicate {
+            pred_cols = p
+                .referenced_columns()
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect();
+            referenced.extend(pred_cols.iter().map(String::as_str));
+        }
+        for name in referenced {
+            let node = tree.node(name)?;
+            if !node.is_attribute() {
+                return Err(GTreeError::UnknownNode(format!(
+                    "`{name}` is not an attribute node"
+                )));
+            }
+            if node.source_form != self.form {
+                return Err(GTreeError::UnknownNode(format!(
+                    "node `{name}` belongs to form `{}`, not `{}`",
+                    node.source_form, self.form
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile to a plan over the naïve schema: scan the form's table,
+    /// apply the predicate, project the instance id plus requested nodes.
+    pub fn to_naive_plan(&self) -> Plan {
+        let mut plan = Plan::scan(self.form.clone());
+        if let Some(p) = &self.predicate {
+            plan = plan.select(p.clone());
+        }
+        let mut columns: Vec<(String, Expr)> =
+            vec![(INSTANCE_ID.to_owned(), Expr::col(INSTANCE_ID))];
+        for n in &self.nodes {
+            columns.push((n.clone(), Expr::col(n.clone())));
+        }
+        Plan::Project {
+            input: Box::new(plan),
+            columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guava_forms::control::{ChoiceOption, Control};
+    use guava_forms::form::{FormDef, ReportingTool};
+    use guava_relational::prelude::*;
+
+    fn tree() -> GTree {
+        let tool = ReportingTool::new(
+            "cori",
+            "1.0",
+            vec![
+                FormDef::new(
+                    "procedure",
+                    "Procedure",
+                    vec![
+                        Control::radio(
+                            "smoking",
+                            "Smoke?",
+                            vec![
+                                ChoiceOption::new("No", 0i64),
+                                ChoiceOption::new("Yes", 1i64),
+                            ],
+                        ),
+                        Control::numeric("packs", "Packs/day", DataType::Float),
+                        Control::group("box", "Decoration"),
+                    ],
+                ),
+                FormDef::new(
+                    "medication",
+                    "Medication",
+                    vec![Control::text_box("drug", "Drug")],
+                ),
+            ],
+        );
+        GTree::derive(&tool).unwrap()
+    }
+
+    fn naive_db() -> Database {
+        let mut db = Database::new("naive");
+        let schema = Schema::new(
+            "procedure",
+            vec![
+                Column::required(INSTANCE_ID, DataType::Int),
+                Column::new("smoking", DataType::Int),
+                Column::new("packs", DataType::Float),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&[INSTANCE_ID])
+        .unwrap();
+        db.create_table(
+            Table::from_rows(
+                schema,
+                vec![
+                    vec![1.into(), 1.into(), Value::Float(2.0)],
+                    vec![2.into(), 0.into(), Value::Null],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn valid_query_passes_and_evaluates() {
+        let t = tree();
+        let q = GTreeQuery::new("procedure", vec!["smoking", "packs"])
+            .with_predicate(Expr::col("smoking").eq(Expr::lit(1i64)));
+        q.validate(&t).unwrap();
+        let result = q.to_naive_plan().eval(&naive_db()).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(
+            result.schema().column_names(),
+            vec![INSTANCE_ID, "smoking", "packs"]
+        );
+    }
+
+    #[test]
+    fn non_form_target_rejected() {
+        let t = tree();
+        let q = GTreeQuery::new("smoking", vec!["packs"]);
+        assert!(q.validate(&t).is_err());
+    }
+
+    #[test]
+    fn decoration_node_rejected() {
+        let t = tree();
+        let q = GTreeQuery::new("procedure", vec!["box"]);
+        assert!(q.validate(&t).is_err());
+    }
+
+    #[test]
+    fn cross_form_node_rejected() {
+        let t = tree();
+        let q = GTreeQuery::new("procedure", vec!["drug"]);
+        assert!(q.validate(&t).is_err());
+    }
+
+    #[test]
+    fn predicate_nodes_validated_too() {
+        let t = tree();
+        let q = GTreeQuery::new("procedure", vec!["packs"])
+            .with_predicate(Expr::col("drug").is_not_null());
+        assert!(q.validate(&t).is_err());
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let t = tree();
+        assert!(GTreeQuery::new("procedure", vec!["ghost"])
+            .validate(&t)
+            .is_err());
+        assert!(GTreeQuery::new("ghost_form", vec!["packs"])
+            .validate(&t)
+            .is_err());
+    }
+}

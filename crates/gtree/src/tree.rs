@@ -1,0 +1,372 @@
+//! The g-tree itself: derivation from a reporting tool (Hypothesis #1),
+//! lookup, rendering (Figure 2), and persistence.
+
+use crate::node::{GNode, GNodeKind};
+use guava_forms::control::{Control, ControlKind};
+use guava_forms::form::{FormDef, ReportingTool};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised while deriving or loading a g-tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GTreeError {
+    /// Two controls across forms share a name; classifiers reference nodes
+    /// by name, so names must be tree-unique.
+    AmbiguousNode(String),
+    UnknownNode(String),
+    Persist(String),
+}
+
+impl fmt::Display for GTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GTreeError::AmbiguousNode(n) => {
+                write!(f, "node name `{n}` appears more than once in the g-tree")
+            }
+            GTreeError::UnknownNode(n) => write!(f, "no g-tree node named `{n}`"),
+            GTreeError::Persist(m) => write!(f, "persistence error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GTreeError {}
+
+/// A GUAVA tree for one contributor tool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GTree {
+    /// Contributor/tool name — also the contributor database name.
+    pub tool: String,
+    pub version: String,
+    pub root: GNode,
+}
+
+impl GTree {
+    /// Derive a g-tree from a reporting tool definition — the role the
+    /// paper's IDE extension plays (Hypothesis #1). The derivation is
+    /// *total*: every control becomes a node, including dataless group
+    /// boxes ("there is a node in the g-tree for every control on the
+    /// screen"), and nesting mirrors both layout containment and
+    /// enablement ("the frequency node appears as a child of the smoking
+    /// node").
+    pub fn derive(tool: &ReportingTool) -> Result<GTree, GTreeError> {
+        let root = GNode {
+            name: tool.name.clone(),
+            kind: GNodeKind::Tool,
+            control_class: "Tool".into(),
+            question: format!("{} v{}", tool.name, tool.version),
+            options: Vec::new(),
+            unselected_option: false,
+            free_text_option: false,
+            data_type: None,
+            default: None,
+            required: false,
+            enable: None,
+            source_form: String::new(),
+            children: tool.forms.iter().map(derive_form).collect(),
+        };
+        let tree = GTree {
+            tool: tool.name.clone(),
+            version: tool.version.clone(),
+            root,
+        };
+        tree.check_unique_names()?;
+        Ok(tree)
+    }
+
+    fn check_unique_names(&self) -> Result<(), GTreeError> {
+        let mut seen = BTreeMap::new();
+        for n in self.root.walk() {
+            if seen.insert(n.name.as_str(), ()).is_some() {
+                return Err(GTreeError::AmbiguousNode(n.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Look a node up by name.
+    pub fn node(&self, name: &str) -> Result<&GNode, GTreeError> {
+        self.root
+            .walk()
+            .find(|n| n.name == name)
+            .ok_or_else(|| GTreeError::UnknownNode(name.to_owned()))
+    }
+
+    /// All attribute nodes (data-bearing controls) in document order.
+    pub fn attributes(&self) -> Vec<&GNode> {
+        self.root.walk().filter(|n| n.is_attribute()).collect()
+    }
+
+    /// All form nodes.
+    pub fn forms(&self) -> Vec<&GNode> {
+        self.root.walk().filter(|n| n.is_form()).collect()
+    }
+
+    /// The form node owning an attribute node.
+    pub fn form_of(&self, attribute: &str) -> Result<&GNode, GTreeError> {
+        let a = self.node(attribute)?;
+        if a.source_form.is_empty() {
+            return Err(GTreeError::UnknownNode(format!(
+                "{attribute} has no source form"
+            )));
+        }
+        self.node(&a.source_form)
+    }
+
+    /// Figure-2-style ASCII rendering of the tree shape.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_node(&self.root, "", true, &mut out);
+        out
+    }
+
+    /// Persist as JSON (our stand-in for the prototype's XML Schema files).
+    pub fn to_json(&self) -> Result<String, GTreeError> {
+        serde_json::to_string_pretty(self).map_err(|e| GTreeError::Persist(e.to_string()))
+    }
+
+    pub fn from_json(json: &str) -> Result<GTree, GTreeError> {
+        let tree: GTree =
+            serde_json::from_str(json).map_err(|e| GTreeError::Persist(e.to_string()))?;
+        tree.check_unique_names()?;
+        Ok(tree)
+    }
+
+    /// Export as a hierarchical XML document, mimicking the paper's choice
+    /// to store g-trees "as an XML Schema, which mimics the hierarchical
+    /// nature of the form interface". Round-trips via [`GTree::from_xml_doc`].
+    pub fn to_xml(&self) -> String {
+        crate::xml::to_xml(self)
+    }
+
+    /// Parse a g-tree from the XML produced by [`GTree::to_xml`].
+    pub fn from_xml_doc(xml: &str) -> Result<GTree, GTreeError> {
+        let tree = crate::xml::from_xml(xml)?;
+        tree.check_unique_names()?;
+        Ok(tree)
+    }
+}
+
+fn derive_form(form: &FormDef) -> GNode {
+    GNode {
+        name: form.id.clone(),
+        kind: GNodeKind::Form,
+        control_class: "Form".into(),
+        question: form.title.clone(),
+        options: Vec::new(),
+        unselected_option: false,
+        free_text_option: false,
+        data_type: None,
+        default: None,
+        required: false,
+        enable: None,
+        source_form: form.id.clone(),
+        children: form
+            .controls
+            .iter()
+            .map(|c| derive_control(c, &form.id))
+            .collect(),
+    }
+}
+
+fn derive_control(control: &Control, form_id: &str) -> GNode {
+    let (options, unselected, free_text) = match &control.kind {
+        ControlKind::RadioGroup { options } => (options.clone(), control.default.is_none(), false),
+        ControlKind::DropDownList {
+            options,
+            allows_other,
+        } => (options.clone(), false, *allows_other),
+        _ => (Vec::new(), false, false),
+    };
+    GNode {
+        name: control.id.clone(),
+        kind: if control.kind.stores_data() {
+            GNodeKind::Attribute
+        } else {
+            GNodeKind::Decoration
+        },
+        control_class: control.kind.name().into(),
+        question: control.caption.clone(),
+        options,
+        unselected_option: unselected,
+        free_text_option: free_text,
+        data_type: control.kind.data_type(),
+        default: control.default.clone(),
+        required: control.required,
+        enable: control.enable.clone(),
+        source_form: form_id.to_owned(),
+        children: control
+            .children
+            .iter()
+            .map(|c| derive_control(c, form_id))
+            .collect(),
+    }
+}
+
+fn render_node(node: &GNode, prefix: &str, last: bool, out: &mut String) {
+    let is_root = prefix.is_empty() && node.kind == GNodeKind::Tool;
+    let connector = if is_root {
+        ""
+    } else if last {
+        "└── "
+    } else {
+        "├── "
+    };
+    let marker = match node.kind {
+        GNodeKind::Tool => "*",
+        GNodeKind::Form => "▣",
+        GNodeKind::Attribute => "•",
+        GNodeKind::Decoration => "◦",
+    };
+    out.push_str(&format!(
+        "{prefix}{connector}{marker} {} ({})\n",
+        node.name, node.control_class
+    ));
+    let child_prefix = if is_root {
+        String::new()
+    } else {
+        format!("{prefix}{}", if last { "    " } else { "│   " })
+    };
+    for (i, c) in node.children.iter().enumerate() {
+        render_node(c, &child_prefix, i + 1 == node.children.len(), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guava_forms::control::{ChoiceOption, EnableWhen};
+    use guava_relational::value::{DataType, Value};
+
+    /// The Figure 2 dialog: procedure form with complications and medical
+    /// history group boxes; frequency nested under smoking.
+    fn tool() -> ReportingTool {
+        ReportingTool::new(
+            "cori",
+            "1.0",
+            vec![FormDef::new(
+                "procedure",
+                "Procedure",
+                vec![
+                    Control::group("complications", "Complications")
+                        .child(Control::check_box("hypoxia", "Hypoxia"))
+                        .child(Control::check_box("surgeon_consulted", "Surgeon Consulted"))
+                        .child(Control::text_box("other_complication", "Other")),
+                    Control::group("medical_history", "Medical History")
+                        .child(Control::check_box("renal_failure", "Renal Failure"))
+                        .child(
+                            Control::radio(
+                                "smoking",
+                                "Does the patient smoke?",
+                                vec![
+                                    ChoiceOption::new("No", 0i64),
+                                    ChoiceOption::new("Yes", 1i64),
+                                ],
+                            )
+                            .child(
+                                Control::numeric("frequency", "Packs per day", DataType::Float)
+                                    .enabled_when("smoking", EnableWhen::Equals(Value::Int(1))),
+                            ),
+                        )
+                        .child(Control::drop_down(
+                            "alcohol",
+                            "Alcohol use",
+                            vec![
+                                ChoiceOption::new("None", 0i64),
+                                ChoiceOption::new("Light", 1i64),
+                                ChoiceOption::new("Heavy", 2i64),
+                            ],
+                        )),
+                ],
+            )],
+        )
+    }
+
+    #[test]
+    fn derivation_is_total() {
+        let t = tool();
+        let g = GTree::derive(&t).unwrap();
+        // Every control (9, incl. both group boxes) + form + tool root.
+        assert_eq!(g.root.walk().count(), 11);
+        // Group boxes present as decoration nodes.
+        assert_eq!(g.node("complications").unwrap().kind, GNodeKind::Decoration);
+    }
+
+    #[test]
+    fn frequency_is_child_of_smoking() {
+        let g = GTree::derive(&tool()).unwrap();
+        let smoking = g.node("smoking").unwrap();
+        assert_eq!(smoking.children.len(), 1);
+        assert_eq!(smoking.children[0].name, "frequency");
+        let rule = smoking.children[0].enable.as_ref().unwrap();
+        assert_eq!(rule.controller, "smoking");
+    }
+
+    #[test]
+    fn radio_has_unselected_option() {
+        let g = GTree::derive(&tool()).unwrap();
+        assert!(g.node("smoking").unwrap().unselected_option, "Figure 3b");
+        assert!(!g.node("alcohol").unwrap().unselected_option);
+    }
+
+    #[test]
+    fn attributes_and_forms_partition() {
+        let g = GTree::derive(&tool()).unwrap();
+        assert_eq!(g.attributes().len(), 7);
+        assert_eq!(g.forms().len(), 1);
+        assert_eq!(g.form_of("frequency").unwrap().name, "procedure");
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let g = GTree::derive(&tool()).unwrap();
+        assert!(matches!(g.node("ghost"), Err(GTreeError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn duplicate_names_across_forms_rejected() {
+        let t = ReportingTool::new(
+            "dup",
+            "1",
+            vec![
+                FormDef::new("f1", "F1", vec![Control::check_box("x", "a")]),
+                FormDef::new("f2", "F2", vec![Control::check_box("x", "b")]),
+            ],
+        );
+        assert!(matches!(
+            GTree::derive(&t),
+            Err(GTreeError::AmbiguousNode(_))
+        ));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = GTree::derive(&tool()).unwrap();
+        let j = g.to_json().unwrap();
+        let back = GTree::from_json(&j).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn render_shows_hierarchy() {
+        let g = GTree::derive(&tool()).unwrap();
+        let r = g.render();
+        assert!(r.contains("cori"));
+        assert!(r.contains("smoking"));
+        assert!(r.contains("frequency"));
+    }
+
+    #[test]
+    fn xml_export_escapes_nests_and_roundtrips() {
+        let g = GTree::derive(&tool()).unwrap();
+        let x = g.to_xml();
+        assert!(x.starts_with("<?xml"));
+        assert!(x.contains("<gtree tool=\"cori\""));
+        assert!(x.contains("question=\"Packs per day\""));
+        assert!(x.contains("<option caption=\"Heavy\" stored=\"2\" stored_type=\"INT\"/>"));
+        assert!(x.contains("<enable controller=\"smoking\""));
+        // And the document parses back into an equivalent tree.
+        let back = GTree::from_xml_doc(&x).unwrap();
+        assert_eq!(back.root.children, g.root.children);
+    }
+}

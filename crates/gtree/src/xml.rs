@@ -1,0 +1,592 @@
+//! XML persistence for g-trees.
+//!
+//! "The g-tree is stored as an XML Schema, which mimics the hierarchical
+//! nature of the form interface" (Section 4.2). This module emits a
+//! self-contained XML document for a g-tree and parses it back — a full
+//! round trip, so XML is a first-class storage format (JSON via serde is
+//! the other). The parser is a minimal, dependency-free XML subset reader:
+//! elements, attributes, self-closing tags, comments, and the XML
+//! declaration — exactly what the emitter produces.
+
+use crate::node::{GNode, GNodeKind};
+use crate::tree::{GTree, GTreeError};
+use guava_forms::control::{ChoiceOption, EnableRule, EnableWhen};
+use guava_relational::algebra::cast_text;
+use guava_relational::value::{DataType, Value};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"")
+        .replace("&gt;", ">")
+        .replace("&lt;", "<")
+        .replace("&amp;", "&")
+}
+
+fn value_attrs(prefix: &str, v: &Value) -> String {
+    match v.data_type() {
+        Some(t) => format!(
+            " {prefix}=\"{}\" {prefix}_type=\"{t}\"",
+            escape(&v.to_string())
+        ),
+        None => format!(" {prefix}=\"\" {prefix}_type=\"NULL\""),
+    }
+}
+
+fn kind_name(k: GNodeKind) -> &'static str {
+    match k {
+        GNodeKind::Tool => "tool",
+        GNodeKind::Form => "form",
+        GNodeKind::Attribute => "attribute",
+        GNodeKind::Decoration => "decoration",
+    }
+}
+
+/// Serialize a g-tree to a self-contained XML document.
+pub fn to_xml(tree: &GTree) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str(&format!(
+        "<gtree tool=\"{}\" version=\"{}\">\n",
+        escape(&tree.tool),
+        escape(&tree.version)
+    ));
+    for child in &tree.root.children {
+        emit_node(child, 1, &mut out);
+    }
+    out.push_str("</gtree>\n");
+    out
+}
+
+fn emit_node(node: &GNode, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&format!(
+        "{pad}<node name=\"{}\" kind=\"{}\" class=\"{}\" question=\"{}\" source_form=\"{}\"",
+        escape(&node.name),
+        kind_name(node.kind),
+        escape(&node.control_class),
+        escape(&node.question),
+        escape(&node.source_form),
+    ));
+    if let Some(t) = node.data_type {
+        out.push_str(&format!(" type=\"{t}\""));
+    }
+    if node.required {
+        out.push_str(" required=\"true\"");
+    }
+    if node.unselected_option {
+        out.push_str(" unselected=\"true\"");
+    }
+    if node.free_text_option {
+        out.push_str(" freetext=\"true\"");
+    }
+    if let Some(d) = &node.default {
+        out.push_str(&value_attrs("default", d));
+    }
+    let has_body = !node.options.is_empty() || !node.children.is_empty() || node.enable.is_some();
+    if !has_body {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push_str(">\n");
+    for o in &node.options {
+        out.push_str(&format!(
+            "{pad}  <option caption=\"{}\"{}/>\n",
+            escape(&o.caption),
+            value_attrs("stored", &o.stored)
+        ));
+    }
+    if let Some(rule) = &node.enable {
+        match &rule.when {
+            EnableWhen::Answered => out.push_str(&format!(
+                "{pad}  <enable controller=\"{}\" when=\"answered\"/>\n",
+                escape(&rule.controller)
+            )),
+            EnableWhen::Equals(v) => out.push_str(&format!(
+                "{pad}  <enable controller=\"{}\" when=\"equals\"{}/>\n",
+                escape(&rule.controller),
+                value_attrs("value", v)
+            )),
+            EnableWhen::OneOf(vs) => {
+                out.push_str(&format!(
+                    "{pad}  <enable controller=\"{}\" when=\"one_of\">\n",
+                    escape(&rule.controller)
+                ));
+                for v in vs {
+                    out.push_str(&format!("{pad}    <value{}/>\n", value_attrs("value", v)));
+                }
+                out.push_str(&format!("{pad}  </enable>\n"));
+            }
+        }
+    }
+    for c in &node.children {
+        emit_node(c, depth + 1, out);
+    }
+    out.push_str(&format!("{pad}</node>\n"));
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum XmlEvent {
+    Open {
+        name: String,
+        attrs: BTreeMap<String, String>,
+        self_closing: bool,
+    },
+    Close {
+        name: String,
+    },
+}
+
+fn parse_err(msg: impl Into<String>) -> GTreeError {
+    GTreeError::Persist(msg.into())
+}
+
+/// A deliberately small XML tokenizer: tags, attributes, comments, the
+/// declaration. Text content between tags is ignored (the emitter writes
+/// none).
+fn tokenize(src: &str) -> Result<Vec<XmlEvent>, GTreeError> {
+    let bytes = src.as_bytes();
+    let mut events = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Declarations and comments.
+        if src[i..].starts_with("<?") {
+            let end = src[i..]
+                .find("?>")
+                .ok_or_else(|| parse_err("unterminated declaration"))?;
+            i += end + 2;
+            continue;
+        }
+        if src[i..].starts_with("<!--") {
+            let end = src[i..]
+                .find("-->")
+                .ok_or_else(|| parse_err("unterminated comment"))?;
+            i += end + 3;
+            continue;
+        }
+        let end = src[i..]
+            .find('>')
+            .ok_or_else(|| parse_err("unterminated tag"))?;
+        let tag = &src[i + 1..i + end];
+        i += end + 1;
+        if let Some(name) = tag.strip_prefix('/') {
+            events.push(XmlEvent::Close {
+                name: name.trim().to_owned(),
+            });
+            continue;
+        }
+        let (tag, self_closing) = match tag.strip_suffix('/') {
+            Some(t) => (t, true),
+            None => (tag, false),
+        };
+        let mut parts = tag.splitn(2, char::is_whitespace);
+        let name = parts.next().unwrap_or_default().trim().to_owned();
+        if name.is_empty() {
+            return Err(parse_err("empty tag name"));
+        }
+        let mut attrs = BTreeMap::new();
+        if let Some(rest) = parts.next() {
+            let mut chars = rest.char_indices().peekable();
+            while let Some(&(start, c)) = chars.peek() {
+                if c.is_whitespace() {
+                    chars.next();
+                    continue;
+                }
+                // attribute name up to '='
+                let eq = rest[start..]
+                    .find('=')
+                    .ok_or_else(|| parse_err(format!("attribute without value in <{name}>")))?;
+                let attr_name = rest[start..start + eq].trim().to_owned();
+                let after_eq = start + eq + 1;
+                let quote_rel = rest[after_eq..]
+                    .find('"')
+                    .ok_or_else(|| parse_err("attribute value must be quoted"))?;
+                let vstart = after_eq + quote_rel + 1;
+                let vend_rel = rest[vstart..]
+                    .find('"')
+                    .ok_or_else(|| parse_err("unterminated attribute value"))?;
+                let value = unescape(&rest[vstart..vstart + vend_rel]);
+                attrs.insert(attr_name, value);
+                // advance the iterator past the closing quote
+                let consumed_to = vstart + vend_rel + 1;
+                while let Some(&(p, _)) = chars.peek() {
+                    if p < consumed_to {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        events.push(XmlEvent::Open {
+            name,
+            attrs,
+            self_closing,
+        });
+    }
+    Ok(events)
+}
+
+fn parse_typed_value(
+    attrs: &BTreeMap<String, String>,
+    prefix: &str,
+) -> Result<Option<Value>, GTreeError> {
+    let Some(ty) = attrs.get(&format!("{prefix}_type")) else {
+        return Ok(None);
+    };
+    if ty == "NULL" {
+        return Ok(Some(Value::Null));
+    }
+    let raw = attrs
+        .get(prefix)
+        .ok_or_else(|| parse_err(format!("`{prefix}_type` without `{prefix}`")))?;
+    let dt = parse_data_type(ty)?;
+    cast_text(raw, dt)
+        .map(Some)
+        .map_err(|e| parse_err(e.to_string()))
+}
+
+fn parse_data_type(name: &str) -> Result<DataType, GTreeError> {
+    Ok(match name {
+        "BOOL" => DataType::Bool,
+        "INT" => DataType::Int,
+        "FLOAT" => DataType::Float,
+        "TEXT" => DataType::Text,
+        "DATE" => DataType::Date,
+        other => return Err(parse_err(format!("unknown data type `{other}`"))),
+    })
+}
+
+fn parse_kind(name: &str) -> Result<GNodeKind, GTreeError> {
+    Ok(match name {
+        "tool" => GNodeKind::Tool,
+        "form" => GNodeKind::Form,
+        "attribute" => GNodeKind::Attribute,
+        "decoration" => GNodeKind::Decoration,
+        other => return Err(parse_err(format!("unknown node kind `{other}`"))),
+    })
+}
+
+/// Parse a g-tree from the XML produced by [`to_xml`].
+pub fn from_xml(src: &str) -> Result<GTree, GTreeError> {
+    let events = tokenize(src)?;
+    let mut iter = events.into_iter().peekable();
+    // Root element.
+    let (tool, version) = match iter.next() {
+        Some(XmlEvent::Open {
+            name,
+            attrs,
+            self_closing: false,
+        }) if name == "gtree" => {
+            let tool = attrs
+                .get("tool")
+                .cloned()
+                .ok_or_else(|| parse_err("gtree missing `tool`"))?;
+            let version = attrs
+                .get("version")
+                .cloned()
+                .ok_or_else(|| parse_err("gtree missing `version`"))?;
+            (tool, version)
+        }
+        _ => return Err(parse_err("expected <gtree> root element")),
+    };
+    let mut children = Vec::new();
+    loop {
+        match iter.peek() {
+            Some(XmlEvent::Close { name }) if name == "gtree" => {
+                iter.next();
+                break;
+            }
+            Some(_) => children.push(parse_node(&mut iter)?),
+            None => return Err(parse_err("missing </gtree>")),
+        }
+    }
+    let root = GNode {
+        name: tool.clone(),
+        kind: GNodeKind::Tool,
+        control_class: "Tool".into(),
+        question: format!("{tool} v{version}"),
+        options: Vec::new(),
+        unselected_option: false,
+        free_text_option: false,
+        data_type: None,
+        default: None,
+        required: false,
+        enable: None,
+        source_form: String::new(),
+        children,
+    };
+    Ok(GTree {
+        tool,
+        version,
+        root,
+    })
+}
+
+fn parse_node(
+    iter: &mut std::iter::Peekable<std::vec::IntoIter<XmlEvent>>,
+) -> Result<GNode, GTreeError> {
+    let (attrs, self_closing) = match iter.next() {
+        Some(XmlEvent::Open {
+            name,
+            attrs,
+            self_closing,
+        }) if name == "node" => (attrs, self_closing),
+        other => return Err(parse_err(format!("expected <node>, got {other:?}"))),
+    };
+    let get = |k: &str| attrs.get(k).cloned().unwrap_or_default();
+    let mut node = GNode {
+        name: get("name"),
+        kind: parse_kind(&get("kind"))?,
+        control_class: get("class"),
+        question: get("question"),
+        options: Vec::new(),
+        unselected_option: attrs.get("unselected").map(String::as_str) == Some("true"),
+        free_text_option: attrs.get("freetext").map(String::as_str) == Some("true"),
+        data_type: attrs.get("type").map(|t| parse_data_type(t)).transpose()?,
+        default: parse_typed_value(&attrs, "default")?,
+        required: attrs.get("required").map(String::as_str) == Some("true"),
+        enable: None,
+        source_form: get("source_form"),
+        children: Vec::new(),
+    };
+    if node.name.is_empty() {
+        return Err(parse_err("node missing `name`"));
+    }
+    if self_closing {
+        return Ok(node);
+    }
+    loop {
+        match iter.peek() {
+            Some(XmlEvent::Close { name }) if name == "node" => {
+                iter.next();
+                return Ok(node);
+            }
+            Some(XmlEvent::Open { name, .. }) if name == "option" => {
+                let Some(XmlEvent::Open {
+                    attrs,
+                    self_closing,
+                    ..
+                }) = iter.next()
+                else {
+                    unreachable!()
+                };
+                if !self_closing {
+                    return Err(parse_err("<option> must be self-closing"));
+                }
+                let stored = parse_typed_value(&attrs, "stored")?
+                    .ok_or_else(|| parse_err("option missing stored value"))?;
+                node.options.push(ChoiceOption {
+                    caption: attrs.get("caption").cloned().unwrap_or_default(),
+                    stored,
+                });
+            }
+            Some(XmlEvent::Open { name, .. }) if name == "enable" => {
+                let Some(XmlEvent::Open {
+                    attrs,
+                    self_closing,
+                    ..
+                }) = iter.next()
+                else {
+                    unreachable!()
+                };
+                let controller = attrs
+                    .get("controller")
+                    .cloned()
+                    .ok_or_else(|| parse_err("enable missing controller"))?;
+                let when = match attrs.get("when").map(String::as_str) {
+                    Some("answered") => EnableWhen::Answered,
+                    Some("equals") => EnableWhen::Equals(
+                        parse_typed_value(&attrs, "value")?
+                            .ok_or_else(|| parse_err("equals rule missing value"))?,
+                    ),
+                    Some("one_of") => {
+                        if self_closing {
+                            return Err(parse_err("one_of rule needs <value> children"));
+                        }
+                        let mut values = Vec::new();
+                        loop {
+                            match iter.next() {
+                                Some(XmlEvent::Open {
+                                    name,
+                                    attrs,
+                                    self_closing: true,
+                                }) if name == "value" => {
+                                    values.push(
+                                        parse_typed_value(&attrs, "value")?
+                                            .ok_or_else(|| parse_err("value missing value"))?,
+                                    );
+                                }
+                                Some(XmlEvent::Close { name }) if name == "enable" => break,
+                                other => {
+                                    return Err(parse_err(format!(
+                                        "unexpected content in <enable>: {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                        node.enable = Some(EnableRule {
+                            controller,
+                            when: EnableWhen::OneOf(values),
+                        });
+                        continue;
+                    }
+                    other => return Err(parse_err(format!("unknown enable rule {other:?}"))),
+                };
+                if !self_closing {
+                    // consume the matching close tag
+                    match iter.next() {
+                        Some(XmlEvent::Close { name }) if name == "enable" => {}
+                        other => {
+                            return Err(parse_err(format!("expected </enable>, got {other:?}")))
+                        }
+                    }
+                }
+                node.enable = Some(EnableRule { controller, when });
+            }
+            Some(XmlEvent::Open { name, .. }) if name == "node" => {
+                node.children.push(parse_node(iter)?);
+            }
+            other => {
+                return Err(parse_err(format!(
+                    "unexpected content in <node>: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guava_forms::control::Control;
+    use guava_forms::form::{FormDef, ReportingTool};
+
+    fn tree() -> GTree {
+        GTree::derive(&ReportingTool::new(
+            "clinic \"demo\" & co",
+            "2.0",
+            vec![FormDef::new(
+                "visit",
+                "Visit <Procedure>",
+                vec![
+                    Control::group("history", "Medical History")
+                        .child(
+                            Control::radio(
+                                "smoking",
+                                "Does the patient smoke?",
+                                vec![
+                                    ChoiceOption::new("No", 0i64),
+                                    ChoiceOption::new("Yes", 1i64),
+                                ],
+                            )
+                            .child(
+                                Control::numeric("packs", "Packs per day", DataType::Float)
+                                    .enabled_when(
+                                        "smoking",
+                                        EnableWhen::OneOf(vec![Value::Int(1), Value::Int(2)]),
+                                    ),
+                            ),
+                        )
+                        .child(
+                            Control::drop_down(
+                                "alcohol",
+                                "Alcohol use",
+                                vec![
+                                    ChoiceOption::new("None", "none"),
+                                    ChoiceOption::new("A \"lot\"", "heavy"),
+                                ],
+                            )
+                            .allows_other(),
+                        ),
+                    Control::check_box("flag", "Checked by default?").with_default(true),
+                    Control::date_box("when", "When?").required(),
+                ],
+            )],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn xml_roundtrip_is_identity() {
+        let t = tree();
+        let xml = to_xml(&t);
+        let back = from_xml(&xml).unwrap_or_else(|e| panic!("{e}\n{xml}"));
+        // The root question carries the version banner; everything else is
+        // structural and must match exactly.
+        assert_eq!(back.tool, t.tool);
+        assert_eq!(back.version, t.version);
+        assert_eq!(back.root.children, t.root.children);
+    }
+
+    #[test]
+    fn escaping_survives() {
+        let t = tree();
+        let xml = to_xml(&t);
+        assert!(xml.contains("&quot;demo&quot; &amp; co"));
+        assert!(xml.contains("Visit &lt;Procedure&gt;"));
+        let back = from_xml(&xml).unwrap();
+        assert_eq!(back.tool, "clinic \"demo\" & co");
+        assert_eq!(back.node("visit").unwrap().question, "Visit <Procedure>");
+    }
+
+    #[test]
+    fn typed_values_roundtrip() {
+        let t = tree();
+        let back = from_xml(&to_xml(&t)).unwrap();
+        // Int-typed stored values, not strings.
+        let smoking = back.node("smoking").unwrap();
+        assert_eq!(smoking.options[1].stored, Value::Int(1));
+        // Text stored values for the drop-down.
+        let alcohol = back.node("alcohol").unwrap();
+        assert_eq!(alcohol.options[1].stored, Value::text("heavy"));
+        assert!(alcohol.free_text_option);
+        // Bool default.
+        assert_eq!(back.node("flag").unwrap().default, Some(Value::Bool(true)));
+        // OneOf enablement with typed values.
+        let packs = back.node("packs").unwrap();
+        assert_eq!(
+            packs.enable.as_ref().unwrap().when,
+            EnableWhen::OneOf(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_xml("not xml at all").is_err());
+        assert!(
+            from_xml("<gtree tool=\"t\" version=\"1\">").is_err(),
+            "missing close"
+        );
+        assert!(
+            from_xml("<gtree version=\"1\"></gtree>").is_err(),
+            "missing tool attr"
+        );
+        let bad_kind = "<gtree tool=\"t\" version=\"1\"><node name=\"x\" kind=\"banana\" class=\"c\" question=\"q\" source_form=\"f\"/></gtree>";
+        assert!(from_xml(bad_kind).is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace_tolerated() {
+        let xml = "<?xml version=\"1.0\"?>\n<!-- exported by guava -->\n<gtree tool=\"t\" version=\"1\">\n  <!-- a form -->\n  <node name=\"f\" kind=\"form\" class=\"Form\" question=\"F\" source_form=\"f\"/>\n</gtree>";
+        let t = from_xml(xml).unwrap();
+        assert_eq!(t.forms().len(), 1);
+    }
+}

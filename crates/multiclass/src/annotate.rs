@@ -1,0 +1,101 @@
+//! Annotations and provenance.
+//!
+//! "Anyone using the system can annotate and timestamp each of these
+//! artifacts, as well as the studies themselves, so that it is clear who
+//! generated them, when, and why" (Section 3).
+
+use serde::{Deserialize, Serialize};
+
+/// One annotation: author, ISO-8601 timestamp, free-text note. Timestamps
+/// are caller-supplied strings so artifact files stay deterministic and
+/// reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Annotation {
+    pub author: String,
+    pub timestamp: String,
+    pub note: String,
+}
+
+impl Annotation {
+    pub fn new(
+        author: impl Into<String>,
+        timestamp: impl Into<String>,
+        note: impl Into<String>,
+    ) -> Annotation {
+        Annotation {
+            author: author.into(),
+            timestamp: timestamp.into(),
+            note: note.into(),
+        }
+    }
+}
+
+/// A trail of annotations, newest last. Every MultiClass artifact carries
+/// one.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Provenance {
+    pub annotations: Vec<Annotation>,
+}
+
+impl Provenance {
+    pub fn new() -> Provenance {
+        Provenance::default()
+    }
+
+    pub fn annotate(&mut self, a: Annotation) {
+        self.annotations.push(a);
+    }
+
+    /// The creating annotation (first), if any.
+    pub fn created(&self) -> Option<&Annotation> {
+        self.annotations.first()
+    }
+
+    /// The most recent annotation, if any.
+    pub fn last_touched(&self) -> Option<&Annotation> {
+        self.annotations.last()
+    }
+
+    /// All distinct authors, in first-contribution order.
+    pub fn authors(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for a in &self.annotations {
+            if !out.contains(&a.author.as_str()) {
+                out.push(&a.author);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_tracks_order_and_authors() {
+        let mut p = Provenance::new();
+        p.annotate(Annotation::new(
+            "jterwill",
+            "2002-05-03T10:00:00",
+            "created for cancer study",
+        ));
+        p.annotate(Annotation::new("lmd", "2002-06-01T09:00:00", "reviewed"));
+        p.annotate(Annotation::new(
+            "jterwill",
+            "2002-07-01T12:00:00",
+            "tightened thresholds",
+        ));
+        assert_eq!(p.created().unwrap().note, "created for cancer study");
+        assert_eq!(p.last_touched().unwrap().timestamp, "2002-07-01T12:00:00");
+        assert_eq!(p.authors(), vec!["jterwill", "lmd"]);
+    }
+
+    #[test]
+    fn empty_provenance() {
+        let p = Provenance::new();
+        assert!(p.created().is_none());
+        assert!(p.last_touched().is_none());
+        assert!(p.authors().is_empty());
+    }
+}

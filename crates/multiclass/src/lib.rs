@@ -1,0 +1,39 @@
+//! # guava-multiclass
+//!
+//! The MultiClass component (paper Sections 3.3–3.4): study schemas,
+//! multi-domain attributes, and the classifier language that lets domain
+//! experts "integrate and classify data again and again, as needed".
+//!
+//! * [`domain`] — alternative, mutually lossy representations of an
+//!   attribute (Table 2).
+//! * [`study_schema`] — hierarchical has-a entity trees with multi-domain
+//!   attributes (Figure 4).
+//! * [`lang`] — parser for the `A ← B` guarded-rule language (Figure 5).
+//! * [`classifier`] — classifiers and entity classifiers, bound against a
+//!   g-tree + study schema into executable form.
+//! * [`study`] — study definitions and the classifier/study registries
+//!   that make integration decisions documentable and reusable.
+//! * [`propagate`] — classifier propagation across tool versions (§6).
+//! * [`annotate`] — who/when/why provenance on every artifact.
+
+pub mod annotate;
+pub mod classifier;
+pub mod domain;
+pub mod lang;
+pub mod propagate;
+pub mod study;
+pub mod study_schema;
+
+pub mod prelude {
+    pub use crate::annotate::{Annotation, Provenance};
+    pub use crate::classifier::{BoundClassifier, Classifier, ClassifierError, Rule, Target};
+    pub use crate::domain::{Domain, DomainSpec};
+    pub use crate::lang::{parse_expr, parse_rule, ParseError};
+    pub use crate::propagate::{PropagationReport, PropagationVerdict};
+    pub use crate::study::{
+        ClassifierRegistry, ContributorSelection, Study, StudyColumn, StudyRegistry,
+    };
+    pub use crate::study_schema::{AttributeDef, EntityDef, SchemaError, StudySchema};
+}
+
+pub use prelude::*;

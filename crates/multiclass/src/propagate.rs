@@ -1,0 +1,176 @@
+//! Classifier propagation across reporting-tool versions.
+//!
+//! Section 6 (future work): "handling new versions of a reporting tool by
+//! propagating classifiers to the next version if their input nodes did
+//! not change, and suggest new classifiers if there is a change."
+
+use crate::classifier::Classifier;
+use guava_gtree::diff::{GTreeDiff, NodeChange};
+use serde::{Deserialize, Serialize};
+
+/// The verdict for one classifier against a tool upgrade.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PropagationVerdict {
+    /// All input nodes unchanged: the classifier carries over as-is.
+    Propagate,
+    /// Some input node's context changed or vanished; the analyst must
+    /// review. Lists `(node, what happened)`.
+    NeedsReview(Vec<(String, String)>),
+}
+
+/// The report for a set of classifiers against one tool upgrade.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropagationReport {
+    pub old_version: String,
+    pub new_version: String,
+    /// Classifier name → verdict.
+    pub verdicts: Vec<(String, PropagationVerdict)>,
+    /// Nodes new in this version — prompts to "suggest new classifiers".
+    pub new_nodes: Vec<String>,
+}
+
+impl PropagationReport {
+    /// Evaluate every classifier's input nodes against the diff.
+    pub fn compute(classifiers: &[&Classifier], diff: &GTreeDiff) -> PropagationReport {
+        let mut verdicts = Vec::with_capacity(classifiers.len());
+        for c in classifiers {
+            let is_cleaner = matches!(c.target, crate::classifier::Target::Cleaner { .. });
+            let mut problems: Vec<(String, String)> = Vec::new();
+            for node in c.referenced_nodes() {
+                if is_cleaner && node.eq_ignore_ascii_case(crate::classifier::DISCARD) {
+                    continue; // reserved cleaning token, not a g-tree node
+                }
+                match diff.changes.get(node) {
+                    Some(NodeChange::Unchanged) => {}
+                    Some(NodeChange::Removed) => {
+                        problems.push((node.to_owned(), "removed in new version".into()))
+                    }
+                    Some(NodeChange::Changed(reasons)) => {
+                        problems.push((node.to_owned(), reasons.join("; ")))
+                    }
+                    Some(NodeChange::Added) | None => {
+                        // A node the old tree never had: the classifier was
+                        // broken already; flag it.
+                        problems.push((node.to_owned(), "not present in old version".into()))
+                    }
+                }
+            }
+            let verdict = if problems.is_empty() {
+                PropagationVerdict::Propagate
+            } else {
+                PropagationVerdict::NeedsReview(problems)
+            };
+            verdicts.push((c.name.clone(), verdict));
+        }
+        PropagationReport {
+            old_version: diff.old_version.clone(),
+            new_version: diff.new_version.clone(),
+            verdicts,
+            new_nodes: diff.added_nodes().iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    /// Classifiers that carry over untouched.
+    pub fn propagated(&self) -> Vec<&str> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| *v == PropagationVerdict::Propagate)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Classifiers needing analyst review.
+    pub fn needing_review(&self) -> Vec<&str> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| matches!(v, PropagationVerdict::NeedsReview(_)))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Target;
+    use guava_forms::control::{ChoiceOption, Control};
+    use guava_forms::form::{FormDef, ReportingTool};
+    use guava_gtree::tree::GTree;
+    use guava_relational::value::DataType;
+
+    fn v(version: &str, smoking_options: usize, with_asthma: bool) -> GTree {
+        let mut controls = vec![
+            Control::check_box("hypoxia", "Hypoxia?"),
+            Control::radio(
+                "smoking",
+                "Smoke?",
+                (0..smoking_options)
+                    .map(|i| ChoiceOption::new(format!("opt{i}"), i as i64))
+                    .collect(),
+            ),
+            Control::numeric("packs", "Packs per day", DataType::Int),
+        ];
+        if with_asthma {
+            controls.push(Control::check_box("asthma", "Asthma?"));
+        }
+        GTree::derive(&ReportingTool::new(
+            "t",
+            version,
+            vec![FormDef::new("proc", "Procedure", controls)],
+        ))
+        .unwrap()
+    }
+
+    fn classifier(name: &str, rules: &[&str]) -> Classifier {
+        Classifier::parse_rules(
+            name,
+            "t",
+            "",
+            Target::Domain {
+                entity: "P".into(),
+                attribute: "A".into(),
+                domain: "D".into(),
+            },
+            rules,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unchanged_inputs_propagate() {
+        let diff = GTreeDiff::compute(&v("1.0", 2, false), &v("2.0", 3, true));
+        let packs_only = classifier("packs_cls", &["'x' <- packs > 0"]);
+        let smoking_dep = classifier("smoke_cls", &["'x' <- smoking = 1 AND packs > 0"]);
+        let report = PropagationReport::compute(&[&packs_only, &smoking_dep], &diff);
+        assert_eq!(report.propagated(), vec!["packs_cls"]);
+        assert_eq!(report.needing_review(), vec!["smoke_cls"]);
+        // The new `asthma` node is suggested for new classifiers.
+        assert_eq!(report.new_nodes, vec!["asthma"]);
+    }
+
+    #[test]
+    fn review_verdict_names_the_node_and_reason() {
+        let diff = GTreeDiff::compute(&v("1.0", 2, false), &v("2.0", 3, false));
+        let c = classifier("smoke_cls", &["'x' <- smoking = 1"]);
+        let report = PropagationReport::compute(&[&c], &diff);
+        match &report.verdicts[0].1 {
+            PropagationVerdict::NeedsReview(problems) => {
+                assert_eq!(problems[0].0, "smoking");
+                assert!(problems[0].1.contains("options"));
+            }
+            v => panic!("expected review, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_versions_propagate_everything() {
+        let diff = GTreeDiff::compute(&v("1.0", 2, false), &v("1.0", 2, false));
+        let c = classifier(
+            "c",
+            &["'x' <- smoking = 1 AND packs > 0 AND hypoxia = TRUE"],
+        );
+        let report = PropagationReport::compute(&[&c], &diff);
+        assert_eq!(report.propagated().len(), 1);
+        assert!(report.new_nodes.is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! Studies and the registries that make decisions reusable.
+//!
+//! "A study comprises all of the decisions that a data analyst makes from
+//! the time a request arrives to when final statistical analyses are run"
+//! (Section 2). A [`Study`] records which attributes/domains the analyst
+//! wants, which classifiers realize them per contributor, and a WHERE-style
+//! filter. Registries let analysts "look at other studies that use the
+//! same study schema to make informed decisions as to which classifiers to
+//! use" (Section 3).
+
+use crate::annotate::Provenance;
+use crate::classifier::{Classifier, Target};
+use guava_relational::expr::Expr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One column of a study's output: an attribute viewed through a domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudyColumn {
+    pub entity: String,
+    pub attribute: String,
+    pub domain: String,
+}
+
+impl StudyColumn {
+    pub fn new(
+        entity: impl Into<String>,
+        attribute: impl Into<String>,
+        domain: impl Into<String>,
+    ) -> StudyColumn {
+        StudyColumn {
+            entity: entity.into(),
+            attribute: attribute.into(),
+            domain: domain.into(),
+        }
+    }
+
+    /// Output column name in study result tables: `Attribute_domain`.
+    pub fn column_name(&self) -> String {
+        format!("{}_{}", self.attribute, self.domain)
+    }
+}
+
+impl fmt::Display for StudyColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{} : {}", self.entity, self.attribute, self.domain)
+    }
+}
+
+/// The classifier choices for one contributor within a study.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContributorSelection {
+    pub contributor: String,
+    /// Entity classifier names per entity (from the classifier registry).
+    pub entity_classifiers: Vec<String>,
+    /// Domain classifier names realizing the study's columns.
+    pub domain_classifiers: Vec<String>,
+    /// Cleaning classifier names (Section 6 extension): instances they
+    /// mark with DISCARD are dropped before entity selection.
+    #[serde(default)]
+    pub cleaning_classifiers: Vec<String>,
+}
+
+impl ContributorSelection {
+    pub fn new(
+        contributor: impl Into<String>,
+        entity_classifiers: Vec<String>,
+        domain_classifiers: Vec<String>,
+    ) -> ContributorSelection {
+        ContributorSelection {
+            contributor: contributor.into(),
+            entity_classifiers,
+            domain_classifiers,
+            cleaning_classifiers: Vec::new(),
+        }
+    }
+
+    pub fn with_cleaning(mut self, cleaning: Vec<String>) -> ContributorSelection {
+        self.cleaning_classifiers = cleaning;
+        self
+    }
+}
+
+/// A study definition: what to extract, through which classifiers, filtered
+/// how. Everything is annotated so later analysts can "document, inspect,
+/// reuse, and modify integration decisions from prior studies".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Study {
+    pub name: String,
+    /// Research question, verbatim (e.g. Study 2: "Of all procedures on
+    /// ex-smokers, how many had a complication of hypoxia?").
+    pub question: String,
+    pub study_schema: String,
+    /// The entity whose instances form the result rows.
+    pub primary_entity: String,
+    pub columns: Vec<StudyColumn>,
+    pub selections: Vec<ContributorSelection>,
+    /// Optional filter over the *classified* output columns (referenced by
+    /// `StudyColumn::column_name`).
+    pub filter: Option<Expr>,
+    pub provenance: Provenance,
+}
+
+impl Study {
+    pub fn new(
+        name: impl Into<String>,
+        question: impl Into<String>,
+        study_schema: impl Into<String>,
+        primary_entity: impl Into<String>,
+    ) -> Study {
+        Study {
+            name: name.into(),
+            question: question.into(),
+            study_schema: study_schema.into(),
+            primary_entity: primary_entity.into(),
+            columns: Vec::new(),
+            selections: Vec::new(),
+            filter: None,
+            provenance: Provenance::new(),
+        }
+    }
+
+    pub fn with_column(mut self, c: StudyColumn) -> Study {
+        self.columns.push(c);
+        self
+    }
+
+    pub fn with_selection(mut self, s: ContributorSelection) -> Study {
+        self.selections.push(s);
+        self
+    }
+
+    pub fn with_filter(mut self, filter: Expr) -> Study {
+        self.filter = Some(filter);
+        self
+    }
+
+    pub fn selection_for(&self, contributor: &str) -> Option<&ContributorSelection> {
+        self.selections
+            .iter()
+            .find(|s| s.contributor == contributor)
+    }
+}
+
+/// A named collection of classifiers, queryable by target — the mechanism
+/// behind "MultiClass allows more than one classifier to map data from the
+/// same contributor to the same domain".
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierRegistry {
+    classifiers: Vec<Classifier>,
+}
+
+impl ClassifierRegistry {
+    pub fn new() -> ClassifierRegistry {
+        ClassifierRegistry::default()
+    }
+
+    /// Register a classifier. Names are unique per contributor.
+    pub fn register(&mut self, c: Classifier) -> Result<(), String> {
+        if self.get(&c.contributor, &c.name).is_some() {
+            return Err(format!(
+                "classifier `{}` already registered for `{}`",
+                c.name, c.contributor
+            ));
+        }
+        self.classifiers.push(c);
+        Ok(())
+    }
+
+    pub fn get(&self, contributor: &str, name: &str) -> Option<&Classifier> {
+        self.classifiers
+            .iter()
+            .find(|c| c.contributor == contributor && c.name == name)
+    }
+
+    pub fn all(&self) -> &[Classifier] {
+        &self.classifiers
+    }
+
+    /// Every classifier mapping some contributor's data into a given
+    /// domain — the analyst's menu when configuring a study.
+    pub fn for_domain(&self, entity: &str, attribute: &str, domain: &str) -> Vec<&Classifier> {
+        self.classifiers
+            .iter()
+            .filter(|c| {
+                matches!(&c.target, Target::Domain { entity: e, attribute: a, domain: d }
+                    if e == entity && a == attribute && d == domain)
+            })
+            .collect()
+    }
+
+    /// Entity classifiers for an entity.
+    pub fn for_entity(&self, entity: &str) -> Vec<&Classifier> {
+        self.classifiers
+            .iter()
+            .filter(|c| matches!(&c.target, Target::Entity { entity: e } if e == entity))
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.classifiers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.classifiers.is_empty()
+    }
+}
+
+/// A registry of studies: the institutional memory that lets analysts
+/// revisit "decisions made for prior studies and reuse them or not each
+/// time the data is used".
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StudyRegistry {
+    studies: Vec<Study>,
+}
+
+impl StudyRegistry {
+    pub fn new() -> StudyRegistry {
+        StudyRegistry::default()
+    }
+
+    pub fn register(&mut self, s: Study) -> Result<(), String> {
+        if self.get(&s.name).is_some() {
+            return Err(format!("study `{}` already registered", s.name));
+        }
+        self.studies.push(s);
+        Ok(())
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Study> {
+        self.studies.iter().find(|s| s.name == name)
+    }
+
+    /// Prior studies over the same study schema.
+    pub fn sharing_schema(&self, study_schema: &str) -> Vec<&Study> {
+        self.studies
+            .iter()
+            .filter(|s| s.study_schema == study_schema)
+            .collect()
+    }
+
+    /// Which studies used a particular classifier? (Decision audit.)
+    pub fn using_classifier(&self, contributor: &str, classifier: &str) -> Vec<&Study> {
+        self.studies
+            .iter()
+            .filter(|s| {
+                s.selections.iter().any(|sel| {
+                    sel.contributor == contributor
+                        && (sel.domain_classifiers.iter().any(|c| c == classifier)
+                            || sel.entity_classifiers.iter().any(|c| c == classifier))
+                })
+            })
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.studies.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.studies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Classifier;
+
+    fn domain_target() -> Target {
+        Target::Domain {
+            entity: "Procedure".into(),
+            attribute: "Smoking".into(),
+            domain: "class".into(),
+        }
+    }
+
+    fn classifier(name: &str, contributor: &str, target: Target) -> Classifier {
+        Classifier::parse_rules(name, contributor, "", target, &["'None' <- x = 0"]).unwrap()
+    }
+
+    #[test]
+    fn registry_finds_multiple_classifiers_per_domain() {
+        let mut reg = ClassifierRegistry::new();
+        reg.register(classifier("Habits (Cancer)", "cori", domain_target()))
+            .unwrap();
+        reg.register(classifier("Habits (Chemistry)", "cori", domain_target()))
+            .unwrap();
+        reg.register(classifier(
+            "Other",
+            "cori",
+            Target::Entity {
+                entity: "Procedure".into(),
+            },
+        ))
+        .unwrap();
+        let menu = reg.for_domain("Procedure", "Smoking", "class");
+        assert_eq!(
+            menu.len(),
+            2,
+            "two classifiers target the same domain (Figure 5a)"
+        );
+        assert_eq!(reg.for_entity("Procedure").len(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_per_contributor() {
+        let mut reg = ClassifierRegistry::new();
+        reg.register(classifier("X", "cori", domain_target()))
+            .unwrap();
+        assert!(reg
+            .register(classifier("X", "cori", domain_target()))
+            .is_err());
+        // Same name under another contributor is fine.
+        reg.register(classifier("X", "endosoft", domain_target()))
+            .unwrap();
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn study_builder_and_lookup() {
+        let study = Study::new(
+            "hypoxia_2006",
+            "Of all procedures...",
+            "cori_procedures",
+            "Procedure",
+        )
+        .with_column(StudyColumn::new("Procedure", "Smoking", "class"))
+        .with_selection(ContributorSelection {
+            contributor: "cori".into(),
+            entity_classifiers: vec!["All Procedures".into()],
+            domain_classifiers: vec!["Habits (Cancer)".into()],
+            cleaning_classifiers: vec![],
+        });
+        assert_eq!(study.columns[0].column_name(), "Smoking_class");
+        assert!(study.selection_for("cori").is_some());
+        assert!(study.selection_for("ghost").is_none());
+    }
+
+    #[test]
+    fn study_registry_supports_reuse_queries() {
+        let mut reg = StudyRegistry::new();
+        let mk = |name: &str, schema: &str, classifier: &str| {
+            Study::new(name, "", schema, "Procedure").with_selection(ContributorSelection {
+                contributor: "cori".into(),
+                entity_classifiers: vec![],
+                domain_classifiers: vec![classifier.into()],
+                cleaning_classifiers: vec![],
+            })
+        };
+        reg.register(mk("s1", "cori_procedures", "Habits (Cancer)"))
+            .unwrap();
+        reg.register(mk("s2", "cori_procedures", "Habits (Chemistry)"))
+            .unwrap();
+        reg.register(mk("s3", "medications", "Habits (Cancer)"))
+            .unwrap();
+        assert_eq!(reg.sharing_schema("cori_procedures").len(), 2);
+        assert_eq!(reg.using_classifier("cori", "Habits (Cancer)").len(), 2);
+        assert!(reg.register(mk("s1", "x", "y")).is_err());
+    }
+}

@@ -1,0 +1,430 @@
+//! Study schemas: the conceptual model analysts study against.
+//!
+//! "A study schema collects all of the things that analysts want to study
+//! ... and organizes them at a conceptual level. ... the only relationship
+//! type is has-a with a single entity of primary interest sitting atop a
+//! tree" (Section 3.3, Figure 4). Attributes carry *multiple* domains.
+
+use crate::annotate::Provenance;
+use crate::domain::Domain;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An attribute of a study-schema entity, with one or more domains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeDef {
+    pub name: String,
+    pub domains: Vec<Domain>,
+}
+
+impl AttributeDef {
+    pub fn new(name: impl Into<String>, domains: Vec<Domain>) -> AttributeDef {
+        AttributeDef {
+            name: name.into(),
+            domains,
+        }
+    }
+
+    pub fn domain(&self, name: &str) -> Option<&Domain> {
+        self.domains.iter().find(|d| d.name == name)
+    }
+}
+
+/// An entity in the has-a tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityDef {
+    pub name: String,
+    pub attributes: Vec<AttributeDef>,
+    /// has-a children (e.g. Procedure has-a Finding, has-a New Medication).
+    pub children: Vec<EntityDef>,
+}
+
+impl EntityDef {
+    pub fn new(name: impl Into<String>) -> EntityDef {
+        EntityDef {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    pub fn with_attribute(mut self, a: AttributeDef) -> EntityDef {
+        self.attributes.push(a);
+        self
+    }
+
+    pub fn with_child(mut self, c: EntityDef) -> EntityDef {
+        self.children.push(c);
+        self
+    }
+
+    pub fn attribute(&self, name: &str) -> Option<&AttributeDef> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    fn walk(&self) -> impl Iterator<Item = &EntityDef> {
+        let mut stack = vec![self];
+        std::iter::from_fn(move || {
+            let next = stack.pop()?;
+            for c in next.children.iter().rev() {
+                stack.push(c);
+            }
+            Some(next)
+        })
+    }
+}
+
+/// Errors raised by study-schema validation and editing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    DuplicateEntity(String),
+    DuplicateAttribute { entity: String, attribute: String },
+    DuplicateDomain { attribute: String, domain: String },
+    UnknownEntity(String),
+    UnknownAttribute { entity: String, attribute: String },
+    UnknownDomain { attribute: String, domain: String },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateEntity(e) => write!(f, "duplicate entity `{e}`"),
+            SchemaError::DuplicateAttribute { entity, attribute } => {
+                write!(f, "duplicate attribute `{attribute}` on `{entity}`")
+            }
+            SchemaError::DuplicateDomain { attribute, domain } => {
+                write!(f, "duplicate domain `{domain}` on `{attribute}`")
+            }
+            SchemaError::UnknownEntity(e) => write!(f, "unknown entity `{e}`"),
+            SchemaError::UnknownAttribute { entity, attribute } => {
+                write!(f, "unknown attribute `{attribute}` on `{entity}`")
+            }
+            SchemaError::UnknownDomain { attribute, domain } => {
+                write!(f, "unknown domain `{domain}` on `{attribute}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A study schema: named, annotated, with a single primary entity at the
+/// root of a has-a tree. "The study schema may be incomplete compared to a
+/// global schema ... Analysts can expand the study schema as needed for new
+/// studies."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudySchema {
+    pub name: String,
+    pub root: EntityDef,
+    pub provenance: Provenance,
+}
+
+impl StudySchema {
+    pub fn new(name: impl Into<String>, root: EntityDef) -> StudySchema {
+        StudySchema {
+            name: name.into(),
+            root,
+            provenance: Provenance::new(),
+        }
+    }
+
+    /// All entities, root first.
+    pub fn entities(&self) -> Vec<&EntityDef> {
+        self.root.walk().collect()
+    }
+
+    pub fn entity(&self, name: &str) -> Result<&EntityDef, SchemaError> {
+        self.root
+            .walk()
+            .find(|e| e.name == name)
+            .ok_or_else(|| SchemaError::UnknownEntity(name.to_owned()))
+    }
+
+    fn entity_mut<'a>(root: &'a mut EntityDef, name: &str) -> Option<&'a mut EntityDef> {
+        if root.name == name {
+            return Some(root);
+        }
+        for c in &mut root.children {
+            if let Some(found) = Self::entity_mut(c, name) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// Resolve `entity.attribute.domain`.
+    pub fn resolve(
+        &self,
+        entity: &str,
+        attribute: &str,
+        domain: &str,
+    ) -> Result<&Domain, SchemaError> {
+        let e = self.entity(entity)?;
+        let a = e
+            .attribute(attribute)
+            .ok_or_else(|| SchemaError::UnknownAttribute {
+                entity: entity.to_owned(),
+                attribute: attribute.to_owned(),
+            })?;
+        a.domain(domain).ok_or_else(|| SchemaError::UnknownDomain {
+            attribute: attribute.to_owned(),
+            domain: domain.to_owned(),
+        })
+    }
+
+    /// Structural validation: unique entity names, unique attribute names
+    /// per entity, unique domain names per attribute.
+    pub fn validate(&self) -> Result<(), Vec<SchemaError>> {
+        let mut errors = Vec::new();
+        let entities = self.entities();
+        for (i, e) in entities.iter().enumerate() {
+            if entities[..i].iter().any(|p| p.name == e.name) {
+                errors.push(SchemaError::DuplicateEntity(e.name.clone()));
+            }
+            for (j, a) in e.attributes.iter().enumerate() {
+                if e.attributes[..j].iter().any(|p| p.name == a.name) {
+                    errors.push(SchemaError::DuplicateAttribute {
+                        entity: e.name.clone(),
+                        attribute: a.name.clone(),
+                    });
+                }
+                for (k, d) in a.domains.iter().enumerate() {
+                    if a.domains[..k].iter().any(|p| p.name == d.name) {
+                        errors.push(SchemaError::DuplicateDomain {
+                            attribute: a.name.clone(),
+                            domain: d.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Expand the schema for a new study: add an attribute to an entity.
+    pub fn add_attribute(&mut self, entity: &str, attr: AttributeDef) -> Result<(), SchemaError> {
+        let e = Self::entity_mut(&mut self.root, entity)
+            .ok_or_else(|| SchemaError::UnknownEntity(entity.to_owned()))?;
+        if e.attribute(&attr.name).is_some() {
+            return Err(SchemaError::DuplicateAttribute {
+                entity: entity.to_owned(),
+                attribute: attr.name,
+            });
+        }
+        e.attributes.push(attr);
+        Ok(())
+    }
+
+    /// Expand an attribute with a new domain.
+    pub fn add_domain(
+        &mut self,
+        entity: &str,
+        attribute: &str,
+        domain: Domain,
+    ) -> Result<(), SchemaError> {
+        let e = Self::entity_mut(&mut self.root, entity)
+            .ok_or_else(|| SchemaError::UnknownEntity(entity.to_owned()))?;
+        let a = e
+            .attributes
+            .iter_mut()
+            .find(|a| a.name == attribute)
+            .ok_or_else(|| SchemaError::UnknownAttribute {
+                entity: entity.to_owned(),
+                attribute: attribute.to_owned(),
+            })?;
+        if a.domain(&domain.name).is_some() {
+            return Err(SchemaError::DuplicateDomain {
+                attribute: attribute.to_owned(),
+                domain: domain.name,
+            });
+        }
+        a.domains.push(domain);
+        Ok(())
+    }
+
+    /// Figure-4-style rendering: entities with attributes and their
+    /// domain(s), has-a children indented.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_entity(&self.root, 0, &mut out);
+        out
+    }
+}
+
+fn render_entity(e: &EntityDef, depth: usize, out: &mut String) {
+    let pad = "    ".repeat(depth);
+    out.push_str(&format!("{pad}Entity: {}\n", e.name));
+    for a in &e.attributes {
+        let domains: Vec<String> = a
+            .domains
+            .iter()
+            .map(|d| format!("{} ({})", d.name, d.description))
+            .collect();
+        out.push_str(&format!("{pad}  {} :: {}\n", a.name, domains.join(" | ")));
+    }
+    for c in &e.children {
+        out.push_str(&format!("{pad}  has-a\n"));
+        render_entity(c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainSpec;
+
+    /// A miniature of Figure 4's study schema.
+    fn schema() -> StudySchema {
+        let smoking = AttributeDef::new(
+            "Smoking",
+            vec![
+                Domain::new(
+                    "packs_per_day",
+                    "Integer (Packs/Day)",
+                    DomainSpec::Integer {
+                        min: Some(0),
+                        max: None,
+                    },
+                ),
+                Domain::categorical(
+                    "status",
+                    "None, Current, Prev",
+                    &["None", "Current", "Previous"],
+                ),
+            ],
+        );
+        let hypoxia = AttributeDef::new(
+            "TransientHypoxia",
+            vec![Domain::boolean("yesno", "Boolean (yes/no)")],
+        );
+        let root = EntityDef::new("Procedure")
+            .with_attribute(smoking)
+            .with_attribute(hypoxia)
+            .with_child(
+                EntityDef::new("FindingOfFissure").with_attribute(AttributeDef::new(
+                    "Size",
+                    vec![Domain::new(
+                        "millimeters",
+                        "Integer (mm)",
+                        DomainSpec::Integer {
+                            min: Some(0),
+                            max: None,
+                        },
+                    )],
+                )),
+            )
+            .with_child(
+                EntityDef::new("NewMedication").with_attribute(AttributeDef::new(
+                    "Drug",
+                    vec![Domain::new("name", "String (Name)", DomainSpec::Text)],
+                )),
+            );
+        StudySchema::new("cori_procedures", root)
+    }
+
+    #[test]
+    fn valid_schema_passes() {
+        schema().validate().unwrap();
+    }
+
+    #[test]
+    fn resolve_paths() {
+        let s = schema();
+        assert!(s.resolve("Procedure", "Smoking", "packs_per_day").is_ok());
+        assert!(s.resolve("FindingOfFissure", "Size", "millimeters").is_ok());
+        assert!(matches!(
+            s.resolve("Procedure", "Smoking", "nope"),
+            Err(SchemaError::UnknownDomain { .. })
+        ));
+        assert!(matches!(
+            s.resolve("Procedure", "Ghost", "x"),
+            Err(SchemaError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            s.resolve("Ghost", "x", "y"),
+            Err(SchemaError::UnknownEntity(_))
+        ));
+    }
+
+    #[test]
+    fn entities_root_first() {
+        let s = schema();
+        let names: Vec<&str> = s.entities().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Procedure", "FindingOfFissure", "NewMedication"]
+        );
+    }
+
+    #[test]
+    fn expansion_for_new_studies() {
+        let mut s = schema();
+        s.add_attribute(
+            "Procedure",
+            AttributeDef::new("Asthma", vec![Domain::boolean("yesno", "Boolean")]),
+        )
+        .unwrap();
+        assert!(s.entity("Procedure").unwrap().attribute("Asthma").is_some());
+        // Adding a second domain to an existing attribute.
+        s.add_domain(
+            "Procedure",
+            "Smoking",
+            Domain::categorical(
+                "class",
+                "None, Lt, Med, Hvy",
+                &["None", "Light", "Moderate", "Heavy"],
+            ),
+        )
+        .unwrap();
+        assert_eq!(
+            s.entity("Procedure")
+                .unwrap()
+                .attribute("Smoking")
+                .unwrap()
+                .domains
+                .len(),
+            3
+        );
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut s = schema();
+        assert!(matches!(
+            s.add_attribute("Procedure", AttributeDef::new("Smoking", vec![])),
+            Err(SchemaError::DuplicateAttribute { .. })
+        ));
+        assert!(matches!(
+            s.add_domain(
+                "Procedure",
+                "Smoking",
+                Domain::categorical("status", "x", &[])
+            ),
+            Err(SchemaError::DuplicateDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_entities() {
+        let root = EntityDef::new("P").with_child(EntityDef::new("P"));
+        let s = StudySchema::new("bad", root);
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SchemaError::DuplicateEntity(_))));
+    }
+
+    #[test]
+    fn render_shows_hierarchy_and_domains() {
+        let r = schema().render();
+        assert!(r.contains("Entity: Procedure"));
+        assert!(r.contains("Smoking :: packs_per_day (Integer (Packs/Day)) | status"));
+        assert!(r.contains("has-a"));
+        assert!(r.contains("Entity: NewMedication"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # guava-patterns
+//!
+//! The database design pattern catalog (paper Table 1 and Section 4.2).
+//!
+//! GUAVA's core claim about storage is that "the differences between the
+//! naïve schema and the real database can be encapsulated by specific
+//! design patterns", each describing a data transformation, and that a
+//! query against the g-tree can be translated "into one against the
+//! database" by composing those transformations.
+//!
+//! Every pattern here is **bidirectional**:
+//!
+//! * `transform_schemas` — naïve schemas → physical schemas,
+//! * `encode` — naïve data → physical data (what the reporting tool does
+//!   when it saves a form), and
+//! * `decode_scan` — a relational-algebra rewrite that reconstructs a
+//!   naïve table from the physical layout (what GUAVA does when an analyst
+//!   queries the g-tree).
+//!
+//! [`stack::PatternStack`] composes patterns into a per-contributor
+//! binding; the round-trip law `decode(encode(naive)) == naive` is tested
+//! per pattern, for deep compositions, and property-tested across random
+//! stacks in `tests/`.
+
+pub mod encoding;
+pub mod generic;
+pub mod kind;
+pub mod rewrite;
+pub mod stack;
+pub mod structural;
+pub mod temporal;
+
+pub mod prelude {
+    pub use crate::encoding::{BoolEncodePattern, LookupPattern, NullSentinelPattern};
+    pub use crate::generic::GenericPattern;
+    pub use crate::kind::{PatternKind, CATALOG};
+    pub use crate::rewrite::replace_scans;
+    pub use crate::stack::PatternStack;
+    pub use crate::structural::{HPartitionPattern, MergePattern, RenamePattern, SplitPattern};
+    pub use crate::temporal::{AuditPattern, VersionedPattern};
+}
+
+pub use prelude::*;

@@ -1,0 +1,148 @@
+//! Plan rewriting: substitute base-table scans with arbitrary sub-plans.
+//!
+//! This is the mechanism by which GUAVA "translate\[s\] a query against the
+//! g-tree into one against the database" (Section 3.2): each design pattern
+//! contributes a rewrite from a scan of a pre-pattern table to a plan over
+//! its post-pattern tables, and the pattern stack chains them.
+
+use guava_relational::algebra::Plan;
+use guava_relational::error::RelResult;
+
+/// Replace every `Scan(t)` in `plan` for which `f(t)` returns a plan. Tables
+/// `f` maps to `None` are left as scans (they pass through this pattern
+/// untouched).
+pub fn replace_scans(plan: &Plan, f: &impl Fn(&str) -> RelResult<Option<Plan>>) -> RelResult<Plan> {
+    Ok(match plan {
+        Plan::Scan(t) => match f(t)? {
+            // Keep the original table name visible to downstream operators:
+            // substituted plans may surface differently-named schemas.
+            Some(sub) => sub.rename_table(t.clone()),
+            None => Plan::Scan(t.clone()),
+        },
+        Plan::Values { schema, rows } => Plan::Values {
+            schema: schema.clone(),
+            rows: rows.clone(),
+        },
+        Plan::Select { input, predicate } => Plan::Select {
+            input: Box::new(replace_scans(input, f)?),
+            predicate: predicate.clone(),
+        },
+        Plan::Project { input, columns } => Plan::Project {
+            input: Box::new(replace_scans(input, f)?),
+            columns: columns.clone(),
+        },
+        Plan::Rename {
+            input,
+            table,
+            columns,
+        } => Plan::Rename {
+            input: Box::new(replace_scans(input, f)?),
+            table: table.clone(),
+            columns: columns.clone(),
+        },
+        Plan::Join {
+            left,
+            right,
+            on,
+            kind,
+        } => Plan::Join {
+            left: Box::new(replace_scans(left, f)?),
+            right: Box::new(replace_scans(right, f)?),
+            on: on.clone(),
+            kind: *kind,
+        },
+        Plan::Union { inputs } => Plan::Union {
+            inputs: inputs
+                .iter()
+                .map(|p| replace_scans(p, f))
+                .collect::<RelResult<_>>()?,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(replace_scans(input, f)?),
+        },
+        Plan::Unpivot {
+            input,
+            keys,
+            attr_col,
+            val_col,
+        } => Plan::Unpivot {
+            input: Box::new(replace_scans(input, f)?),
+            keys: keys.clone(),
+            attr_col: attr_col.clone(),
+            val_col: val_col.clone(),
+        },
+        Plan::Pivot {
+            input,
+            keys,
+            attr_col,
+            val_col,
+            attrs,
+        } => Plan::Pivot {
+            input: Box::new(replace_scans(input, f)?),
+            keys: keys.clone(),
+            attr_col: attr_col.clone(),
+            val_col: val_col.clone(),
+            attrs: attrs.clone(),
+        },
+        Plan::AggregateBy {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::AggregateBy {
+            input: Box::new(replace_scans(input, f)?),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+        Plan::Sort { input, by } => Plan::Sort {
+            input: Box::new(replace_scans(input, f)?),
+            by: by.clone(),
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(replace_scans(input, f)?),
+            n: *n,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guava_relational::expr::Expr;
+    use guava_relational::prelude::*;
+
+    #[test]
+    fn scans_replaced_recursively() {
+        let plan = Plan::scan("a")
+            .join(Plan::scan("b"), vec![("x", "x")], JoinKind::Inner)
+            .select(Expr::col("x").is_not_null());
+        let rewritten = replace_scans(&plan, &|t| {
+            Ok((t == "a").then(|| Plan::scan("a_physical").select(Expr::col("live"))))
+        })
+        .unwrap();
+        let scans = rewritten.scanned_tables();
+        assert!(scans.contains(&"a_physical"));
+        assert!(scans.contains(&"b"));
+        assert!(!scans.contains(&"a"));
+    }
+
+    #[test]
+    fn substituted_plan_keeps_logical_name() {
+        let mut db = Database::new("d");
+        let s = Schema::new("phys", vec![Column::new("x", DataType::Int)]).unwrap();
+        db.create_table(Table::from_rows(s, vec![vec![1.into()]]).unwrap())
+            .unwrap();
+        let plan = replace_scans(&Plan::scan("logical"), &|t| {
+            Ok((t == "logical").then(|| Plan::scan("phys")))
+        })
+        .unwrap();
+        let t = plan.eval(&db).unwrap();
+        assert_eq!(t.schema().name, "logical");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let plan = Plan::scan("a");
+        let res = replace_scans(&plan, &|_| Err(RelError::Plan("boom".into())));
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,1073 @@
+//! Relational algebra plans and their evaluator.
+//!
+//! GUAVA translates a query against a g-tree into a plan against the
+//! contributor's physical database (Section 3.2); MultiClass compiles
+//! studies into a chain of plans executed by ETL components (Figure 6).
+//! The operator set is deliberately the paper's target language:
+//! conjunctive queries with union, plus the pivot/un-pivot operators that
+//! the Generic design pattern requires, plus aggregation for study reports.
+
+use crate::database::Database;
+use crate::error::{RelError, RelResult};
+use crate::expr::Expr;
+use crate::schema::{Column, Schema};
+use crate::table::{Row, Table};
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Join variants. `Left` keeps unmatched left rows with NULL right columns —
+/// needed when a form's optional sub-table (Split pattern) has no row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinKind {
+    Inner,
+    Left,
+}
+
+/// An aggregate function over a column (or `*` for `CountAll`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AggFunc {
+    CountAll,
+    /// COUNT(col): non-null values.
+    Count(String),
+    Sum(String),
+    Avg(String),
+    Min(String),
+    Max(String),
+}
+
+/// One output column of an aggregation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Aggregate {
+    pub func: AggFunc,
+    pub alias: String,
+}
+
+/// A logical query plan. Evaluation is bottom-up and materializing: each
+/// node produces a [`Table`]. That matches the paper's ETL model, where each
+/// component writes a temporary database read by the next (Figure 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Plan {
+    /// Read a named table from the database.
+    Scan(String),
+    /// Inline constant relation.
+    Values { schema: Schema, rows: Vec<Row> },
+    /// σ: keep rows satisfying the predicate.
+    Select { input: Box<Plan>, predicate: Expr },
+    /// π with computed columns: each output column is `(alias, expr)`.
+    Project {
+        input: Box<Plan>,
+        columns: Vec<(String, Expr)>,
+    },
+    /// ρ: rename the relation and/or individual columns.
+    Rename {
+        input: Box<Plan>,
+        table: Option<String>,
+        columns: Vec<(String, String)>,
+    },
+    /// Equi-join on pairs of column names `(left_col, right_col)`.
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(String, String)>,
+        kind: JoinKind,
+    },
+    /// ∪ (bag union; wrap in Distinct for set union). Inputs must be
+    /// union-compatible; the left schema's names win.
+    Union { inputs: Vec<Plan> },
+    /// δ: remove duplicate rows.
+    Distinct { input: Box<Plan> },
+    /// Un-pivot (the Generic pattern's *encode* direction): turn wide rows
+    /// into Entity–Attribute–Value triples. `keys` are carried through;
+    /// every other column becomes one (attribute, value-as-text) row.
+    Unpivot {
+        input: Box<Plan>,
+        keys: Vec<String>,
+        attr_col: String,
+        val_col: String,
+    },
+    /// Pivot (the Generic pattern's *decode* direction): fold EAV triples
+    /// back into wide rows. `attrs` fixes the output columns and their
+    /// types; values are parsed from text. Missing attributes yield NULL.
+    Pivot {
+        input: Box<Plan>,
+        keys: Vec<String>,
+        attr_col: String,
+        val_col: String,
+        attrs: Vec<(String, DataType)>,
+    },
+    /// γ: group by columns and compute aggregates.
+    AggregateBy {
+        input: Box<Plan>,
+        group_by: Vec<String>,
+        aggregates: Vec<Aggregate>,
+    },
+    /// Sort by columns (all ascending; NULLs first via total order).
+    Sort { input: Box<Plan>, by: Vec<String> },
+    /// Keep the first `n` rows.
+    Limit { input: Box<Plan>, n: usize },
+}
+
+impl Plan {
+    pub fn scan(table: impl Into<String>) -> Plan {
+        Plan::Scan(table.into())
+    }
+
+    pub fn select(self, predicate: Expr) -> Plan {
+        Plan::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    pub fn project(self, columns: Vec<(impl Into<String>, Expr)>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            columns: columns.into_iter().map(|(n, e)| (n.into(), e)).collect(),
+        }
+    }
+
+    /// Shorthand projection keeping named columns untouched.
+    pub fn project_cols(self, cols: &[&str]) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            columns: cols
+                .iter()
+                .map(|c| ((*c).to_owned(), Expr::col(*c)))
+                .collect(),
+        }
+    }
+
+    pub fn rename_table(self, table: impl Into<String>) -> Plan {
+        Plan::Rename {
+            input: Box::new(self),
+            table: Some(table.into()),
+            columns: Vec::new(),
+        }
+    }
+
+    pub fn rename_columns(self, renames: Vec<(impl Into<String>, impl Into<String>)>) -> Plan {
+        Plan::Rename {
+            input: Box::new(self),
+            table: None,
+            columns: renames
+                .into_iter()
+                .map(|(a, b)| (a.into(), b.into()))
+                .collect(),
+        }
+    }
+
+    pub fn join(self, right: Plan, on: Vec<(&str, &str)>, kind: JoinKind) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on: on
+                .into_iter()
+                .map(|(a, b)| (a.to_owned(), b.to_owned()))
+                .collect(),
+            kind,
+        }
+    }
+
+    pub fn union(inputs: Vec<Plan>) -> Plan {
+        Plan::Union { inputs }
+    }
+
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    pub fn sort_by(self, by: &[&str]) -> Plan {
+        Plan::Sort {
+            input: Box::new(self),
+            by: by.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    pub fn limit(self, n: usize) -> Plan {
+        Plan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+
+    pub fn aggregate(self, group_by: &[&str], aggregates: Vec<Aggregate>) -> Plan {
+        Plan::AggregateBy {
+            input: Box::new(self),
+            group_by: group_by.iter().map(|s| (*s).to_owned()).collect(),
+            aggregates,
+        }
+    }
+
+    /// Names of every base table this plan scans (transitively).
+    pub fn scanned_tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk_scans(&mut |t| {
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        });
+        out
+    }
+
+    fn walk_scans<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        match self {
+            Plan::Scan(t) => f(t),
+            Plan::Values { .. } => {}
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Rename { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Unpivot { input, .. }
+            | Plan::Pivot { input, .. }
+            | Plan::AggregateBy { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.walk_scans(f),
+            Plan::Join { left, right, .. } => {
+                left.walk_scans(f);
+                right.walk_scans(f);
+            }
+            Plan::Union { inputs } => inputs.iter().for_each(|p| p.walk_scans(f)),
+        }
+    }
+
+    /// Evaluate the plan against a database, materializing a result table.
+    pub fn eval(&self, db: &Database) -> RelResult<Table> {
+        match self {
+            Plan::Scan(name) => db.table(name).cloned(),
+            Plan::Values { schema, rows } => Table::from_rows(schema.clone(), rows.clone()),
+            Plan::Select { input, predicate } => {
+                let t = input.eval(db)?;
+                let schema = t.schema().clone();
+                let rows: Vec<Row> = t
+                    .into_rows()
+                    .into_iter()
+                    .map(|r| predicate.matches(&schema, &r).map(|keep| (keep, r)))
+                    .collect::<RelResult<Vec<_>>>()?
+                    .into_iter()
+                    .filter_map(|(keep, r)| keep.then_some(r))
+                    .collect();
+                Table::from_rows(keyless(schema), rows)
+            }
+            Plan::Project { input, columns } => {
+                let t = input.eval(db)?;
+                let in_schema = t.schema().clone();
+                let mut out_cols = Vec::with_capacity(columns.len());
+                for (alias, e) in columns {
+                    out_cols.push(Column::new(alias.clone(), e.infer_type(&in_schema)?));
+                }
+                let schema = Schema::new(in_schema.name.clone(), out_cols)?;
+                let rows: Vec<Row> = t
+                    .rows()
+                    .iter()
+                    .map(|r| columns.iter().map(|(_, e)| e.eval(&in_schema, r)).collect())
+                    .collect::<RelResult<Vec<Row>>>()?;
+                Table::from_rows(schema, rows)
+            }
+            Plan::Rename {
+                input,
+                table,
+                columns,
+            } => {
+                let t = input.eval(db)?;
+                let mut cols = t.schema().columns().to_vec();
+                for (from, to) in columns {
+                    let idx = t
+                        .schema()
+                        .index_of(from)
+                        .ok_or_else(|| RelError::UnknownColumn {
+                            table: t.schema().name.clone(),
+                            column: from.clone(),
+                        })?;
+                    cols[idx].name = to.clone();
+                }
+                let name = table.clone().unwrap_or_else(|| t.schema().name.clone());
+                let schema = Schema::new(name, cols)?;
+                Table::from_rows(schema, t.into_rows())
+            }
+            Plan::Join {
+                left,
+                right,
+                on,
+                kind,
+            } => eval_join(db, left, right, on, *kind),
+            Plan::Union { inputs } => {
+                let mut iter = inputs.iter();
+                let first = iter
+                    .next()
+                    .ok_or_else(|| RelError::Plan("union of zero inputs".into()))?
+                    .eval(db)?;
+                let schema = keyless(first.schema().clone());
+                let mut rows = first.into_rows();
+                for p in iter {
+                    let t = p.eval(db)?;
+                    if !schema.union_compatible(t.schema()) {
+                        return Err(RelError::Plan(format!(
+                            "union-incompatible schemas `{}` and `{}`",
+                            schema,
+                            t.schema()
+                        )));
+                    }
+                    rows.extend(t.into_rows());
+                }
+                Table::from_rows(schema, rows)
+            }
+            Plan::Distinct { input } => {
+                let t = input.eval(db)?;
+                let schema = keyless(t.schema().clone());
+                let mut seen = std::collections::HashSet::new();
+                let rows: Vec<Row> = t
+                    .into_rows()
+                    .into_iter()
+                    .filter(|r| seen.insert(r.clone()))
+                    .collect();
+                Table::from_rows(schema, rows)
+            }
+            Plan::Unpivot {
+                input,
+                keys,
+                attr_col,
+                val_col,
+            } => eval_unpivot(db, input, keys, attr_col, val_col),
+            Plan::Pivot {
+                input,
+                keys,
+                attr_col,
+                val_col,
+                attrs,
+            } => eval_pivot(db, input, keys, attr_col, val_col, attrs),
+            Plan::AggregateBy {
+                input,
+                group_by,
+                aggregates,
+            } => eval_aggregate(db, input, group_by, aggregates),
+            Plan::Sort { input, by } => {
+                let t = input.eval(db)?;
+                let schema = keyless(t.schema().clone());
+                let idxs: Vec<usize> = by
+                    .iter()
+                    .map(|c| {
+                        schema.index_of(c).ok_or_else(|| RelError::UnknownColumn {
+                            table: schema.name.clone(),
+                            column: c.clone(),
+                        })
+                    })
+                    .collect::<RelResult<_>>()?;
+                let mut rows = t.into_rows();
+                rows.sort_by(|a, b| {
+                    idxs.iter()
+                        .map(|&i| a[i].total_cmp(&b[i]))
+                        .find(|o| !o.is_eq())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                Table::from_rows(schema, rows)
+            }
+            Plan::Limit { input, n } => {
+                let t = input.eval(db)?;
+                let schema = keyless(t.schema().clone());
+                let rows: Vec<Row> = t.into_rows().into_iter().take(*n).collect();
+                Table::from_rows(schema, rows)
+            }
+        }
+    }
+}
+
+/// Intermediate results drop primary keys: operators may legitimately
+/// produce duplicate key values (e.g. projection away from the key).
+fn keyless(schema: Schema) -> Schema {
+    Schema::new(schema.name.clone(), schema.columns().to_vec()).expect("schema was valid")
+}
+
+fn eval_join(
+    db: &Database,
+    left: &Plan,
+    right: &Plan,
+    on: &[(String, String)],
+    kind: JoinKind,
+) -> RelResult<Table> {
+    let lt = left.eval(db)?;
+    let rt = right.eval(db)?;
+    let (ls, rs) = (lt.schema().clone(), rt.schema().clone());
+    let l_idx: Vec<usize> = on
+        .iter()
+        .map(|(l, _)| {
+            ls.index_of(l).ok_or_else(|| RelError::UnknownColumn {
+                table: ls.name.clone(),
+                column: l.clone(),
+            })
+        })
+        .collect::<RelResult<_>>()?;
+    let r_idx: Vec<usize> = on
+        .iter()
+        .map(|(_, r)| {
+            rs.index_of(r).ok_or_else(|| RelError::UnknownColumn {
+                table: rs.name.clone(),
+                column: r.clone(),
+            })
+        })
+        .collect::<RelResult<_>>()?;
+
+    // Output schema: left columns, then right columns. Name collisions get a
+    // `right.`-style disambiguating prefix.
+    let mut cols = ls.columns().to_vec();
+    for c in rs.columns() {
+        let mut c = c.clone();
+        if ls.index_of(&c.name).is_some() {
+            c.name = format!("{}.{}", rs.name, c.name);
+        }
+        // Left-join right columns may be NULL even if declared NOT NULL.
+        if kind == JoinKind::Left {
+            c.nullable = true;
+        }
+        cols.push(c);
+    }
+    let schema = Schema::new(format!("{}_{}", ls.name, rs.name), cols)?;
+
+    // Hash join, build side = right. NULL keys never match (SQL semantics).
+    let mut index: HashMap<Vec<&Value>, Vec<&Row>> = HashMap::new();
+    for row in rt.rows() {
+        let key: Vec<&Value> = r_idx.iter().map(|&i| &row[i]).collect();
+        if key.iter().any(|v| v.is_null()) {
+            continue;
+        }
+        index.entry(key).or_default().push(row);
+    }
+    let r_arity = rs.arity();
+    let mut out: Vec<Row> = Vec::new();
+    for lrow in lt.rows() {
+        let key: Vec<&Value> = l_idx.iter().map(|&i| &lrow[i]).collect();
+        let matches = if key.iter().any(|v| v.is_null()) {
+            None
+        } else {
+            index.get(&key)
+        };
+        match matches {
+            Some(rrows) => {
+                for rrow in rrows {
+                    let mut row = lrow.clone();
+                    row.extend(rrow.iter().cloned());
+                    out.push(row);
+                }
+            }
+            None if kind == JoinKind::Left => {
+                let mut row = lrow.clone();
+                row.extend(std::iter::repeat_n(Value::Null, r_arity));
+                out.push(row);
+            }
+            None => {}
+        }
+    }
+    Table::from_rows(schema, out)
+}
+
+fn eval_unpivot(
+    db: &Database,
+    input: &Plan,
+    keys: &[String],
+    attr_col: &str,
+    val_col: &str,
+) -> RelResult<Table> {
+    let t = input.eval(db)?;
+    let s = t.schema().clone();
+    let key_idx: Vec<usize> = keys
+        .iter()
+        .map(|k| {
+            s.index_of(k).ok_or_else(|| RelError::UnknownColumn {
+                table: s.name.clone(),
+                column: k.clone(),
+            })
+        })
+        .collect::<RelResult<_>>()?;
+    let data_idx: Vec<usize> = (0..s.arity()).filter(|i| !key_idx.contains(i)).collect();
+    let mut cols: Vec<Column> = key_idx.iter().map(|&i| s.columns()[i].clone()).collect();
+    cols.push(Column::new(attr_col, DataType::Text));
+    cols.push(Column::new(val_col, DataType::Text));
+    let schema = Schema::new(format!("{}_eav", s.name), cols)?;
+    let mut rows = Vec::new();
+    for row in t.rows() {
+        for &di in &data_idx {
+            if row[di].is_null() {
+                continue; // unanswered controls simply have no EAV row
+            }
+            let mut out: Row = key_idx.iter().map(|&i| row[i].clone()).collect();
+            out.push(Value::text(s.columns()[di].name.clone()));
+            out.push(Value::text(row[di].to_string()));
+            rows.push(out);
+        }
+    }
+    Table::from_rows(schema, rows)
+}
+
+/// Parse a textual EAV value back into a typed column value.
+pub fn cast_text(text: &str, ty: DataType) -> RelResult<Value> {
+    let v = match ty {
+        DataType::Text => Some(Value::text(text)),
+        DataType::Bool => match text {
+            "TRUE" | "true" | "1" => Some(Value::Bool(true)),
+            "FALSE" | "false" | "0" => Some(Value::Bool(false)),
+            _ => None,
+        },
+        DataType::Int => text.parse::<i64>().ok().map(Value::Int),
+        DataType::Float => text.parse::<f64>().ok().map(Value::Float),
+        DataType::Date => parse_iso_date(text),
+    };
+    v.ok_or_else(|| RelError::Eval(format!("cannot cast '{text}' to {ty}")))
+}
+
+fn parse_iso_date(s: &str) -> Option<Value> {
+    let mut it = s.split('-');
+    let y: i32 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(Value::date_from_ymd(y, m, d))
+}
+
+fn eval_pivot(
+    db: &Database,
+    input: &Plan,
+    keys: &[String],
+    attr_col: &str,
+    val_col: &str,
+    attrs: &[(String, DataType)],
+) -> RelResult<Table> {
+    let t = input.eval(db)?;
+    let s = t.schema().clone();
+    let key_idx: Vec<usize> = keys
+        .iter()
+        .map(|k| {
+            s.index_of(k).ok_or_else(|| RelError::UnknownColumn {
+                table: s.name.clone(),
+                column: k.clone(),
+            })
+        })
+        .collect::<RelResult<_>>()?;
+    let attr_idx = s
+        .index_of(attr_col)
+        .ok_or_else(|| RelError::UnknownColumn {
+            table: s.name.clone(),
+            column: attr_col.to_owned(),
+        })?;
+    let val_idx = s.index_of(val_col).ok_or_else(|| RelError::UnknownColumn {
+        table: s.name.clone(),
+        column: val_col.to_owned(),
+    })?;
+
+    let mut cols: Vec<Column> = key_idx.iter().map(|&i| s.columns()[i].clone()).collect();
+    for (name, ty) in attrs {
+        cols.push(Column::new(name.clone(), *ty));
+    }
+    let schema = Schema::new(format!("{}_wide", s.name), cols)?;
+
+    // Preserve first-seen entity order for deterministic output.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Row> = HashMap::new();
+    let attr_pos: HashMap<&str, usize> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+    for row in t.rows() {
+        let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            let mut r: Row = key_idx.iter().map(|&i| row[i].clone()).collect();
+            r.extend(std::iter::repeat_n(Value::Null, attrs.len()));
+            r
+        });
+        let attr = match &row[attr_idx] {
+            Value::Text(a) => a.as_str(),
+            other => {
+                return Err(RelError::Eval(format!(
+                    "pivot attribute column holds non-text value {other}"
+                )))
+            }
+        };
+        if let Some(&pos) = attr_pos.get(attr) {
+            let text = match &row[val_idx] {
+                Value::Null => continue,
+                Value::Text(t) => t.clone(),
+                other => other.to_string(),
+            };
+            entry[key_idx.len() + pos] = cast_text(&text, attrs[pos].1)?;
+        }
+        // Attributes outside `attrs` are silently dropped: the g-tree query
+        // asked only for these nodes.
+    }
+    let rows: Vec<Row> = order
+        .into_iter()
+        .map(|k| groups.remove(&k).expect("group exists"))
+        .collect();
+    Table::from_rows(schema, rows)
+}
+
+fn eval_aggregate(
+    db: &Database,
+    input: &Plan,
+    group_by: &[String],
+    aggregates: &[Aggregate],
+) -> RelResult<Table> {
+    let t = input.eval(db)?;
+    let s = t.schema().clone();
+    let g_idx: Vec<usize> = group_by
+        .iter()
+        .map(|c| {
+            s.index_of(c).ok_or_else(|| RelError::UnknownColumn {
+                table: s.name.clone(),
+                column: c.clone(),
+            })
+        })
+        .collect::<RelResult<_>>()?;
+    let agg_idx: Vec<Option<usize>> = aggregates
+        .iter()
+        .map(|a| match &a.func {
+            AggFunc::CountAll => Ok(None),
+            AggFunc::Count(c)
+            | AggFunc::Sum(c)
+            | AggFunc::Avg(c)
+            | AggFunc::Min(c)
+            | AggFunc::Max(c) => s
+                .index_of(c)
+                .map(Some)
+                .ok_or_else(|| RelError::UnknownColumn {
+                    table: s.name.clone(),
+                    column: c.clone(),
+                }),
+        })
+        .collect::<RelResult<_>>()?;
+
+    let mut cols: Vec<Column> = g_idx.iter().map(|&i| s.columns()[i].clone()).collect();
+    for (a, idx) in aggregates.iter().zip(&agg_idx) {
+        let ty = match &a.func {
+            AggFunc::CountAll | AggFunc::Count(_) => DataType::Int,
+            AggFunc::Avg(_) => DataType::Float,
+            AggFunc::Sum(_) | AggFunc::Min(_) | AggFunc::Max(_) => {
+                s.columns()[idx.expect("column agg")].data_type
+            }
+        };
+        cols.push(Column::new(a.alias.clone(), ty));
+    }
+    let schema = Schema::new(format!("{}_agg", s.name), cols)?;
+
+    #[derive(Default)]
+    struct Acc {
+        count: i64,
+        sum: f64,
+        sum_is_float: bool,
+        sum_int: i64,
+        min: Option<Value>,
+        max: Option<Value>,
+        non_null: i64,
+    }
+
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    // SQL semantics: a global aggregation (no GROUP BY) always produces
+    // exactly one row, even over an empty input — COUNT(*) of nothing is 0.
+    if group_by.is_empty() {
+        order.push(Vec::new());
+        groups.insert(
+            Vec::new(),
+            (0..aggregates.len()).map(|_| Acc::default()).collect(),
+        );
+    }
+    for row in t.rows() {
+        let key: Vec<Value> = g_idx.iter().map(|&i| row[i].clone()).collect();
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (0..aggregates.len()).map(|_| Acc::default()).collect()
+        });
+        for ((a, idx), acc) in aggregates.iter().zip(&agg_idx).zip(accs.iter_mut()) {
+            acc.count += 1;
+            if let Some(i) = idx {
+                let v = &row[*i];
+                if v.is_null() {
+                    continue;
+                }
+                acc.non_null += 1;
+                if let Some(f) = v.as_f64() {
+                    acc.sum += f;
+                    if let Value::Int(n) = v {
+                        acc.sum_int = acc.sum_int.wrapping_add(*n);
+                    } else {
+                        acc.sum_is_float = true;
+                    }
+                }
+                if acc.min.as_ref().is_none_or(|m| v < m) {
+                    acc.min = Some(v.clone());
+                }
+                if acc.max.as_ref().is_none_or(|m| v > m) {
+                    acc.max = Some(v.clone());
+                }
+                let _ = a;
+            }
+        }
+    }
+
+    let mut rows = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group exists");
+        let mut row = key;
+        for (a, acc) in aggregates.iter().zip(accs) {
+            let v = match &a.func {
+                AggFunc::CountAll => Value::Int(acc.count),
+                AggFunc::Count(_) => Value::Int(acc.non_null),
+                AggFunc::Sum(_) => {
+                    if acc.non_null == 0 {
+                        Value::Null
+                    } else if acc.sum_is_float {
+                        Value::Float(acc.sum)
+                    } else {
+                        Value::Int(acc.sum_int)
+                    }
+                }
+                AggFunc::Avg(_) => {
+                    if acc.non_null == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(acc.sum / acc.non_null as f64)
+                    }
+                }
+                AggFunc::Min(_) => acc.min.unwrap_or(Value::Null),
+                AggFunc::Max(_) => acc.max.unwrap_or(Value::Null),
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    Table::from_rows(schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+
+    fn db() -> Database {
+        let mut db = Database::new("clinic");
+        let procs = Schema::new(
+            "procedures",
+            vec![
+                Column::required("proc_id", DataType::Int),
+                Column::new("patient", DataType::Text),
+                Column::new("packs", DataType::Int),
+                Column::new("hypoxia", DataType::Bool),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["proc_id"])
+        .unwrap();
+        db.create_table(
+            Table::from_rows(
+                procs,
+                vec![
+                    vec![1.into(), "ada".into(), 0.into(), true.into()],
+                    vec![2.into(), "bob".into(), 3.into(), false.into()],
+                    vec![3.into(), "cyd".into(), Value::Null, true.into()],
+                    vec![4.into(), "ada".into(), 1.into(), false.into()],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let findings = Schema::new(
+            "findings",
+            vec![
+                Column::required("proc_id", DataType::Int),
+                Column::new("finding", DataType::Text),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            Table::from_rows(
+                findings,
+                vec![
+                    vec![1.into(), "polyp".into()],
+                    vec![1.into(), "fissure".into()],
+                    vec![2.into(), "polyp".into()],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_project() {
+        let db = db();
+        let t = Plan::scan("procedures")
+            .select(Expr::col("hypoxia").eq(Expr::lit(true)))
+            .project_cols(&["patient"])
+            .eval(&db)
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][0], Value::text("ada"));
+    }
+
+    #[test]
+    fn computed_projection_types() {
+        let db = db();
+        let t = Plan::scan("procedures")
+            .project(vec![(
+                "double_packs",
+                Expr::col("packs").mul(Expr::lit(2i64)),
+            )])
+            .eval(&db)
+            .unwrap();
+        assert_eq!(t.schema().columns()[0].data_type, DataType::Int);
+        assert_eq!(t.rows()[1][0], Value::Int(6));
+        assert!(t.rows()[2][0].is_null());
+    }
+
+    #[test]
+    fn inner_and_left_join() {
+        let db = db();
+        let inner = Plan::scan("procedures")
+            .join(
+                Plan::scan("findings"),
+                vec![("proc_id", "proc_id")],
+                JoinKind::Inner,
+            )
+            .eval(&db)
+            .unwrap();
+        assert_eq!(inner.len(), 3);
+        // Collision on proc_id gets prefixed.
+        assert!(inner.schema().index_of("findings.proc_id").is_some());
+
+        let left = Plan::scan("procedures")
+            .join(
+                Plan::scan("findings"),
+                vec![("proc_id", "proc_id")],
+                JoinKind::Left,
+            )
+            .eval(&db)
+            .unwrap();
+        assert_eq!(left.len(), 5); // procs 3 and 4 padded with NULLs
+        let pad = left.rows().iter().find(|r| r[0] == Value::Int(3)).unwrap();
+        assert!(pad[5].is_null());
+    }
+
+    #[test]
+    fn union_and_distinct() {
+        let db = db();
+        let p = Plan::scan("procedures").project_cols(&["patient"]);
+        let u = Plan::union(vec![p.clone(), p]).eval(&db).unwrap();
+        assert_eq!(u.len(), 8);
+        let d = Plan::union(vec![
+            Plan::scan("procedures").project_cols(&["patient"]),
+            Plan::scan("procedures").project_cols(&["patient"]),
+        ])
+        .distinct()
+        .eval(&db)
+        .unwrap();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn union_incompatible_rejected() {
+        let db = db();
+        let err = Plan::union(vec![
+            Plan::scan("procedures").project_cols(&["patient"]),
+            Plan::scan("procedures").project_cols(&["packs"]),
+        ])
+        .eval(&db)
+        .unwrap_err();
+        assert!(matches!(err, RelError::Plan(_)));
+    }
+
+    #[test]
+    fn unpivot_then_pivot_roundtrips() {
+        let db = db();
+        let eav = Plan::Unpivot {
+            input: Box::new(Plan::scan("procedures")),
+            keys: vec!["proc_id".into()],
+            attr_col: "attr".into(),
+            val_col: "val".into(),
+        };
+        let eav_t = eav.clone().eval(&db).unwrap();
+        // 4 procs × 3 data cols, minus 1 NULL packs
+        assert_eq!(eav_t.len(), 11);
+
+        let wide = Plan::Pivot {
+            input: Box::new(eav),
+            keys: vec!["proc_id".into()],
+            attr_col: "attr".into(),
+            val_col: "val".into(),
+            attrs: vec![
+                ("patient".into(), DataType::Text),
+                ("packs".into(), DataType::Int),
+                ("hypoxia".into(), DataType::Bool),
+            ],
+        }
+        .eval(&db)
+        .unwrap();
+        assert_eq!(wide.len(), 4);
+        let orig = db.table("procedures").unwrap();
+        for (a, b) in orig.rows().iter().zip(wide.rows()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn aggregate_by_group() {
+        let db = db();
+        let t = Plan::scan("procedures")
+            .aggregate(
+                &["patient"],
+                vec![
+                    Aggregate {
+                        func: AggFunc::CountAll,
+                        alias: "n".into(),
+                    },
+                    Aggregate {
+                        func: AggFunc::Sum("packs".into()),
+                        alias: "total_packs".into(),
+                    },
+                    Aggregate {
+                        func: AggFunc::Avg("packs".into()),
+                        alias: "avg_packs".into(),
+                    },
+                ],
+            )
+            .sort_by(&["patient"])
+            .eval(&db)
+            .unwrap();
+        assert_eq!(t.len(), 3);
+        // ada: rows 1 & 4, packs 0 + 1
+        assert_eq!(
+            t.rows()[0],
+            vec![Value::text("ada"), 2.into(), 1.into(), Value::Float(0.5)]
+        );
+        // cyd: packs NULL → SUM NULL, COUNT(*)=1
+        assert_eq!(t.rows()[2][0], Value::text("cyd"));
+        assert!(t.rows()[2][2].is_null());
+    }
+
+    #[test]
+    fn count_distinct_via_distinct_plan() {
+        let db = db();
+        let t = Plan::scan("findings")
+            .project_cols(&["finding"])
+            .distinct()
+            .aggregate(
+                &[],
+                vec![Aggregate {
+                    func: AggFunc::CountAll,
+                    alias: "n".into(),
+                }],
+            )
+            .eval(&db)
+            .unwrap();
+        assert_eq!(t.rows()[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input_yields_one_row() {
+        let mut db = Database::new("d");
+        let s = Schema::new("e", vec![Column::new("x", DataType::Int)]).unwrap();
+        db.create_table(Table::new(s)).unwrap();
+        let t = Plan::scan("e")
+            .aggregate(
+                &[],
+                vec![
+                    Aggregate {
+                        func: AggFunc::CountAll,
+                        alias: "n".into(),
+                    },
+                    Aggregate {
+                        func: AggFunc::Sum("x".into()),
+                        alias: "s".into(),
+                    },
+                    Aggregate {
+                        func: AggFunc::Min("x".into()),
+                        alias: "m".into(),
+                    },
+                ],
+            )
+            .eval(&db)
+            .unwrap();
+        assert_eq!(
+            t.len(),
+            1,
+            "SQL: COUNT(*) over empty input is a single 0 row"
+        );
+        assert_eq!(t.rows()[0][0], Value::Int(0));
+        assert!(t.rows()[0][1].is_null());
+        assert!(t.rows()[0][2].is_null());
+        // Grouped aggregation over empty input stays empty.
+        let g = Plan::scan("e")
+            .aggregate(
+                &["x"],
+                vec![Aggregate {
+                    func: AggFunc::CountAll,
+                    alias: "n".into(),
+                }],
+            )
+            .eval(&db)
+            .unwrap();
+        assert_eq!(g.len(), 0);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let db = db();
+        let t = Plan::scan("procedures")
+            .sort_by(&["packs"])
+            .limit(2)
+            .eval(&db)
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(
+            t.rows()[0][2].is_null(),
+            "NULL sorts first under total order"
+        );
+    }
+
+    #[test]
+    fn scanned_tables_transitive() {
+        let p = Plan::scan("a")
+            .join(Plan::scan("b"), vec![("x", "x")], JoinKind::Inner)
+            .select(Expr::col("x").is_not_null());
+        assert_eq!(p.scanned_tables(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn cast_text_all_types() {
+        assert_eq!(cast_text("42", DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(
+            cast_text("2.5", DataType::Float).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            cast_text("TRUE", DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            cast_text("2006-03-26", DataType::Date).unwrap(),
+            Value::date_from_ymd(2006, 3, 26)
+        );
+        assert!(cast_text("notanint", DataType::Int).is_err());
+        assert!(cast_text("2006-13-01", DataType::Date).is_err());
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut db = Database::new("t");
+        let s = Schema::new("l", vec![Column::new("k", DataType::Int)]).unwrap();
+        db.create_table(Table::from_rows(s, vec![vec![Value::Null], vec![1.into()]]).unwrap())
+            .unwrap();
+        let s = Schema::new("r", vec![Column::new("k", DataType::Int)]).unwrap();
+        db.create_table(Table::from_rows(s, vec![vec![Value::Null], vec![1.into()]]).unwrap())
+            .unwrap();
+        let t = Plan::scan("l")
+            .join(Plan::scan("r"), vec![("k", "k")], JoinKind::Inner)
+            .eval(&db)
+            .unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Databases (named table collections) and catalogs (named databases).
+//!
+//! A contributor's physical database, the temporary databases between ETL
+//! stages (Figure 6), and the warehouse's study-schema storage (Figure 7)
+//! are all `Database` instances; a `Catalog` holds them side by side.
+
+use crate::error::{RelError, RelResult};
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named collection of tables. Table names are unique; iteration order is
+/// deterministic (sorted by name) so printed output is stable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Database {
+    pub name: String,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    pub fn new(name: impl Into<String>) -> Database {
+        Database {
+            name: name.into(),
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Register a table under its schema name.
+    pub fn create_table(&mut self, table: Table) -> RelResult<()> {
+        let name = table.schema().name.clone();
+        if self.tables.contains_key(&name) {
+            return Err(RelError::DuplicateTable(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Register a table, replacing any existing one of the same name (used
+    /// by ETL loads into temporary databases).
+    pub fn put_table(&mut self, table: Table) {
+        self.tables.insert(table.schema().name.clone(), table);
+    }
+
+    pub fn table(&self, name: &str) -> RelResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RelError::UnknownTable(name.to_owned()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> RelResult<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| RelError::UnknownTable(name.to_owned()))
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> RelResult<Table> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| RelError::UnknownTable(name.to_owned()))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total row count across all tables (used by size reports in the
+    /// materialization experiments).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Restore all primary-key indexes after deserialization.
+    pub fn reindex(&mut self) -> RelResult<()> {
+        for t in self.tables.values_mut() {
+            t.reindex()?;
+        }
+        Ok(())
+    }
+}
+
+/// A catalog of databases, keyed by name — one per contributor plus the
+/// temporary and warehouse databases.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    databases: BTreeMap<String, Database>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    pub fn insert(&mut self, db: Database) {
+        self.databases.insert(db.name.clone(), db);
+    }
+
+    pub fn database(&self, name: &str) -> RelResult<&Database> {
+        self.databases
+            .get(name)
+            .ok_or_else(|| RelError::UnknownTable(format!("database `{name}`")))
+    }
+
+    pub fn database_mut(&mut self, name: &str) -> RelResult<&mut Database> {
+        self.databases
+            .get_mut(name)
+            .ok_or_else(|| RelError::UnknownTable(format!("database `{name}`")))
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.databases.keys().map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.databases.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.databases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::{DataType, Value};
+
+    fn t(name: &str) -> Table {
+        Table::new(Schema::new(name, vec![Column::new("x", DataType::Int)]).unwrap())
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new("d");
+        db.create_table(t("a")).unwrap();
+        assert!(db.table("a").is_ok());
+        assert!(matches!(db.table("b"), Err(RelError::UnknownTable(_))));
+        assert!(matches!(
+            db.create_table(t("a")),
+            Err(RelError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn put_table_replaces() {
+        let mut db = Database::new("d");
+        db.create_table(t("a")).unwrap();
+        let mut t2 = t("a");
+        t2.insert(vec![Value::Int(1)]).unwrap();
+        db.put_table(t2);
+        assert_eq!(db.table("a").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn drop_and_counts() {
+        let mut db = Database::new("d");
+        db.create_table(t("a")).unwrap();
+        db.create_table(t("b")).unwrap();
+        assert_eq!(db.table_count(), 2);
+        db.drop_table("a").unwrap();
+        assert_eq!(db.table_count(), 1);
+        assert_eq!(db.total_rows(), 0);
+    }
+
+    #[test]
+    fn catalog_round() {
+        let mut c = Catalog::new();
+        c.insert(Database::new("vendor1"));
+        c.insert(Database::new("vendor2"));
+        assert_eq!(c.len(), 2);
+        assert!(c.database("vendor1").is_ok());
+        assert!(c.database("vendor9").is_err());
+        let names: Vec<&str> = c.names().collect();
+        assert_eq!(names, vec!["vendor1", "vendor2"]);
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut db = Database::new("d");
+        db.create_table(t("zeta")).unwrap();
+        db.create_table(t("alpha")).unwrap();
+        let names: Vec<&str> = db.table_names().collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

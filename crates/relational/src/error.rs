@@ -1,0 +1,88 @@
+//! Error type shared by the relational substrate.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// Errors raised by schema operations, DML, and query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A table name was not found in the database.
+    UnknownTable(String),
+    /// A column name was not found in a schema.
+    UnknownColumn { table: String, column: String },
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// A schema declares the same column twice.
+    DuplicateColumn(String),
+    /// A row's arity does not match the schema.
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A value's type does not match the column type.
+    TypeMismatch {
+        column: String,
+        expected: DataType,
+        got: Option<DataType>,
+    },
+    /// A NULL was supplied for a NOT NULL column.
+    NullViolation(String),
+    /// A duplicate primary key was inserted.
+    DuplicateKey { table: String, key: String },
+    /// Expression evaluation failed (type errors, division by zero, ...).
+    Eval(String),
+    /// A query plan is malformed (e.g. union of incompatible schemas).
+    Plan(String),
+    /// CSV parsing failed.
+    Csv(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            RelError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in `{table}`")
+            }
+            RelError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            RelError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            RelError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "row arity {got} does not match schema of `{table}` (expected {expected})"
+                )
+            }
+            RelError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => match got {
+                Some(got) => write!(
+                    f,
+                    "type mismatch in `{column}`: expected {expected}, got {got}"
+                ),
+                None => write!(
+                    f,
+                    "type mismatch in `{column}`: expected {expected}, got NULL"
+                ),
+            },
+            RelError::NullViolation(c) => write!(f, "NULL in NOT NULL column `{c}`"),
+            RelError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key {key} in `{table}`")
+            }
+            RelError::Eval(m) => write!(f, "evaluation error: {m}"),
+            RelError::Plan(m) => write!(f, "invalid plan: {m}"),
+            RelError::Csv(m) => write!(f, "csv error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Result alias used throughout the substrate.
+pub type RelResult<T> = Result<T, RelError>;

@@ -1,0 +1,58 @@
+//! # guava-relational
+//!
+//! The relational substrate underneath the GUAVA/MultiClass reproduction:
+//! an embedded, in-memory relational engine with typed values, schemas,
+//! primary-keyed tables, a scalar expression language, and a relational
+//! algebra evaluator covering selection, projection, joins, union,
+//! distinct, aggregation, sorting, and the pivot/un-pivot pair required by
+//! generic (Entity–Attribute–Value) contributor layouts.
+//!
+//! In the paper's architecture (Figure 1 / Figure 6) this crate plays the
+//! role of every concrete database: the contributors' physical databases,
+//! the temporary databases between ETL components, and the warehouse's
+//! study-schema storage.
+//!
+//! ```
+//! use guava_relational::prelude::*;
+//!
+//! let schema = Schema::new("procedures", vec![
+//!     Column::required("id", DataType::Int),
+//!     Column::new("hypoxia", DataType::Bool),
+//! ]).unwrap().with_primary_key(&["id"]).unwrap();
+//!
+//! let mut db = Database::new("cori");
+//! db.create_table(Table::from_rows(schema, vec![
+//!     vec![Value::Int(1), Value::Bool(true)],
+//!     vec![Value::Int(2), Value::Bool(false)],
+//! ]).unwrap()).unwrap();
+//!
+//! let hypoxic = Plan::scan("procedures")
+//!     .select(Expr::col("hypoxia").eq(Expr::lit(true)))
+//!     .eval(&db)
+//!     .unwrap();
+//! assert_eq!(hypoxic.len(), 1);
+//! ```
+
+pub mod algebra;
+pub mod csv;
+pub mod database;
+pub mod error;
+pub mod expr;
+pub mod optimize;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+/// Convenient glob-import of the substrate's core types.
+pub mod prelude {
+    pub use crate::algebra::{AggFunc, Aggregate, JoinKind, Plan};
+    pub use crate::database::{Catalog, Database};
+    pub use crate::error::{RelError, RelResult};
+    pub use crate::expr::{BinOp, Expr};
+    pub use crate::optimize::optimize;
+    pub use crate::schema::{Column, Schema};
+    pub use crate::table::{Row, Table};
+    pub use crate::value::{DataType, Value};
+}
+
+pub use prelude::*;

@@ -1,0 +1,455 @@
+//! A conservative logical plan optimizer.
+//!
+//! Pattern-stack decode rewrites (GUAVA's g-tree → physical translation)
+//! mechanically produce towers of Rename/Project/Select nodes with the
+//! analyst's predicate sitting at the very top. Because our executor
+//! materializes every operator, a top-level selection forces full
+//! intermediate tables. The optimizer applies a small set of
+//! semantics-preserving rules:
+//!
+//! * **Select fusion** — `σ_p(σ_q(T)) → σ_{q AND p}(T)`;
+//! * **Select past Rename** — rewrite predicate columns through the
+//!   inverse renaming and push below;
+//! * **Select into Project** — substitute the projected expressions into
+//!   the predicate and push below (legal because projection already
+//!   evaluates those expressions for every row, so error behaviour is
+//!   unchanged);
+//! * **Select past Union** — distribute into every branch;
+//! * **Select past Sort** — filter before sorting;
+//! * **Project fusion** — collapse `π(π(T))` by substitution;
+//! * **Identity Rename removal**.
+//!
+//! Equivalence with the unoptimized plan is property-tested in
+//! `tests/pattern_roundtrip.rs` (`optimizer_preserves_decode_semantics`), and the win is measured by the
+//! `pattern_overhead` benchmark's `pattern_decode_optimized` group.
+
+use crate::algebra::Plan;
+use crate::expr::Expr;
+use std::collections::BTreeMap;
+
+/// Optimize a plan. Always semantics-preserving; at worst returns an
+/// equivalent plan of the same shape.
+pub fn optimize(plan: &Plan) -> Plan {
+    // Apply rules bottom-up repeatedly until a fixed point (the rule set
+    // is size-reducing on the select/project/rename alternation, so this
+    // terminates quickly).
+    let mut current = rewrite(plan);
+    for _ in 0..8 {
+        let next = rewrite(&current);
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+fn rewrite(plan: &Plan) -> Plan {
+    // First rewrite the children, then the node itself.
+    let node = map_children(plan, &rewrite);
+    rewrite_node(node)
+}
+
+fn map_children(plan: &Plan, f: &impl Fn(&Plan) -> Plan) -> Plan {
+    match plan {
+        Plan::Scan(_) | Plan::Values { .. } => plan.clone(),
+        Plan::Select { input, predicate } => Plan::Select {
+            input: Box::new(f(input)),
+            predicate: predicate.clone(),
+        },
+        Plan::Project { input, columns } => Plan::Project {
+            input: Box::new(f(input)),
+            columns: columns.clone(),
+        },
+        Plan::Rename {
+            input,
+            table,
+            columns,
+        } => Plan::Rename {
+            input: Box::new(f(input)),
+            table: table.clone(),
+            columns: columns.clone(),
+        },
+        Plan::Join {
+            left,
+            right,
+            on,
+            kind,
+        } => Plan::Join {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+            on: on.clone(),
+            kind: *kind,
+        },
+        Plan::Union { inputs } => Plan::Union {
+            inputs: inputs.iter().map(f).collect(),
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(f(input)),
+        },
+        Plan::Unpivot {
+            input,
+            keys,
+            attr_col,
+            val_col,
+        } => Plan::Unpivot {
+            input: Box::new(f(input)),
+            keys: keys.clone(),
+            attr_col: attr_col.clone(),
+            val_col: val_col.clone(),
+        },
+        Plan::Pivot {
+            input,
+            keys,
+            attr_col,
+            val_col,
+            attrs,
+        } => Plan::Pivot {
+            input: Box::new(f(input)),
+            keys: keys.clone(),
+            attr_col: attr_col.clone(),
+            val_col: val_col.clone(),
+            attrs: attrs.clone(),
+        },
+        Plan::AggregateBy {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::AggregateBy {
+            input: Box::new(f(input)),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+        Plan::Sort { input, by } => Plan::Sort {
+            input: Box::new(f(input)),
+            by: by.clone(),
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(f(input)),
+            n: *n,
+        },
+    }
+}
+
+fn rewrite_node(plan: Plan) -> Plan {
+    match plan {
+        Plan::Select { input, predicate } => push_select(*input, predicate),
+        Plan::Project { input, columns } => fuse_project(*input, columns),
+        Plan::Rename {
+            input,
+            table,
+            columns,
+        } if columns.is_empty() && table.is_none() => *input,
+        other => other,
+    }
+}
+
+/// Push a selection as far down as the safe rules allow.
+fn push_select(input: Plan, predicate: Expr) -> Plan {
+    match input {
+        // σ_p(σ_q(T)) = σ_{q AND p}(T) — q first preserves evaluation
+        // order for error behaviour.
+        Plan::Select {
+            input,
+            predicate: inner,
+        } => push_select(*input, inner.and(predicate)),
+        // σ_p(ρ(T)) = ρ(σ_{p'}(T)) with columns mapped back.
+        Plan::Rename {
+            input,
+            table,
+            columns,
+        } => {
+            let reverse: BTreeMap<&str, &str> = columns
+                .iter()
+                .map(|(from, to)| (to.as_str(), from.as_str()))
+                .collect();
+            let mapped = predicate.map_columns(&|c| {
+                reverse
+                    .get(c)
+                    .map(|s| (*s).to_owned())
+                    .unwrap_or_else(|| c.to_owned())
+            });
+            Plan::Rename {
+                input: Box::new(push_select(*input, mapped)),
+                table,
+                columns,
+            }
+        }
+        // σ_p(π(T)) = π(σ_{p[cols→exprs]}(T)).
+        Plan::Project { input, columns } => {
+            let by_alias: BTreeMap<&str, &Expr> =
+                columns.iter().map(|(a, e)| (a.as_str(), e)).collect();
+            // Only safe when every referenced column is produced by the
+            // projection (it must be, for the original plan to be valid).
+            let substituted = substitute(&predicate, &by_alias);
+            Plan::Project {
+                input: Box::new(push_select(*input, substituted)),
+                columns,
+            }
+        }
+        // σ_p(T1 ∪ T2) = σ_p(T1) ∪ σ_p(T2).
+        Plan::Union { inputs } => Plan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(|p| push_select(p, predicate.clone()))
+                .collect(),
+        },
+        // σ_p(sort(T)) = sort(σ_p(T)).
+        Plan::Sort { input, by } => Plan::Sort {
+            input: Box::new(push_select(*input, predicate)),
+            by,
+        },
+        // σ_p(δ(T)) = δ(σ_p(T)).
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(push_select(*input, predicate)),
+        },
+        other => Plan::Select {
+            input: Box::new(other),
+            predicate,
+        },
+    }
+}
+
+/// Substitute column references by the expressions a projection binds them
+/// to. Unknown columns stay as references (callers guarantee validity).
+fn substitute(e: &Expr, bindings: &BTreeMap<&str, &Expr>) -> Expr {
+    match e {
+        Expr::Col(c) => bindings
+            .get(c.as_str())
+            .map(|b| (*b).clone())
+            .unwrap_or_else(|| e.clone()),
+        Expr::Lit(_) => e.clone(),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(substitute(a, bindings)),
+            Box::new(substitute(b, bindings)),
+        ),
+        Expr::Not(x) => Expr::Not(Box::new(substitute(x, bindings))),
+        Expr::Neg(x) => Expr::Neg(Box::new(substitute(x, bindings))),
+        Expr::IsNull(x) => Expr::IsNull(Box::new(substitute(x, bindings))),
+        Expr::IsNotNull(x) => Expr::IsNotNull(Box::new(substitute(x, bindings))),
+        Expr::InList(x, vs) => Expr::InList(Box::new(substitute(x, bindings)), vs.clone()),
+        Expr::Coalesce(es) => Expr::Coalesce(es.iter().map(|x| substitute(x, bindings)).collect()),
+        Expr::Case { arms, default } => Expr::Case {
+            arms: arms
+                .iter()
+                .map(|(c, v)| (substitute(c, bindings), substitute(v, bindings)))
+                .collect(),
+            default: Box::new(substitute(default, bindings)),
+        },
+    }
+}
+
+/// Collapse `π_outer(π_inner(T))` by substituting inner expressions into
+/// the outer ones.
+fn fuse_project(input: Plan, outer: Vec<(String, Expr)>) -> Plan {
+    match input {
+        Plan::Project {
+            input: inner_input,
+            columns: inner,
+        } => {
+            let bindings: BTreeMap<&str, &Expr> =
+                inner.iter().map(|(a, e)| (a.as_str(), e)).collect();
+            let fused: Vec<(String, Expr)> = outer
+                .iter()
+                .map(|(alias, e)| (alias.clone(), substitute(e, &bindings)))
+                .collect();
+            Plan::Project {
+                input: inner_input,
+                columns: fused,
+            }
+        }
+        other => Plan::Project {
+            input: Box::new(other),
+            columns: outer,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::schema::{Column, Schema};
+    use crate::table::Table;
+    use crate::value::{DataType, Value};
+
+    fn db() -> Database {
+        let schema = Schema::new(
+            "t",
+            vec![
+                Column::required("id", DataType::Int),
+                Column::new("x", DataType::Int),
+                Column::new("b", DataType::Bool),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["id"])
+        .unwrap();
+        let mut d = Database::new("d");
+        d.create_table(
+            Table::from_rows(
+                schema,
+                (0..20i64)
+                    .map(|i| {
+                        vec![
+                            Value::Int(i),
+                            if i % 5 == 0 {
+                                Value::Null
+                            } else {
+                                Value::Int(i)
+                            },
+                            Value::Bool(i % 2 == 0),
+                        ]
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d
+    }
+
+    fn assert_equivalent(plan: &Plan) {
+        let d = db();
+        let optimized = optimize(plan);
+        let mut a = plan.eval(&d).unwrap().into_rows();
+        let mut b = optimized.eval(&d).unwrap().into_rows();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "optimizer changed semantics of {plan:?}");
+    }
+
+    #[test]
+    fn select_fusion() {
+        let p = Plan::scan("t")
+            .select(Expr::col("x").gt(Expr::lit(3i64)))
+            .select(Expr::col("b").eq(Expr::lit(true)));
+        let o = optimize(&p);
+        // One select directly over the scan.
+        match &o {
+            Plan::Select { input, .. } => assert!(matches!(**input, Plan::Scan(_))),
+            other => panic!("expected fused select, got {other:?}"),
+        }
+        assert_equivalent(&p);
+    }
+
+    #[test]
+    fn select_pushed_past_rename() {
+        let p = Plan::scan("t")
+            .rename_columns(vec![("x", "renamed_x")])
+            .select(Expr::col("renamed_x").gt(Expr::lit(5i64)));
+        let o = optimize(&p);
+        match &o {
+            Plan::Rename { input, .. } => {
+                assert!(
+                    matches!(**input, Plan::Select { .. }),
+                    "select below rename"
+                )
+            }
+            other => panic!("expected rename on top, got {other:?}"),
+        }
+        assert_equivalent(&p);
+    }
+
+    #[test]
+    fn select_pushed_into_project() {
+        let p = Plan::scan("t")
+            .project(vec![
+                ("id", Expr::col("id")),
+                ("double", Expr::col("x").mul(Expr::lit(2i64))),
+            ])
+            .select(Expr::col("double").gt(Expr::lit(10i64)));
+        let o = optimize(&p);
+        match &o {
+            Plan::Project { input, .. } => {
+                assert!(
+                    matches!(**input, Plan::Select { .. }),
+                    "select below project"
+                )
+            }
+            other => panic!("expected project on top, got {other:?}"),
+        }
+        assert_equivalent(&p);
+    }
+
+    #[test]
+    fn select_distributed_over_union() {
+        let p = Plan::union(vec![Plan::scan("t"), Plan::scan("t")])
+            .select(Expr::col("b").eq(Expr::lit(false)));
+        let o = optimize(&p);
+        match &o {
+            Plan::Union { inputs } => {
+                assert!(inputs.iter().all(|i| matches!(i, Plan::Select { .. })))
+            }
+            other => panic!("expected union on top, got {other:?}"),
+        }
+        assert_equivalent(&p);
+    }
+
+    #[test]
+    fn project_fusion() {
+        let p = Plan::scan("t")
+            .project(vec![("y", Expr::col("x").add(Expr::lit(1i64)))])
+            .project(vec![("z", Expr::col("y").mul(Expr::lit(3i64)))]);
+        let o = optimize(&p);
+        match &o {
+            Plan::Project { input, columns } => {
+                assert!(matches!(**input, Plan::Scan(_)), "single fused projection");
+                assert_eq!(columns.len(), 1);
+                assert_eq!(columns[0].0, "z");
+            }
+            other => panic!("expected fused project, got {other:?}"),
+        }
+        assert_equivalent(&p);
+    }
+
+    #[test]
+    fn identity_rename_removed() {
+        let p = Plan::Rename {
+            input: Box::new(Plan::scan("t")),
+            table: None,
+            columns: vec![],
+        };
+        assert!(matches!(optimize(&p), Plan::Scan(_)));
+    }
+
+    #[test]
+    fn deep_tower_collapses() {
+        // The shape decode plans produce: select over rename over project
+        // over select over scan.
+        let p = Plan::scan("t")
+            .select(Expr::col("x").is_not_null())
+            .project(vec![("id", Expr::col("id")), ("x", Expr::col("x"))])
+            .rename_columns(vec![("x", "packs")])
+            .select(Expr::col("packs").ge(Expr::lit(4i64)));
+        assert_equivalent(&p);
+        // The optimized plan evaluates the filter before projecting.
+        let o = optimize(&p);
+        fn select_depth(p: &Plan) -> usize {
+            match p {
+                Plan::Select { input, .. } => 1 + select_depth(input),
+                Plan::Project { input, .. }
+                | Plan::Rename { input, .. }
+                | Plan::Sort { input, .. } => select_depth(input),
+                _ => 0,
+            }
+        }
+        assert_eq!(select_depth(&o), 1, "both selects fused below: {o:?}");
+    }
+
+    #[test]
+    fn aggregates_and_joins_left_untouched() {
+        use crate::algebra::{AggFunc, Aggregate, JoinKind};
+        let p = Plan::scan("t")
+            .join(Plan::scan("t"), vec![("id", "id")], JoinKind::Inner)
+            .aggregate(
+                &[],
+                vec![Aggregate {
+                    func: AggFunc::CountAll,
+                    alias: "n".into(),
+                }],
+            );
+        assert_eq!(optimize(&p), p, "no rule applies; plan unchanged");
+    }
+}

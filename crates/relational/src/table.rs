@@ -1,0 +1,347 @@
+//! In-memory tables: a schema plus row storage with primary-key enforcement.
+
+use crate::error::{RelError, RelResult};
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A row is a boxed slice of values; arity always matches the table schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory table. Rows are stored in insertion order; a hash index over
+/// the primary key (if declared) enforces uniqueness and gives O(1) lookup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+    /// PK tuple → row position. Rebuilt on delete.
+    #[serde(skip)]
+    pk_index: HashMap<Vec<Value>, usize>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+            pk_index: HashMap::new(),
+        }
+    }
+
+    /// Build a table from pre-validated rows, checking each.
+    pub fn from_rows(schema: Schema, rows: impl IntoIterator<Item = Row>) -> RelResult<Table> {
+        let mut t = Table::new(schema);
+        for r in rows {
+            t.insert(r)?;
+        }
+        Ok(t)
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn key_of(&self, row: &[Value]) -> Option<Vec<Value>> {
+        let pk = self.schema.primary_key();
+        if pk.is_empty() {
+            None
+        } else {
+            Some(pk.iter().map(|&i| row[i].clone()).collect())
+        }
+    }
+
+    /// Insert a row, validating schema and primary-key uniqueness.
+    pub fn insert(&mut self, row: Row) -> RelResult<()> {
+        self.schema.check_row(&row)?;
+        if let Some(key) = self.key_of(&row) {
+            if self.pk_index.contains_key(&key) {
+                return Err(RelError::DuplicateKey {
+                    table: self.schema.name.clone(),
+                    key: format!(
+                        "({})",
+                        key.iter()
+                            .map(Value::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+            self.pk_index.insert(key, self.rows.len());
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Look a row up by primary key. `None` if the table has no key or no
+    /// matching row.
+    pub fn get_by_key(&self, key: &[Value]) -> Option<&Row> {
+        self.pk_index.get(key).map(|&i| &self.rows[i])
+    }
+
+    /// Update every row matching `pred` by applying `f`; returns the number
+    /// of rows changed. The PK index is rebuilt afterwards; key collisions
+    /// introduced by the update are reported.
+    pub fn update_where<P, F>(&mut self, pred: P, mut f: F) -> RelResult<usize>
+    where
+        P: Fn(&[Value]) -> bool,
+        F: FnMut(&mut Row),
+    {
+        let mut n = 0;
+        for row in &mut self.rows {
+            if pred(row) {
+                f(row);
+                self.schema.check_row(row)?;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.rebuild_index()?;
+        }
+        Ok(n)
+    }
+
+    /// Delete every row matching `pred`; returns the number removed.
+    pub fn delete_where<P: Fn(&[Value]) -> bool>(&mut self, pred: P) -> RelResult<usize> {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        let removed = before - self.rows.len();
+        if removed > 0 {
+            self.rebuild_index()?;
+        }
+        Ok(removed)
+    }
+
+    fn rebuild_index(&mut self) -> RelResult<()> {
+        self.pk_index.clear();
+        if self.schema.primary_key().is_empty() {
+            return Ok(());
+        }
+        for i in 0..self.rows.len() {
+            let key = self.key_of(&self.rows[i]).expect("pk declared");
+            if self.pk_index.insert(key.clone(), i).is_some() {
+                return Err(RelError::DuplicateKey {
+                    table: self.schema.name.clone(),
+                    key: format!(
+                        "({})",
+                        key.iter()
+                            .map(Value::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Restore the PK index after deserialization (serde skips it).
+    pub fn reindex(&mut self) -> RelResult<()> {
+        self.rebuild_index()
+    }
+
+    /// Value of a named column in a given row.
+    pub fn value(&self, row: usize, column: &str) -> RelResult<&Value> {
+        let idx = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| RelError::UnknownColumn {
+                table: self.schema.name.clone(),
+                column: column.to_owned(),
+            })?;
+        Ok(&self.rows[row][idx])
+    }
+
+    /// Consume the table into its rows (used by plan evaluation).
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Render the table as an ASCII grid — the shape analysts see when a
+    /// study result is exported (and what the `tables` harness prints).
+    pub fn render(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &cells {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let fmt_row = |row: &[String]| {
+            let mut s = String::from("|");
+            for (w, c) in widths.iter().zip(row) {
+                s.push(' ');
+                s.push_str(c);
+                s.push_str(&" ".repeat(w - c.len() + 1));
+                s.push('|');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &cells {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+/// Tables compare by schema and row content (the index is derived state).
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl Eq for Table {}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn patients() -> Table {
+        let schema = Schema::new(
+            "patients",
+            vec![
+                Column::required("id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::new("smoker", DataType::Bool),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["id"])
+        .unwrap();
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::text("ada"), Value::Bool(true)],
+                vec![Value::Int(2), Value::text("bob"), Value::Bool(false)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup_by_key() {
+        let t = patients();
+        assert_eq!(t.len(), 2);
+        let row = t.get_by_key(&[Value::Int(2)]).unwrap();
+        assert_eq!(row[1], Value::text("bob"));
+        assert!(t.get_by_key(&[Value::Int(9)]).is_none());
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = patients();
+        let err = t
+            .insert(vec![Value::Int(1), Value::text("dup"), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, RelError::DuplicateKey { .. }));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn update_where_reindexes() {
+        let mut t = patients();
+        let n = t
+            .update_where(|r| r[0] == Value::Int(2), |r| r[0] = Value::Int(20))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(t.get_by_key(&[Value::Int(20)]).is_some());
+        assert!(t.get_by_key(&[Value::Int(2)]).is_none());
+    }
+
+    #[test]
+    fn update_into_duplicate_key_fails() {
+        let mut t = patients();
+        let err = t
+            .update_where(|r| r[0] == Value::Int(2), |r| r[0] = Value::Int(1))
+            .unwrap_err();
+        assert!(matches!(err, RelError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn delete_where_removes_and_reindexes() {
+        let mut t = patients();
+        assert_eq!(t.delete_where(|r| r[2] == Value::Bool(false)).unwrap(), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.get_by_key(&[Value::Int(2)]).is_none());
+        assert!(t.get_by_key(&[Value::Int(1)]).is_some());
+    }
+
+    #[test]
+    fn typed_insert_rejected() {
+        let mut t = patients();
+        assert!(t
+            .insert(vec![Value::Int(3), Value::Int(5), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn render_contains_headers_and_values() {
+        let s = patients().render();
+        assert!(s.contains("| id "));
+        assert!(s.contains("ada"));
+        assert!(s.contains("FALSE"));
+    }
+
+    #[test]
+    fn serde_roundtrip_with_reindex() {
+        let t = patients();
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: Table = serde_json::from_str(&json).unwrap();
+        assert!(
+            back.get_by_key(&[Value::Int(1)]).is_none(),
+            "index skipped by serde"
+        );
+        back.reindex().unwrap();
+        assert!(back.get_by_key(&[Value::Int(1)]).is_some());
+    }
+}

@@ -1,0 +1,120 @@
+//! The Hypothesis #2 evaluation harness: precision and recall of
+//! classifier-based extraction.
+//!
+//! "Usability testing will include measuring precision and recall;
+//! analysts should be able to extract only and all relevant data from
+//! contributors without technical help" (Section 4.1). Our synthetic
+//! generator knows the ground truth for every instance, so extraction
+//! quality is measurable exactly — including the paper's motivating
+//! failure mode, where a classifier's semantics ("ex-smoker = ever
+//! smoked") silently mismatch the study's definition ("quit in the last
+//! year").
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An extracted (or relevant) item: `(source, instance_id)`.
+pub type Item = (String, i64);
+
+/// Precision/recall of one extraction against a gold standard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionRecall {
+    pub true_positives: usize,
+    pub false_positives: usize,
+    pub false_negatives: usize,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl PrecisionRecall {
+    /// Compare an extraction with the gold standard (set semantics).
+    pub fn evaluate(extracted: &BTreeSet<Item>, gold: &BTreeSet<Item>) -> PrecisionRecall {
+        let tp = extracted.intersection(gold).count();
+        let fp = extracted.len() - tp;
+        let fneg = gold.len() - tp;
+        let precision = if extracted.is_empty() {
+            1.0
+        } else {
+            tp as f64 / extracted.len() as f64
+        };
+        let recall = if gold.is_empty() {
+            1.0
+        } else {
+            tp as f64 / gold.len() as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        PrecisionRecall {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fneg,
+            precision,
+            recall,
+            f1,
+        }
+    }
+
+    /// "Only and all relevant data": both measures perfect.
+    pub fn is_perfect(&self) -> bool {
+        self.false_positives == 0 && self.false_negatives == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(ids: &[i64]) -> BTreeSet<Item> {
+        ids.iter().map(|&i| ("cori".to_owned(), i)).collect()
+    }
+
+    #[test]
+    fn perfect_extraction() {
+        let pr = PrecisionRecall::evaluate(&items(&[1, 2, 3]), &items(&[1, 2, 3]));
+        assert!(pr.is_perfect());
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.f1, 1.0);
+    }
+
+    #[test]
+    fn over_extraction_hurts_precision() {
+        let pr = PrecisionRecall::evaluate(&items(&[1, 2, 3, 4]), &items(&[1, 2]));
+        assert_eq!(pr.true_positives, 2);
+        assert_eq!(pr.false_positives, 2);
+        assert_eq!(pr.precision, 0.5);
+        assert_eq!(pr.recall, 1.0);
+        assert!(!pr.is_perfect());
+    }
+
+    #[test]
+    fn under_extraction_hurts_recall() {
+        let pr = PrecisionRecall::evaluate(&items(&[1]), &items(&[1, 2, 3, 4]));
+        assert_eq!(pr.recall, 0.25);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.false_negatives, 3);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let none = BTreeSet::new();
+        let pr = PrecisionRecall::evaluate(&none, &none);
+        assert!(pr.is_perfect());
+        let pr = PrecisionRecall::evaluate(&none, &items(&[1]));
+        assert_eq!(pr.recall, 0.0);
+        assert_eq!(pr.precision, 1.0, "empty extraction is vacuously precise");
+        assert_eq!(pr.f1, 0.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let pr = PrecisionRecall::evaluate(&items(&[1, 2]), &items(&[3, 4]));
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 0.0);
+        assert_eq!(pr.f1, 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # guava-warehouse
+//!
+//! The study-schema storage layer (paper Section 4.2, Figure 7) and the
+//! Hypothesis #2 evaluation harness.
+//!
+//! * [`mod@materialize`] — fully-materialized study schemas (one table per
+//!   entity classifier, one column per classifier), plus the paper's two
+//!   alternatives: on-demand evaluation and selective materialization with
+//!   algebraically derived classifiers.
+//! * [`eval_harness`] — precision/recall measurement of classifier-based
+//!   extraction against a generator-known gold standard ("analysts should
+//!   be able to extract only and all relevant data").
+
+pub mod eval_harness;
+pub mod materialize;
+
+pub mod prelude {
+    pub use crate::eval_harness::{Item, PrecisionRecall};
+    pub use crate::materialize::{
+        into_database, materialize, render_figure7, DerivedClassifier, MaterializationPolicy,
+        MaterializedTable, StudyStore,
+    };
+}
+
+pub use prelude::*;

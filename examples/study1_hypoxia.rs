@@ -1,0 +1,90 @@
+//! Study 1 from the paper (Section 2), end to end over all three
+//! simulated contributors:
+//!
+//! > "We would like to find out, of all patients undergoing upper GI
+//! > endoscopy, how many (what proportion) had the indication of
+//! > Asthma-specific ENT/Pulmonary Reflux symptoms? Of these, include only
+//! > those with no history of renal failure and with cardiopulmonary and
+//! > abdominal examinations within normal limits. How many of these
+//! > suffered the complication of transient hypoxia? Of these, how many
+//! > required each of the following interventions: surgery, IV fluids, or
+//! > oxygen administration?"
+//!
+//! Run with: `cargo run --example study1_hypoxia`
+
+use guava::clinical::prelude::*;
+use guava::relational::csv::to_csv;
+
+fn main() {
+    let config = GeneratorConfig::default().with_size(600);
+    println!(
+        "generating {} procedures per contributor (seed {:#x})",
+        config.procedures, config.seed
+    );
+    let profiles = generate(&config);
+    let contributors = build_all(&profiles).expect("contributors build");
+
+    let study = study1_definition(&contributors);
+    println!("\nstudy question:\n  {}\n", study.question);
+
+    let (compiled, table) = run_study(&study, &contributors).expect("study 1 runs");
+    println!("compiled ETL workflow:\n{}", compiled.workflow.render());
+
+    // The Hypothesis-3 oracle: ETL output must equal direct evaluation.
+    assert!(
+        cross_check(&compiled, &study, &contributors, &table).unwrap(),
+        "compiled ETL disagrees with direct evaluation"
+    );
+
+    let got = Study1Report::from_table(&table).expect("funnel computes");
+    let expected = Study1Report::expected(&profiles);
+    let pct = |n: usize, d: usize| {
+        if d == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / d as f64
+        }
+    };
+
+    println!(
+        "Study 1 funnel (3 contributors x {} procedures):",
+        config.procedures
+    );
+    println!("  upper GI procedures ............ {:5}", got.population);
+    println!(
+        "  with reflux indication ......... {:5}  ({:.1}% of population)",
+        got.indicated,
+        pct(got.indicated, got.population)
+    );
+    println!(
+        "  eligible (no renal hx, WNL) .... {:5}  ({:.1}% of indicated)",
+        got.eligible,
+        pct(got.eligible, got.indicated)
+    );
+    println!(
+        "  with transient hypoxia ......... {:5}  ({:.1}% of eligible)",
+        got.hypoxia,
+        pct(got.hypoxia, got.eligible)
+    );
+    println!("  interventions among hypoxia cases:");
+    println!("    surgery ...................... {:5}", got.surgery);
+    println!("    IV fluids .................... {:5}", got.iv_fluids);
+    println!("    oxygen ....................... {:5}", got.oxygen);
+
+    assert_eq!(
+        got.population,
+        3 * expected.population,
+        "funnel head matches ground truth"
+    );
+    assert_eq!(
+        got.hypoxia,
+        3 * expected.hypoxia,
+        "funnel tail matches ground truth"
+    );
+
+    // Hand-off format for the statistical package (Section 2).
+    let csv = to_csv(&table);
+    let lines = csv.lines().count();
+    println!("\nCSV export for the statistical package: {lines} lines (header + rows)");
+    println!("study1 OK");
+}

@@ -1,0 +1,68 @@
+//! Study 2 from the paper (Section 2) — the context-sensitivity
+//! demonstration:
+//!
+//! > "Of all procedures on ex-smokers, how many had a complication of
+//! > hypoxia?"
+//!
+//! The paper's warning: "if a study defines an ex-smoker to be someone who
+//! has quit in the last year, but the user interface indicates that an
+//! ex-smoker is anyone who has ever smoked, the data may not be
+//! appropriate to use in that study." We run the study twice — once per
+//! ex-smoker classifier — and measure the damage with the Hypothesis-2
+//! precision/recall harness.
+//!
+//! Run with: `cargo run --example study2_exsmoker`
+
+use guava::clinical::prelude::*;
+use guava::warehouse::eval_harness::PrecisionRecall;
+
+fn main() {
+    let config = GeneratorConfig::default().with_size(600);
+    let profiles = generate(&config);
+    let contributors = build_all(&profiles).expect("contributors build");
+    let names: Vec<&str> = contributors.iter().map(|c| c.name()).collect();
+
+    // The study's *actual* definition: quit within the last year.
+    let gold = gold_ex_smokers(&profiles, ExSmokerMeaning::QuitWithinYear, &names);
+
+    println!("Study 2: of all procedures on ex-smokers, how many had hypoxia?\n");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>8}",
+        "classifier semantics", "ex-smokers", "w/hypoxia", "precision", "recall"
+    );
+    for meaning in [ExSmokerMeaning::QuitWithinYear, ExSmokerMeaning::EverQuit] {
+        let study = study2_definition(&contributors, meaning);
+        let (compiled, table) = run_study(&study, &contributors).expect("study 2 runs");
+        assert!(cross_check(&compiled, &study, &contributors, &table).unwrap());
+        let report = Study2Report::from_table(&table).unwrap();
+        let extracted = extraction_from_table(&table);
+        let pr = PrecisionRecall::evaluate(&extracted, &gold);
+        println!(
+            "{:<28} {:>10} {:>10} {:>9.3} {:>8.3}",
+            meaning.classifier_name(),
+            report.ex_smokers,
+            report.with_hypoxia,
+            pr.precision,
+            pr.recall
+        );
+        match meaning {
+            ExSmokerMeaning::QuitWithinYear => {
+                assert!(
+                    pr.is_perfect(),
+                    "the matching classifier extracts only and all"
+                );
+            }
+            ExSmokerMeaning::EverQuit => {
+                assert!(pr.precision < 1.0, "the loose classifier over-extracts");
+                assert!(
+                    (pr.recall - 1.0).abs() < f64::EPSILON,
+                    "it still finds all true cases"
+                );
+            }
+        }
+    }
+
+    println!("\nThe same study question, two classifier choices, materially different cohorts —");
+    println!("which is why MultiClass records who picked which classifier, when, and why.");
+    println!("study2 OK");
+}

@@ -1,0 +1,101 @@
+//! Tool-version upgrade and classifier propagation (paper Section 6):
+//!
+//! > "We are also interested in handling new versions of a reporting tool
+//! > by propagating classifiers to the next version if their input nodes
+//! > did not change, and suggest new classifiers if there is a change."
+//!
+//! CORI ships version 2.0 of its reporting tool: the smoking question is
+//! reworded and gains an option, and a new asthma-history checkbox
+//! appears. The diff-driven propagation report tells the analysts exactly
+//! which of their classifiers survive.
+//!
+//! Run with: `cargo run --example tool_upgrade`
+
+use guava::clinical::classifiers;
+use guava::clinical::cori;
+use guava::prelude::*;
+use guava_relational::value::DataType;
+
+fn main() {
+    // Version 1.0 is the production CORI tool.
+    let v1 = cori::tool();
+    let tree_v1 = GTree::derive(&v1).expect("v1 derives");
+
+    // Version 2.0: reword the smoking question, add a "vapes" option, and
+    // introduce an asthma-history checkbox.
+    let mut v2 = cori::tool();
+    v2.version = "2.0".into();
+    {
+        let form = &mut v2.forms[0];
+        let history = form
+            .controls
+            .iter_mut()
+            .find(|c| c.id == "medical_history")
+            .expect("history group");
+        for child in &mut history.children {
+            if child.id == "smoking" {
+                child.caption = "What is the patient's tobacco history?".into();
+                if let ControlKind::RadioGroup { options } = &mut child.kind {
+                    options.push(ChoiceOption::new("Uses e-cigarettes only", 3i64));
+                }
+            }
+        }
+        history
+            .children
+            .push(Control::check_box("asthma_hx", "History of asthma"));
+        // An entirely new measurements group too.
+        form.controls
+            .push(Control::group("vitals", "Vitals").child(Control::numeric(
+                "spo2_baseline",
+                "Baseline SpO2 (%)",
+                DataType::Int,
+            )));
+    }
+    let tree_v2 = GTree::derive(&v2).expect("v2 derives");
+
+    // Diff the g-trees and evaluate every CORI classifier against it.
+    let diff = GTreeDiff::compute(&tree_v1, &tree_v2);
+    let classifiers = classifiers::cori();
+    let refs: Vec<&Classifier> = classifiers.iter().collect();
+    let report = PropagationReport::compute(&refs, &diff);
+
+    println!(
+        "CORI reporting tool upgrade {} -> {}\n",
+        report.old_version, report.new_version
+    );
+    println!("classifiers that propagate unchanged:");
+    for name in report.propagated() {
+        println!("  + {name}");
+    }
+    println!("\nclassifiers needing analyst review:");
+    for (name, verdict) in &report.verdicts {
+        if let PropagationVerdict::NeedsReview(problems) = verdict {
+            println!("  ! {name}");
+            for (node, reason) in problems {
+                println!("      `{node}`: {reason}");
+            }
+        }
+    }
+    println!("\nnew nodes to consider classifying:");
+    for node in &report.new_nodes {
+        println!("  ? {node}");
+    }
+
+    // Sanity assertions: exactly the smoking-dependent classifiers break.
+    let broken = report.needing_review();
+    for name in ["Status", "Habits (Cancer)", "Habits (Chemistry)"] {
+        assert!(
+            broken.contains(&name),
+            "{name} depends on the reworded smoking node"
+        );
+    }
+    for name in ["Kind", "Transient Hypoxia", "Alcohol", "All Procedures"] {
+        assert!(
+            report.propagated().contains(&name),
+            "{name} is untouched by the upgrade"
+        );
+    }
+    assert!(report.new_nodes.contains(&"asthma_hx".to_owned()));
+    assert!(report.new_nodes.contains(&"spo2_baseline".to_owned()));
+    println!("\ntool_upgrade OK");
+}

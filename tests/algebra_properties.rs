@@ -1,0 +1,218 @@
+//! Property-based validation of the relational substrate — the algebraic
+//! identities GUAVA's query rewriting silently relies on. If any of these
+//! breaks, pattern decode plans stop being meaning-preserving.
+
+use guava::prelude::*;
+use guava_relational::algebra::{AggFunc, Aggregate};
+use guava_relational::value::DataType;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(
+        "t",
+        vec![
+            Column::required("id", DataType::Int),
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Bool),
+            Column::new("s", DataType::Text),
+        ],
+    )
+    .unwrap()
+    .with_primary_key(&["id"])
+    .unwrap()
+}
+
+prop_compose! {
+    fn arb_rows(max: usize)(
+        rows in proptest::collection::vec(
+            (
+                proptest::option::of(0i64..50),
+                proptest::option::of(any::<bool>()),
+                proptest::option::of("[a-c]{1,3}"),
+            ),
+            0..max,
+        )
+    ) -> Vec<Row> {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (a, b, s))| {
+                vec![
+                    Value::Int(i as i64),
+                    a.map(Value::Int).unwrap_or(Value::Null),
+                    b.map(Value::Bool).unwrap_or(Value::Null),
+                    s.map(Value::text).unwrap_or(Value::Null),
+                ]
+            })
+            .collect()
+    }
+}
+
+fn db(rows: Vec<Row>) -> Database {
+    let mut db = Database::new("d");
+    db.create_table(Table::from_rows(schema(), rows).unwrap())
+        .unwrap();
+    db
+}
+
+fn sorted(t: &Table) -> Vec<Row> {
+    let mut rows = t.rows().to_vec();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// σ_p(σ_q(T)) == σ_{p AND q}(T) — selections fuse.
+    #[test]
+    fn selection_fusion(rows in arb_rows(30), k in 0i64..50) {
+        let d = db(rows);
+        let p = Expr::col("a").ge(Expr::lit(k));
+        let q = Expr::col("b").eq(Expr::lit(true));
+        let nested = Plan::scan("t").select(q.clone()).select(p.clone()).eval(&d).unwrap();
+        let fused = Plan::scan("t").select(p.and(q)).eval(&d).unwrap();
+        prop_assert_eq!(sorted(&nested), sorted(&fused));
+    }
+
+    /// σ commutes with π when the projection keeps the predicate columns.
+    #[test]
+    fn selection_projection_commute(rows in arb_rows(30), k in 0i64..50) {
+        let d = db(rows);
+        let p = Expr::col("a").lt(Expr::lit(k));
+        let before = Plan::scan("t")
+            .select(p.clone())
+            .project_cols(&["id", "a"])
+            .eval(&d)
+            .unwrap();
+        let after = Plan::scan("t")
+            .project_cols(&["id", "a"])
+            .select(p)
+            .eval(&d)
+            .unwrap();
+        prop_assert_eq!(sorted(&before), sorted(&after));
+    }
+
+    /// Bag union is commutative up to reordering, and distinct makes the
+    /// two orders identical as sets.
+    #[test]
+    fn union_commutative_under_distinct(rows1 in arb_rows(20), rows2 in arb_rows(20)) {
+        let d1 = db(rows1);
+        let d2 = db(rows2);
+        let mut d = Database::new("both");
+        let mut t1 = d1.table("t").unwrap().clone();
+        t1 = Table::from_rows(t1.schema().renamed("t1"), t1.into_rows()).unwrap();
+        let mut t2 = d2.table("t").unwrap().clone();
+        t2 = Table::from_rows(t2.schema().renamed("t2"), t2.into_rows()).unwrap();
+        d.create_table(t1).unwrap();
+        d.create_table(t2).unwrap();
+        let ab = Plan::union(vec![Plan::scan("t1"), Plan::scan("t2")]).distinct().eval(&d).unwrap();
+        let ba = Plan::union(vec![Plan::scan("t2"), Plan::scan("t1")]).distinct().eval(&d).unwrap();
+        prop_assert_eq!(sorted(&ab), sorted(&ba));
+    }
+
+    /// Unpivot/pivot over the instance key is the identity on tables whose
+    /// values survive textual round-trips (ints/bools/short text).
+    #[test]
+    fn unpivot_pivot_identity(rows in arb_rows(25)) {
+        let d = db(rows);
+        let eav = Plan::Unpivot {
+            input: Box::new(Plan::scan("t")),
+            keys: vec!["id".into()],
+            attr_col: "attr".into(),
+            val_col: "val".into(),
+        };
+        let back = Plan::Pivot {
+            input: Box::new(eav),
+            keys: vec!["id".into()],
+            attr_col: "attr".into(),
+            val_col: "val".into(),
+            attrs: vec![
+                ("a".into(), DataType::Int),
+                ("b".into(), DataType::Bool),
+                ("s".into(), DataType::Text),
+            ],
+        }
+        .eval(&d)
+        .unwrap();
+        // Rows whose data columns are all NULL vanish in the EAV encoding
+        // (the Generic *pattern* adds presence markers; the raw operator
+        // does not). Compare against the non-empty rows.
+        let original = d.table("t").unwrap();
+        let expected: Vec<Row> = original
+            .rows()
+            .iter()
+            .filter(|r| r[1..].iter().any(|v| !v.is_null()))
+            .cloned()
+            .collect();
+        prop_assert_eq!(sorted(&back), {
+            let mut e = expected;
+            e.sort();
+            e
+        });
+    }
+
+    /// COUNT(*) after a selection equals the number of rows matching the
+    /// predicate under three-valued logic.
+    #[test]
+    fn count_matches_filter_semantics(rows in arb_rows(40), k in 0i64..50) {
+        let d = db(rows);
+        let p = Expr::col("a").gt(Expr::lit(k));
+        let counted = Plan::scan("t")
+            .select(p.clone())
+            .aggregate(&[], vec![Aggregate { func: AggFunc::CountAll, alias: "n".into() }])
+            .eval(&d)
+            .unwrap();
+        let manual = d
+            .table("t")
+            .unwrap()
+            .rows()
+            .iter()
+            .filter(|r| p.matches(&schema(), r).unwrap())
+            .count();
+        prop_assert_eq!(counted.rows()[0][0].clone(), Value::Int(manual as i64));
+    }
+
+    /// Join with an empty right side is empty (inner) or NULL-padded
+    /// identity (left).
+    #[test]
+    fn join_with_empty(rows in arb_rows(20)) {
+        let mut d = db(rows);
+        d.create_table(Table::new(
+            Schema::new("empty", vec![Column::new("id", DataType::Int)]).unwrap(),
+        ))
+        .unwrap();
+        let inner = Plan::scan("t")
+            .join(Plan::scan("empty"), vec![("id", "id")], JoinKind::Inner)
+            .eval(&d)
+            .unwrap();
+        prop_assert_eq!(inner.len(), 0);
+        let left = Plan::scan("t")
+            .join(Plan::scan("empty"), vec![("id", "id")], JoinKind::Left)
+            .eval(&d)
+            .unwrap();
+        prop_assert_eq!(left.len(), d.table("t").unwrap().len());
+        prop_assert!(left.rows().iter().all(|r| r.last().unwrap().is_null()));
+    }
+
+    /// Sorting is stable with respect to content: sort(sort(T)) == sort(T),
+    /// and a limit after sort is a prefix.
+    #[test]
+    fn sort_idempotent_and_limit_prefix(rows in arb_rows(30), n in 0usize..10) {
+        let d = db(rows);
+        let once = Plan::scan("t").sort_by(&["a", "id"]).eval(&d).unwrap();
+        let twice = Plan::scan("t").sort_by(&["a", "id"]).sort_by(&["a", "id"]).eval(&d).unwrap();
+        prop_assert_eq!(once.rows(), twice.rows());
+        let limited = Plan::scan("t").sort_by(&["a", "id"]).limit(n).eval(&d).unwrap();
+        prop_assert_eq!(limited.rows(), &once.rows()[..n.min(once.len())]);
+    }
+
+    /// CSV round-trips arbitrary tables (NULLs, quoting, unicode-free).
+    #[test]
+    fn csv_roundtrip(rows in arb_rows(30)) {
+        let d = db(rows);
+        let t = d.table("t").unwrap();
+        let csv = guava::relational::csv::to_csv(t);
+        let back = guava::relational::csv::from_csv(schema(), &csv).unwrap();
+        prop_assert_eq!(back.rows(), t.rows());
+    }
+}

@@ -1,0 +1,154 @@
+//! Table 2 and the introduction's integration-loses-information argument,
+//! as executable checks: no translation between the three smoking domains
+//! can be inverted, and classifier pipelines through a coarser domain
+//! demonstrably destroy distinctions.
+
+use guava::clinical::schema_def::{
+    domain_packs_per_day, domain_smoking_class, domain_smoking_status,
+};
+use guava::prelude::*;
+use guava_relational::value::DataType;
+
+#[test]
+fn table2_no_pairwise_roundtrip() {
+    let domains = [
+        domain_packs_per_day(),
+        domain_smoking_status(),
+        domain_smoking_class(),
+    ];
+    // For every ordered pair (a, b), a -> b -> a cannot be lossless: either
+    // a does not embed into b, or b does not embed back into a.
+    for (i, a) in domains.iter().enumerate() {
+        for (j, b) in domains.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            assert!(
+                !(a.embeds_into(b) && b.embeds_into(a)),
+                "`{}` <-> `{}` must not round-trip",
+                a.name,
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn intro_smoker_categories_cannot_fully_integrate() {
+    // "A data source A with two categories, smokers or non-smokers, cannot
+    // be fully integrated with a data source B with three related
+    // categories, non-smokers, cigar smokers, or cigarette smokers."
+    let a = Domain::categorical("A", "two-way", &["smoker", "non-smoker"]);
+    let b = Domain::categorical("B", "three-way", &["non-smoker", "cigar", "cigarette"]);
+    assert!(
+        !b.embeds_into(&a),
+        "B's three categories cannot fit A's two"
+    );
+    assert!(
+        a.embeds_into(&b) != b.embeds_into(&a),
+        "integration requires a classification decision"
+    );
+}
+
+/// Classifying through the coarse `class` domain destroys the packs/day
+/// distinctions: two patients with different consumption collapse into the
+/// same class and no classifier can recover them.
+#[test]
+fn classification_destroys_distinctions() {
+    let tool = ReportingTool::new(
+        "t",
+        "1",
+        vec![FormDef::new(
+            "f",
+            "F",
+            vec![Control::numeric("packs", "packs/day", DataType::Float)],
+        )],
+    );
+    let tree = GTree::derive(&tool).unwrap();
+    let schema = StudySchema::new(
+        "s",
+        EntityDef::new("E").with_attribute(AttributeDef::new(
+            "Smoking",
+            vec![domain_smoking_class(), domain_packs_per_day()],
+        )),
+    );
+    let coarse = Classifier::parse_rules(
+        "coarse",
+        "t",
+        "",
+        Target::Domain {
+            entity: "E".into(),
+            attribute: "Smoking".into(),
+            domain: "class".into(),
+        },
+        &[
+            "'None' <- packs = 0",
+            "'Light' <- packs < 2",
+            "'Moderate' <- packs < 5",
+            "'Heavy' <- packs >= 5",
+        ],
+    )
+    .unwrap()
+    .bind(&tree, &schema)
+    .unwrap();
+
+    // 2.5 and 4.5 packs/day are distinguishable in the fine domain…
+    let a = coarse.classify(&vec![Value::Float(2.5)]).unwrap();
+    let b = coarse.classify(&vec![Value::Float(4.5)]).unwrap();
+    // …but identical after coarse classification.
+    assert_eq!(a, Value::text("Moderate"));
+    assert_eq!(
+        a, b,
+        "information is gone; the paper's 'it may be necessary to lose information'"
+    );
+}
+
+/// Membership validation: a classifier writing values outside its domain
+/// is caught at bind time, so lossiness is at least *sound* lossiness.
+#[test]
+fn out_of_domain_outputs_rejected() {
+    let tool = ReportingTool::new(
+        "t",
+        "1",
+        vec![FormDef::new(
+            "f",
+            "F",
+            vec![Control::numeric("packs", "p", DataType::Int)],
+        )],
+    );
+    let tree = GTree::derive(&tool).unwrap();
+    let schema = StudySchema::new(
+        "s",
+        EntityDef::new("E")
+            .with_attribute(AttributeDef::new("Smoking", vec![domain_smoking_status()])),
+    );
+    let bad = Classifier::parse_rules(
+        "bad",
+        "t",
+        "",
+        Target::Domain {
+            entity: "E".into(),
+            attribute: "Smoking".into(),
+            domain: "status".into(),
+        },
+        &["'Sometimes' <- packs > 0"],
+    )
+    .unwrap();
+    assert!(matches!(
+        bad.bind(&tree, &schema),
+        Err(ClassifierError::OutsideDomain { .. })
+    ));
+}
+
+/// NULL always belongs to every domain: an unclassifiable instance is a
+/// first-class outcome, not an error.
+#[test]
+fn null_belongs_everywhere() {
+    for d in [
+        domain_packs_per_day(),
+        domain_smoking_status(),
+        domain_smoking_class(),
+    ] {
+        assert!(d.spec.contains(&Value::Null));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based validation of the data-entry engine — the UI semantics
+//! that give g-trees their meaning. Whatever sequence of actions a
+//! clinician performs, the saved instance obeys the enablement invariants
+//! that classifiers rely on ("disabled controls hold no data").
+
+use guava::prelude::*;
+use guava_relational::value::DataType;
+use proptest::prelude::*;
+
+/// A form with a two-level enablement chain and typed controls.
+fn form() -> FormDef {
+    FormDef::new(
+        "visit",
+        "Visit",
+        vec![
+            Control::radio(
+                "smoking",
+                "Smoke?",
+                vec![
+                    ChoiceOption::new("Never", 0i64),
+                    ChoiceOption::new("Current", 1i64),
+                    ChoiceOption::new("Former", 2i64),
+                ],
+            )
+            .child(
+                Control::numeric("packs", "Packs/day", DataType::Float)
+                    .with_range(0.0, 20.0)
+                    .enabled_when(
+                        "smoking",
+                        EnableWhen::OneOf(vec![Value::Int(1), Value::Int(2)]),
+                    ),
+            )
+            .child(
+                Control::numeric("quit_months", "Months since quit", DataType::Int)
+                    .with_range(0.0, 1200.0)
+                    .enabled_when("smoking", EnableWhen::Equals(Value::Int(2))),
+            ),
+            Control::check_box("hypoxia", "Hypoxia?").with_default(false),
+            Control::text_box("note", "Notes"),
+        ],
+    )
+}
+
+/// One random user action.
+#[derive(Debug, Clone)]
+enum Action {
+    SetSmoking(i64),
+    ClearSmoking,
+    SetPacks(u32),
+    SetQuit(u32),
+    SetHypoxia(bool),
+    SetNote(String),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0i64..3).prop_map(Action::SetSmoking),
+        Just(Action::ClearSmoking),
+        (0u32..80).prop_map(Action::SetPacks),
+        (0u32..1200).prop_map(Action::SetQuit),
+        any::<bool>().prop_map(Action::SetHypoxia),
+        "[a-z ]{0,10}".prop_map(Action::SetNote),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// After any action sequence, enablement invariants hold on the saved
+    /// instance: packs only when smoking ∈ {1,2}, quit_months only when
+    /// smoking = 2, and all values type-check against their controls.
+    #[test]
+    fn entry_invariants_hold_under_random_actions(actions in proptest::collection::vec(arb_action(), 0..25)) {
+        let f = form();
+        let mut s = DataEntrySession::open(&f, 1);
+        for a in &actions {
+            // Individual actions may be rejected (disabled control, bad
+            // value); the session must stay consistent regardless.
+            let _ = match a {
+                Action::SetSmoking(v) => s.set("smoking", *v),
+                Action::ClearSmoking => s.clear("smoking"),
+                Action::SetPacks(q) => s.set("packs", f64::from(*q) / 4.0),
+                Action::SetQuit(v) => s.set("quit_months", i64::from(*v)),
+                Action::SetHypoxia(b) => s.set("hypoxia", *b),
+                Action::SetNote(t) => s.set("note", t.clone()),
+            };
+        }
+        let instance = s.save().unwrap();
+        let smoking = instance.answer("smoking");
+        let packs = instance.answer("packs");
+        let quit = instance.answer("quit_months");
+
+        // Enablement: dependents are NULL unless their controller allows.
+        let smoking_code = smoking.as_i64();
+        if !matches!(smoking_code, Some(1) | Some(2)) {
+            prop_assert!(packs.is_null(), "packs present without active smoking: {smoking}");
+        }
+        if smoking_code != Some(2) {
+            prop_assert!(quit.is_null(), "quit_months present without Former status");
+        }
+        // Type/range validity of every answer.
+        for c in f.walk() {
+            if c.kind.stores_data() {
+                prop_assert!(c.validate_value(&instance.answer(&c.id)).is_ok());
+            }
+        }
+        // The naive row always fits the naive schema.
+        let schema = f.naive_schema();
+        prop_assert!(schema.check_row(&instance.naive_row(&f)).is_ok());
+    }
+
+    /// The g-tree derived from a form agrees with the session about
+    /// enablement: a node's enable rule predicts exactly when the engine
+    /// accepts input.
+    #[test]
+    fn gtree_enablement_predicts_engine(smoking in 0i64..3) {
+        let f = form();
+        let tool = ReportingTool::new("t", "1", vec![f.clone()]);
+        let tree = GTree::derive(&tool).unwrap();
+        let mut s = DataEntrySession::open(&f, 1);
+        s.set("smoking", smoking).unwrap();
+        for node_name in ["packs", "quit_months"] {
+            let node = tree.node(node_name).unwrap();
+            let rule = node.enable.as_ref().unwrap();
+            let predicted = rule.when.satisfied_by(&Value::Int(smoking));
+            let actual = s.is_enabled(node_name).unwrap();
+            prop_assert_eq!(predicted, actual, "node {}", node_name);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Section 6 (future work), implemented: classifier propagation across
+//! reporting-tool versions, driven by g-tree diffs — and the stronger
+//! guarantee that a propagated classifier produces identical output on the
+//! new version.
+
+use guava::clinical::{classifiers, cori};
+use guava::prelude::*;
+use guava_relational::value::DataType;
+
+/// CORI v2.0: smoking reworded + extended, one new checkbox.
+fn upgraded_tool() -> ReportingTool {
+    let mut v2 = cori::tool();
+    v2.version = "2.0".into();
+    let form = &mut v2.forms[0];
+    let history = form
+        .controls
+        .iter_mut()
+        .find(|c| c.id == "medical_history")
+        .expect("history group");
+    for child in &mut history.children {
+        if child.id == "smoking" {
+            child.caption = "What is the patient's tobacco history?".into();
+            if let ControlKind::RadioGroup { options } = &mut child.kind {
+                options.push(ChoiceOption::new("Uses e-cigarettes only", 3i64));
+            }
+        }
+    }
+    history
+        .children
+        .push(Control::check_box("asthma_hx", "History of asthma"));
+    v2
+}
+
+#[test]
+fn propagation_verdicts_follow_the_diff() {
+    let v1 = GTree::derive(&cori::tool()).unwrap();
+    let v2 = GTree::derive(&upgraded_tool()).unwrap();
+    let diff = GTreeDiff::compute(&v1, &v2);
+    let classifiers = classifiers::cori();
+    let refs: Vec<&Classifier> = classifiers.iter().collect();
+    let report = PropagationReport::compute(&refs, &diff);
+
+    // Everything touching `smoking` needs review; everything else carries.
+    for (name, verdict) in &report.verdicts {
+        let classifier = classifiers.iter().find(|c| &c.name == name).unwrap();
+        let touches_smoking = classifier.referenced_nodes().contains(&"smoking");
+        match verdict {
+            PropagationVerdict::Propagate => {
+                assert!(
+                    !touches_smoking,
+                    "`{name}` touches smoking but was propagated"
+                )
+            }
+            PropagationVerdict::NeedsReview(problems) => {
+                assert!(touches_smoking, "`{name}` flagged without touching smoking");
+                assert!(problems.iter().all(|(node, _)| node == "smoking"));
+            }
+        }
+    }
+    assert_eq!(report.new_nodes, vec!["asthma_hx"]);
+}
+
+#[test]
+fn propagated_classifiers_compute_identically_on_the_new_version() {
+    // The semantic guarantee behind propagation: if every input node's
+    // context is unchanged, the classifier's output on any instance of the
+    // new tool is what it would have been on the old tool.
+    let schema = guava::clinical::schema_def::study_schema();
+    let v1_tree = GTree::derive(&cori::tool()).unwrap();
+    let mut v2_tree = GTree::derive(&upgraded_tool()).unwrap();
+    // Classifiers are bound by contributor name; the upgrade does not
+    // change the contributor.
+    v2_tree.version = "2.0".into();
+
+    let diff = GTreeDiff::compute(&v1_tree, &v2_tree);
+    let all = classifiers::cori();
+    let refs: Vec<&Classifier> = all.iter().collect();
+    let report = PropagationReport::compute(&refs, &diff);
+
+    for name in report.propagated() {
+        let c = all.iter().find(|c| c.name == name).unwrap();
+        // Both versions bind (the new version is a superset of controls).
+        let b1 = c.bind(&v1_tree, &schema).unwrap();
+        let b2 = c.bind(&v2_tree, &schema).unwrap();
+        // Same referenced inputs and same rules after binding.
+        assert_eq!(b1.attr_nodes, b2.attr_nodes, "`{name}` input nodes");
+        assert_eq!(b1.rules, b2.rules, "`{name}` bound rules");
+    }
+}
+
+#[test]
+fn removed_node_breaks_its_classifiers() {
+    let v1 = GTree::derive(&cori::tool()).unwrap();
+    let mut shrunk = cori::tool();
+    shrunk.version = "3.0".into();
+    let form = &mut shrunk.forms[0];
+    for group in &mut form.controls {
+        group.children.retain(|c| c.id != "alcohol");
+    }
+    let v3 = GTree::derive(&shrunk).unwrap();
+    let diff = GTreeDiff::compute(&v1, &v3);
+    let all = classifiers::cori();
+    let refs: Vec<&Classifier> = all.iter().collect();
+    let report = PropagationReport::compute(&refs, &diff);
+    assert!(report.needing_review().contains(&"Alcohol"));
+    if let Some((_, PropagationVerdict::NeedsReview(problems))) =
+        report.verdicts.iter().find(|(n, _)| n == "Alcohol")
+    {
+        assert!(problems
+            .iter()
+            .any(|(node, why)| node == "alcohol" && why.contains("removed")));
+    } else {
+        panic!("Alcohol classifier should need review");
+    }
+}
+
+#[test]
+fn type_change_is_detected_as_context_change() {
+    let v1 = GTree::derive(&cori::tool()).unwrap();
+    let mut changed = cori::tool();
+    changed.version = "4.0".into();
+    fn retype_quit_months(c: &mut Control) {
+        if c.id == "quit_months" {
+            // Vendor switches the quit counter to a float box.
+            c.kind = ControlKind::NumericBox {
+                data_type: DataType::Float,
+                min: Some(0.0),
+                max: Some(1200.0),
+            };
+        }
+        for child in &mut c.children {
+            retype_quit_months(child);
+        }
+    }
+    let form = &mut changed.forms[0];
+    for control in &mut form.controls {
+        retype_quit_months(control);
+    }
+    let v4 = GTree::derive(&changed).unwrap();
+    let diff = GTreeDiff::compute(&v1, &v4);
+    assert!(!diff.is_stable("quit_months"));
+    let all = classifiers::cori();
+    let refs: Vec<&Classifier> = all.iter().collect();
+    let report = PropagationReport::compute(&refs, &diff);
+    assert!(report
+        .needing_review()
+        .contains(&"ExSmoker (quit within a year)"));
+    assert!(
+        report.propagated().contains(&"ExSmoker (ever quit)"),
+        "does not read quit_months"
+    );
+}
