@@ -476,6 +476,472 @@ fn hypothesis3(fixture: &Fixture) {
     println!("and the compiled pipeline reproduces direct evaluation exactly.");
 }
 
+// ---------------------------------------------------------------------------
+// Executor benchmark: streaming batch executor vs materializing oracle
+// ---------------------------------------------------------------------------
+//
+// `tables --bench-executor` times `Plan::eval` (the batch-at-a-time
+// executor) against `Plan::eval_materialized` (the original tree-walking
+// interpreter, kept as a cross-validation oracle) over the workloads the
+// criterion benches exercise: pattern-decode stacks, join-heavy plans, and
+// the end-to-end multi-contributor ETL pipeline. Results are printed and
+// written to `BENCH_executor.json`.
+
+#[derive(serde::Serialize)]
+struct BenchEntry {
+    group: &'static str,
+    name: String,
+    input_rows: usize,
+    output_rows: usize,
+    materialized_ms: f64,
+    streaming_ms: f64,
+    materialized_rows_per_sec: f64,
+    streaming_rows_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    description: &'static str,
+    decode_rows: usize,
+    join_rows: usize,
+    fixture_size: usize,
+    samples_per_measurement: usize,
+    benches: Vec<BenchEntry>,
+}
+
+const BENCH_SAMPLES: usize = 9;
+
+/// Median-of-N wall-clock seconds for one evaluation, plus its output rows.
+fn median_secs(mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let out_rows = f(); // warm-up, and the result both sides must agree on
+    let mut samples: Vec<f64> = (0..BENCH_SAMPLES)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    (samples[samples.len() / 2], out_rows)
+}
+
+fn measure(
+    group: &'static str,
+    name: impl Into<String>,
+    input_rows: usize,
+    streaming: impl FnMut() -> usize,
+    materialized: impl FnMut() -> usize,
+) -> BenchEntry {
+    let name = name.into();
+    let (mat_secs, mat_rows) = median_secs(materialized);
+    let (str_secs, str_rows) = median_secs(streaming);
+    assert_eq!(mat_rows, str_rows, "{group}/{name}: evaluators disagree");
+    let entry = BenchEntry {
+        group,
+        name,
+        input_rows,
+        output_rows: str_rows,
+        materialized_ms: mat_secs * 1e3,
+        streaming_ms: str_secs * 1e3,
+        materialized_rows_per_sec: input_rows as f64 / mat_secs,
+        streaming_rows_per_sec: input_rows as f64 / str_secs,
+        speedup: mat_secs / str_secs,
+    };
+    println!(
+        "  {:<16} {:<28} {:>10.3} {:>10.3} {:>9.2}x",
+        entry.group, entry.name, entry.materialized_ms, entry.streaming_ms, entry.speedup
+    );
+    entry
+}
+
+fn bench_naive_schema() -> Schema {
+    Schema::new(
+        "form",
+        vec![
+            Column::required("instance_id", DataType::Int),
+            Column::new("flag", DataType::Bool),
+            Column::new("count", DataType::Int),
+            Column::new("note", DataType::Text),
+        ],
+    )
+    .unwrap()
+    .with_primary_key(&["instance_id"])
+    .unwrap()
+}
+
+fn bench_naive_db(rows: usize) -> Database {
+    let data: Vec<Row> = (0..rows as i64)
+        .map(|i| {
+            vec![
+                Value::Int(i + 1),
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Bool(i % 2 == 0)
+                },
+                if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 100)
+                },
+                Value::text(format!("note{i}")),
+            ]
+        })
+        .collect();
+    let mut db = Database::new("naive");
+    db.create_table(Table::from_rows(bench_naive_schema(), data).unwrap())
+        .unwrap();
+    db
+}
+
+/// Count plan operators — the decode-stack depth measure reported in the
+/// JSON snapshot.
+fn plan_ops(p: &Plan) -> usize {
+    match p {
+        Plan::Scan(_) | Plan::Values { .. } => 1,
+        Plan::Select { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Rename { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Unpivot { input, .. }
+        | Plan::Pivot { input, .. }
+        | Plan::AggregateBy { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => 1 + plan_ops(input),
+        Plan::Join { left, right, .. } => 1 + plan_ops(left) + plan_ops(right),
+        Plan::Union { inputs } => 1 + inputs.iter().map(plan_ops).sum::<usize>(),
+    }
+}
+
+/// The deepest all-relational decode stack: eight patterns whose rewrites
+/// are pure select/project/rename layers — exactly the shape the fused
+/// pipeline executes in one pass while the old interpreter materialized
+/// (and re-validated) a table per layer.
+fn deep_flat_stack() -> PatternStack {
+    let s = bench_naive_schema();
+    let rename = PatternKind::Rename(
+        RenamePattern::new(&s, "tbl", vec![("flag", "f"), ("count", "n")]).unwrap(),
+    );
+    let s1 = rename.transform_schemas(&[s]).unwrap();
+    let boolenc = PatternKind::BoolEncode(BoolEncodePattern::new(&s1[0], "f", "Y", "N").unwrap());
+    let s2 = boolenc.transform_schemas(&s1).unwrap();
+    let sentinel = PatternKind::NullSentinel(NullSentinelPattern::new(&s2[0], "n", -9i64).unwrap());
+    let s3 = sentinel.transform_schemas(&s2).unwrap();
+    let audit = PatternKind::Audit(AuditPattern::new(&s3[0], "_del").unwrap());
+    let s4 = audit.transform_schemas(&s3).unwrap();
+    let rename2 =
+        PatternKind::Rename(RenamePattern::new(&s4[0], "tbl2", vec![("note", "txt")]).unwrap());
+    let s5 = rename2.transform_schemas(&s4).unwrap();
+    let rename3 =
+        PatternKind::Rename(RenamePattern::new(&s5[0], "tbl3", vec![("f", "flag_yn")]).unwrap());
+    let s6 = rename3.transform_schemas(&s5).unwrap();
+    let rename4 =
+        PatternKind::Rename(RenamePattern::new(&s6[0], "tbl4", vec![("n", "cnt")]).unwrap());
+    let s7 = rename4.transform_schemas(&s6).unwrap();
+    let rename5 =
+        PatternKind::Rename(RenamePattern::new(&s7[0], "tbl5", vec![("txt", "note_txt")]).unwrap());
+    PatternStack::new(
+        "c",
+        vec![
+            rename, boolenc, sentinel, audit, rename2, rename3, rename4, rename5,
+        ],
+    )
+}
+
+/// The deepest EAV decode stack: seven patterns whose decode rewrites
+/// compose into a pivot at the bottom with select/project layers stacked
+/// on top. The pivot kernel itself is shared between both evaluators, so
+/// the streaming win here is bounded by the non-pivot layers.
+fn deep_eav_stack() -> PatternStack {
+    let s = bench_naive_schema();
+    let rename = PatternKind::Rename(
+        RenamePattern::new(&s, "tbl", vec![("flag", "f"), ("count", "n")]).unwrap(),
+    );
+    let s1 = rename.transform_schemas(&[s]).unwrap();
+    let boolenc = PatternKind::BoolEncode(BoolEncodePattern::new(&s1[0], "f", "Y", "N").unwrap());
+    let s2 = boolenc.transform_schemas(&s1).unwrap();
+    let sentinel = PatternKind::NullSentinel(NullSentinelPattern::new(&s2[0], "n", -9i64).unwrap());
+    let s3 = sentinel.transform_schemas(&s2).unwrap();
+    let rename2 =
+        PatternKind::Rename(RenamePattern::new(&s3[0], "tbl2", vec![("note", "txt")]).unwrap());
+    let s4 = rename2.transform_schemas(&s3).unwrap();
+    let generic = PatternKind::Generic(GenericPattern::new(&s4[0], "eav").unwrap());
+    let s5 = generic.transform_schemas(&s4).unwrap();
+    // Audit goes on the physical EAV table (it erases the primary key, so it
+    // cannot sit below Generic, which needs one).
+    let audit = PatternKind::Audit(AuditPattern::new(&s5[0], "_del").unwrap());
+    let s6 = audit.transform_schemas(&s5).unwrap();
+    let rename3 = PatternKind::Rename(
+        RenamePattern::new(&s6[0], "eav2", vec![("attribute", "attr_code")]).unwrap(),
+    );
+    PatternStack::new(
+        "c",
+        vec![rename, boolenc, sentinel, rename2, generic, audit, rename3],
+    )
+}
+
+fn bench_decode_section(entries: &mut Vec<BenchEntry>, rows: usize) {
+    let naive = bench_naive_db(rows);
+    let query = Plan::scan("form").select(
+        Expr::col("count")
+            .ge(Expr::lit(25i64))
+            .and(Expr::col("flag").eq(Expr::lit(true))),
+    );
+    let s = bench_naive_schema();
+    let stacks: Vec<(&str, PatternStack)> = vec![
+        ("Naive", PatternStack::naive("c")),
+        (
+            "Rename",
+            PatternStack::new(
+                "c",
+                vec![PatternKind::Rename(
+                    RenamePattern::new(&s, "tbl", vec![("flag", "f"), ("count", "n")]).unwrap(),
+                )],
+            ),
+        ),
+        (
+            "Split",
+            PatternStack::new(
+                "c",
+                vec![PatternKind::Split(
+                    SplitPattern::new(
+                        &s,
+                        vec![("f1", vec!["flag", "count"]), ("f2", vec!["note"])],
+                    )
+                    .unwrap(),
+                )],
+            ),
+        ),
+        (
+            "Generic",
+            PatternStack::new(
+                "c",
+                vec![PatternKind::Generic(
+                    GenericPattern::new(&s, "eav").unwrap(),
+                )],
+            ),
+        ),
+        (
+            "Versioned",
+            PatternStack::new(
+                "c",
+                vec![PatternKind::Versioned(
+                    VersionedPattern::new(&s, "_ver").unwrap(),
+                )],
+            ),
+        ),
+        (
+            "Lookup",
+            PatternStack::new(
+                "c",
+                vec![PatternKind::Lookup(
+                    LookupPattern::new(&s, "count", (0..100).map(Value::Int).collect()).unwrap(),
+                )],
+            ),
+        ),
+        ("DeepFlat(8)", deep_flat_stack()),
+        ("DeepEav(7)", deep_eav_stack()),
+    ];
+    for (name, stack) in &stacks {
+        let physical = stack.encode(&naive).unwrap();
+        let plan = stack.decode_plan(&query).unwrap();
+        let label = format!("{name} [{} ops]", plan_ops(&plan));
+        entries.push(measure(
+            "pattern_decode",
+            label,
+            rows,
+            || plan.eval(&physical).unwrap().len(),
+            || plan.eval_materialized(&physical).unwrap().len(),
+        ));
+    }
+
+    // The study-shaped workload: an eligibility funnel of chained
+    // selections (Study 1's cohort cascade) over the deepest stacks. Every
+    // funnel step used to materialize and re-validate a full intermediate
+    // table; the fused pipeline runs the whole cascade in one pass.
+    let funnel = Plan::scan("form")
+        .select(Expr::col("count").ge(Expr::lit(25i64)))
+        .project_cols(&["instance_id", "flag", "count"])
+        .select(Expr::col("flag").eq(Expr::lit(true)))
+        .select(Expr::col("count").lt(Expr::lit(90i64)));
+    for (name, stack) in &stacks {
+        if !name.starts_with("Deep") {
+            continue;
+        }
+        let physical = stack.encode(&naive).unwrap();
+        let plan = stack.decode_plan(&funnel).unwrap();
+        let label = format!("{name}+funnel [{} ops]", plan_ops(&plan));
+        entries.push(measure(
+            "pattern_decode",
+            label,
+            rows,
+            || plan.eval(&physical).unwrap().len(),
+            || plan.eval_materialized(&physical).unwrap().len(),
+        ));
+    }
+}
+
+fn bench_join_section(entries: &mut Vec<BenchEntry>, rows: usize) {
+    let dim_rows = (rows / 20).max(1);
+    let fact = Schema::new(
+        "fact",
+        vec![
+            Column::required("id", DataType::Int),
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Int),
+        ],
+    )
+    .unwrap()
+    .with_primary_key(&["id"])
+    .unwrap();
+    let dim = Schema::new(
+        "dim",
+        vec![
+            Column::required("id", DataType::Int),
+            Column::new("label", DataType::Text),
+        ],
+    )
+    .unwrap()
+    .with_primary_key(&["id"])
+    .unwrap();
+    let mut db = Database::new("joins");
+    db.create_table(
+        Table::from_rows(
+            fact,
+            (0..rows as i64)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Int(i % dim_rows as i64),
+                        Value::Int(i % 97),
+                    ]
+                })
+                .collect::<Vec<Row>>(),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        Table::from_rows(
+            dim,
+            (0..dim_rows as i64)
+                .map(|i| vec![Value::Int(i), Value::text(format!("d{i}"))])
+                .collect::<Vec<Row>>(),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+
+    let plans = vec![
+        (
+            "fact_dim_inner",
+            Plan::scan("fact")
+                .select(Expr::col("v").ge(Expr::lit(10i64)))
+                .join(Plan::scan("dim"), vec![("k", "id")], JoinKind::Inner),
+        ),
+        (
+            "three_way_self",
+            Plan::scan("fact")
+                .join(Plan::scan("fact"), vec![("id", "id")], JoinKind::Inner)
+                .join(
+                    Plan::scan("fact").rename_table("fact3"),
+                    vec![("id", "id")],
+                    JoinKind::Inner,
+                ),
+        ),
+        (
+            "left_pad_sparse",
+            Plan::scan("fact").join(Plan::scan("dim"), vec![("v", "id")], JoinKind::Left),
+        ),
+    ];
+    for (name, plan) in plans {
+        entries.push(measure(
+            "join_heavy",
+            name,
+            rows,
+            || plan.eval(&db).unwrap().len(),
+            || plan.eval_materialized(&db).unwrap().len(),
+        ));
+    }
+}
+
+/// Sequential, fully-materializing oracle run of an ETL workflow — what
+/// execution looked like before the streaming executor and concurrent
+/// stages landed.
+fn run_workflow_materialized(
+    wf: &guava::etl::workflow::EtlWorkflow,
+    catalog: &mut Catalog,
+) -> usize {
+    let mut total = 0;
+    for stage in &wf.stages {
+        for comp in &stage.components {
+            let source = catalog.database(&comp.source_db).unwrap();
+            let t = comp.plan.eval_materialized(source).unwrap();
+            let t = Table::from_rows(t.schema().renamed(comp.target_table.clone()), t.into_rows())
+                .unwrap();
+            total += t.len();
+            if catalog.database(&comp.target_db).is_err() {
+                catalog.insert(Database::new(comp.target_db.clone()));
+            }
+            catalog.database_mut(&comp.target_db).unwrap().put_table(t);
+        }
+    }
+    total
+}
+
+fn bench_etl_section(entries: &mut Vec<BenchEntry>, fixture: &Fixture) {
+    let study = study1_definition(&fixture.contributors);
+    let compiled = compile(&study, &study_schema(), &registry(), &fixture.bindings()).unwrap();
+    let base = fixture.catalog();
+    let input_rows: usize = fixture
+        .contributors
+        .iter()
+        .map(|c| c.physical.total_rows())
+        .sum();
+    entries.push(measure(
+        "etl_pipeline",
+        "study1_end_to_end",
+        input_rows,
+        || {
+            let mut cat = base.clone();
+            let runs = compiled.workflow.run(&mut cat).unwrap();
+            runs.iter().map(|r| r.rows_out).sum()
+        },
+        || {
+            let mut cat = base.clone();
+            run_workflow_materialized(&compiled.workflow, &mut cat)
+        },
+    ));
+}
+
+fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
+    heading("Executor benchmark — streaming `eval` vs materializing `eval_materialized`");
+    const DECODE_ROWS: usize = 4_000;
+    const JOIN_ROWS: usize = 8_000;
+    println!(
+        "  {:<16} {:<28} {:>10} {:>10} {:>10}",
+        "group", "bench", "mat (ms)", "stream(ms)", "speedup"
+    );
+    let mut entries = Vec::new();
+    bench_decode_section(&mut entries, DECODE_ROWS);
+    bench_join_section(&mut entries, JOIN_ROWS);
+    bench_etl_section(&mut entries, fixture);
+    let report = BenchReport {
+        description: "Streaming batch executor (Plan::eval) vs the materializing \
+                      interpreter it replaced (Plan::eval_materialized). Median wall \
+                      time per evaluation; rows/sec relative to input rows.",
+        decode_rows: DECODE_ROWS,
+        join_rows: JOIN_ROWS,
+        fixture_size,
+        samples_per_measurement: BENCH_SAMPLES,
+        benches: entries,
+    };
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write(out_path, json + "\n").unwrap();
+    println!("\nwrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let pick = |flag: &str| -> Option<usize> {
@@ -491,7 +957,23 @@ fn main() {
     let table = pick("--table");
     let study = pick("--study");
     let hypothesis = pick("--hypothesis");
-    let all = figure.is_none() && table.is_none() && study.is_none() && hypothesis.is_none();
+    let bench_exec = args.iter().any(|a| a == "--bench-executor");
+    let all = figure.is_none()
+        && table.is_none()
+        && study.is_none()
+        && hypothesis.is_none()
+        && !bench_exec;
+
+    if bench_exec {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("BENCH_executor.json");
+        bench_executor(&fixture, n, out);
+        return;
+    }
 
     if all || figure == Some(1) {
         figure1(&fixture);

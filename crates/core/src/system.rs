@@ -213,41 +213,14 @@ impl GuavaSystem {
     }
 }
 
-/// Execute a compiled workflow with per-stage parallelism: components
-/// within a stage read only earlier stages' databases, so they can run
-/// concurrently on crossbeam scoped threads.
+/// Execute a compiled workflow with per-stage parallelism. Since
+/// [`EtlWorkflow::run`] itself fans each stage's components out on scoped
+/// threads, this is now a thin wrapper that adapts the by-value catalog
+/// signature callers rely on.
+///
+/// [`EtlWorkflow::run`]: guava_etl::workflow::EtlWorkflow::run
 pub fn run_workflow_parallel(compiled: &CompiledStudy, mut catalog: Catalog) -> RelResult<Catalog> {
-    for stage in &compiled.workflow.stages {
-        let outputs = crossbeam::thread::scope(|scope| {
-            let catalog = &catalog;
-            let handles: Vec<_> = stage
-                .components
-                .iter()
-                .map(|comp| {
-                    scope.spawn(move |_| -> RelResult<(String, Table)> {
-                        let source = catalog.database(&comp.source_db)?;
-                        let table = comp.plan.eval(source)?;
-                        let table = Table::from_rows(
-                            table.schema().renamed(comp.target_table.clone()),
-                            table.into_rows(),
-                        )?;
-                        Ok((comp.target_db.clone(), table))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("component thread panicked"))
-                .collect::<RelResult<Vec<_>>>()
-        })
-        .expect("scope panicked")?;
-        for (target_db, table) in outputs {
-            if catalog.database(&target_db).is_err() {
-                catalog.insert(Database::new(target_db.clone()));
-            }
-            catalog.database_mut(&target_db)?.put_table(table);
-        }
-    }
+    compiled.workflow.run(&mut catalog)?;
     Ok(catalog)
 }
 

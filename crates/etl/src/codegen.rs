@@ -42,8 +42,8 @@ pub fn entity_plan_to_datalog(plan: &EntityPlan) -> DatalogProgram {
                 // earlier guard was FALSE *or NULL*. A bare NOT would turn a
                 // NULL earlier guard into NULL and wrongly suppress the
                 // tuple that the ETL CASE falls through to.
-                condition = condition
-                    .and(Expr::Coalesce(vec![prev.clone(), Expr::lit(false)]).not());
+                condition =
+                    condition.and(Expr::Coalesce(vec![prev.clone(), Expr::lit(false)]).not());
             }
             condition = condition.and(entity_guard.clone());
             rules.push(DatalogRule {
@@ -246,7 +246,11 @@ mod null_fallthrough_tests {
                 "cls",
                 "t",
                 "",
-                Target::Domain { entity: "E".into(), attribute: "A".into(), domain: "D".into() },
+                Target::Domain {
+                    entity: "E".into(),
+                    attribute: "A".into(),
+                    domain: "D".into(),
+                },
                 // Rule 1's guard is NULL when frequency is unanswered; the
                 // catch-all rule 2 must still fire.
                 &["'Light' <- frequency < 2", "'Unknown' <- TRUE"],

@@ -11,6 +11,7 @@
 use guava_relational::algebra::Plan;
 use guava_relational::database::{Catalog, Database};
 use guava_relational::error::{RelError, RelResult};
+use guava_relational::table::Table;
 use serde::{Deserialize, Serialize};
 
 /// One ETL component: evaluate `plan` against `source_db`, store the result
@@ -51,21 +52,19 @@ impl EtlWorkflow {
     /// (contributor) databases. Temporary/target databases are created on
     /// demand; the catalog is mutated in place. Returns per-component row
     /// counts.
+    ///
+    /// Components within a stage are order-independent — they read only
+    /// earlier stages' outputs — so each stage evaluates its components
+    /// concurrently on scoped threads. Loads are then applied in
+    /// declaration order and the first failing component (in that order)
+    /// aborts the run, so the observable outcome is identical to sequential
+    /// execution regardless of thread completion order.
     pub fn run(&self, catalog: &mut Catalog) -> RelResult<Vec<ComponentRun>> {
         let mut runs = Vec::new();
         for stage in &self.stages {
-            for comp in &stage.components {
-                let source = catalog.database(&comp.source_db).map_err(|_| {
-                    RelError::Plan(format!(
-                        "component `{}` reads missing database `{}`",
-                        comp.name, comp.source_db
-                    ))
-                })?;
-                let mut table = comp.plan.eval(source)?;
-                table = guava_relational::table::Table::from_rows(
-                    table.schema().renamed(comp.target_table.clone()),
-                    table.into_rows(),
-                )?;
+            let results = run_stage(stage, catalog);
+            for (comp, result) in stage.components.iter().zip(results) {
+                let table = result?;
                 if catalog.database(&comp.target_db).is_err() {
                     catalog.insert(Database::new(comp.target_db.clone()));
                 }
@@ -100,6 +99,57 @@ impl EtlWorkflow {
         }
         out
     }
+}
+
+/// Evaluate every component of one stage against an immutable snapshot of
+/// the catalog. Multi-component stages fan out on crossbeam scoped threads;
+/// results come back in declaration order, with a panicking component
+/// surfaced as an error rather than tearing down the caller.
+fn run_stage(stage: &EtlStage, catalog: &Catalog) -> Vec<RelResult<Table>> {
+    if stage.components.len() <= 1 {
+        return stage
+            .components
+            .iter()
+            .map(|c| run_component(c, catalog))
+            .collect();
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = stage
+            .components
+            .iter()
+            .map(|comp| scope.spawn(move |_| run_component(comp, catalog)))
+            .collect();
+        handles
+            .into_iter()
+            .zip(&stage.components)
+            .map(|(h, comp)| {
+                h.join().unwrap_or_else(|_| {
+                    Err(RelError::Eval(format!(
+                        "ETL component `{}` panicked",
+                        comp.name
+                    )))
+                })
+            })
+            .collect()
+    })
+    .expect("ETL stage scope panicked")
+}
+
+/// One component: evaluate its plan over the source database and rename the
+/// result to the target table. Pure with respect to the catalog — loading
+/// is the caller's job, which keeps this safe to run concurrently.
+fn run_component(comp: &EtlComponent, catalog: &Catalog) -> RelResult<Table> {
+    let source = catalog.database(&comp.source_db).map_err(|_| {
+        RelError::Plan(format!(
+            "component `{}` reads missing database `{}`",
+            comp.name, comp.source_db
+        ))
+    })?;
+    let table = comp.plan.eval(source)?;
+    Table::from_rows(
+        table.schema().renamed(comp.target_table.clone()),
+        table.into_rows(),
+    )
 }
 
 #[cfg(test)]
@@ -214,5 +264,137 @@ mod tests {
             cat.database("out").unwrap().table("result").unwrap().len(),
             2
         );
+    }
+
+    /// A source big enough that components doing different amounts of work
+    /// finish in an order unrelated to their declaration order.
+    fn skewed_catalog(n: i64) -> Catalog {
+        let mut db = Database::new("src");
+        let s = Schema::new(
+            "t",
+            vec![
+                Column::required("id", DataType::Int),
+                Column::new("x", DataType::Int),
+            ],
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..n)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 13)])
+            .collect();
+        db.create_table(Table::from_rows(s, rows).unwrap()).unwrap();
+        let mut c = Catalog::new();
+        c.insert(db);
+        c
+    }
+
+    /// Components whose per-component cost is wildly skewed: the first is
+    /// the most expensive (a self-join), the rest are trivial filters.
+    fn skewed_stage(fail_component: Option<usize>) -> EtlWorkflow {
+        let mut components = vec![EtlComponent {
+            name: "heavy".into(),
+            source_db: "src".into(),
+            plan: Plan::scan("t").join(
+                Plan::scan("t").rename_columns(vec![("id", "rid"), ("x", "rx")]),
+                vec![("x", "rx")],
+                JoinKind::Inner,
+            ),
+            target_db: "out".into(),
+            target_table: "joined".into(),
+        }];
+        for i in 0..6 {
+            components.push(EtlComponent {
+                name: format!("light_{i}"),
+                source_db: "src".into(),
+                plan: Plan::scan("t").select(Expr::col("x").eq(Expr::lit(i as i64))),
+                target_db: "out".into(),
+                target_table: format!("slice_{i}"),
+            });
+        }
+        if let Some(at) = fail_component {
+            components[at].plan = Plan::scan("t").project_cols(&["no_such_column"]);
+        }
+        EtlWorkflow {
+            name: "skewed".into(),
+            stages: vec![EtlStage {
+                name: "fan_out".into(),
+                components,
+            }],
+        }
+    }
+
+    #[test]
+    fn concurrent_stage_is_deterministic_regardless_of_completion_order() {
+        let wf = skewed_stage(None);
+        let mut reference: Option<(Vec<ComponentRun>, Vec<Table>)> = None;
+        for _ in 0..4 {
+            let mut cat = skewed_catalog(400);
+            let runs = wf.run(&mut cat).unwrap();
+            // Run order mirrors declaration order, not completion order.
+            let names: Vec<&str> = runs.iter().map(|r| r.component.as_str()).collect();
+            assert_eq!(
+                names,
+                vec!["heavy", "light_0", "light_1", "light_2", "light_3", "light_4", "light_5"]
+            );
+            let out = cat.database("out").unwrap();
+            let tables: Vec<Table> = out.tables().cloned().collect();
+            match &reference {
+                None => reference = Some((runs, tables)),
+                Some((r0, t0)) => {
+                    assert_eq!(&runs, r0, "row counts must not depend on scheduling");
+                    assert_eq!(&tables, t0, "loaded tables must not depend on scheduling");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_stage_matches_single_component_stages() {
+        // The same components run one-per-stage (fully sequential) must
+        // produce the same loaded tables as the one concurrent stage.
+        let concurrent = skewed_stage(None);
+        let sequential = EtlWorkflow {
+            name: "seq".into(),
+            stages: concurrent.stages[0]
+                .components
+                .iter()
+                .map(|c| EtlStage {
+                    name: c.name.clone(),
+                    components: vec![c.clone()],
+                })
+                .collect(),
+        };
+        let mut cat_a = skewed_catalog(200);
+        let mut cat_b = skewed_catalog(200);
+        let runs_a = concurrent.run(&mut cat_a).unwrap();
+        let runs_b = sequential.run(&mut cat_b).unwrap();
+        assert_eq!(runs_a, runs_b);
+        let tables_a: Vec<Table> = cat_a.database("out").unwrap().tables().cloned().collect();
+        let tables_b: Vec<Table> = cat_b.database("out").unwrap().tables().cloned().collect();
+        assert_eq!(tables_a, tables_b);
+    }
+
+    #[test]
+    fn failing_component_surfaces_error_not_panic() {
+        // Fail the *last* component: every thread still joins, earlier
+        // components' loads still land, and the error names the plan fault.
+        let wf = skewed_stage(Some(6));
+        let mut cat = skewed_catalog(100);
+        let err = wf.run(&mut cat).unwrap_err();
+        assert!(
+            matches!(err, RelError::UnknownColumn { ref column, .. } if column == "no_such_column"),
+            "unexpected error: {err:?}"
+        );
+        // Components declared before the failing one were applied, exactly
+        // as sequential execution would have left the catalog.
+        let out = cat.database("out").unwrap();
+        assert!(out.has_table("joined"));
+        assert!(out.has_table("slice_4"));
+        assert!(!out.has_table("slice_5"));
+
+        // Fail the *first* component: nothing is applied.
+        let wf = skewed_stage(Some(0));
+        let mut cat = skewed_catalog(100);
+        assert!(wf.run(&mut cat).is_err());
+        assert!(cat.database("out").is_err());
     }
 }

@@ -233,32 +233,48 @@ impl Plan {
         }
     }
 
-    /// Evaluate the plan against a database, materializing a result table.
+    /// Evaluate the plan against a database.
+    ///
+    /// Execution routes through the streaming batch executor
+    /// ([`crate::exec`]): scans read the source table's `Arc`-shared row
+    /// storage without copying it, chains of Select/Project/Rename run fused
+    /// in a single pass, and only the blocking operators (Pivot,
+    /// AggregateBy, Sort) gather their full input. The original
+    /// operator-at-a-time interpreter remains available as
+    /// [`Plan::eval_materialized`] and serves as the oracle the executor is
+    /// property-tested against.
     pub fn eval(&self, db: &Database) -> RelResult<Table> {
+        crate::exec::execute(self, db)
+    }
+
+    /// Evaluate the plan by materializing a full [`Table`] at every
+    /// operator.
+    ///
+    /// This is the reference interpreter: simple, obviously correct, and
+    /// the cross-validation oracle for the streaming executor —
+    /// `tests/algebra_properties.rs` checks [`Plan::eval`] agrees with it
+    /// on random plans, including failing ones. Prefer `eval` unless you
+    /// specifically want operator-at-a-time materialization.
+    pub fn eval_materialized(&self, db: &Database) -> RelResult<Table> {
         match self {
+            // O(1) since table row storage is Arc-shared.
             Plan::Scan(name) => db.table(name).cloned(),
             Plan::Values { schema, rows } => Table::from_rows(schema.clone(), rows.clone()),
             Plan::Select { input, predicate } => {
-                let t = input.eval(db)?;
+                let t = input.eval_materialized(db)?;
                 let schema = t.schema().clone();
-                let rows: Vec<Row> = t
-                    .into_rows()
-                    .into_iter()
-                    .map(|r| predicate.matches(&schema, &r).map(|keep| (keep, r)))
-                    .collect::<RelResult<Vec<_>>>()?
-                    .into_iter()
-                    .filter_map(|(keep, r)| keep.then_some(r))
-                    .collect();
+                let mut rows = Vec::new();
+                for r in t.into_rows() {
+                    if predicate.matches(&schema, &r)? {
+                        rows.push(r);
+                    }
+                }
                 Table::from_rows(keyless(schema), rows)
             }
             Plan::Project { input, columns } => {
-                let t = input.eval(db)?;
+                let t = input.eval_materialized(db)?;
                 let in_schema = t.schema().clone();
-                let mut out_cols = Vec::with_capacity(columns.len());
-                for (alias, e) in columns {
-                    out_cols.push(Column::new(alias.clone(), e.infer_type(&in_schema)?));
-                }
-                let schema = Schema::new(in_schema.name.clone(), out_cols)?;
+                let schema = project_output_schema(&in_schema, columns)?;
                 let rows: Vec<Row> = t
                     .rows()
                     .iter()
@@ -271,20 +287,8 @@ impl Plan {
                 table,
                 columns,
             } => {
-                let t = input.eval(db)?;
-                let mut cols = t.schema().columns().to_vec();
-                for (from, to) in columns {
-                    let idx = t
-                        .schema()
-                        .index_of(from)
-                        .ok_or_else(|| RelError::UnknownColumn {
-                            table: t.schema().name.clone(),
-                            column: from.clone(),
-                        })?;
-                    cols[idx].name = to.clone();
-                }
-                let name = table.clone().unwrap_or_else(|| t.schema().name.clone());
-                let schema = Schema::new(name, cols)?;
+                let t = input.eval_materialized(db)?;
+                let schema = rename_output_schema(t.schema(), table.as_deref(), columns)?;
                 Table::from_rows(schema, t.into_rows())
             }
             Plan::Join {
@@ -298,24 +302,18 @@ impl Plan {
                 let first = iter
                     .next()
                     .ok_or_else(|| RelError::Plan("union of zero inputs".into()))?
-                    .eval(db)?;
+                    .eval_materialized(db)?;
                 let schema = keyless(first.schema().clone());
                 let mut rows = first.into_rows();
                 for p in iter {
-                    let t = p.eval(db)?;
-                    if !schema.union_compatible(t.schema()) {
-                        return Err(RelError::Plan(format!(
-                            "union-incompatible schemas `{}` and `{}`",
-                            schema,
-                            t.schema()
-                        )));
-                    }
+                    let t = p.eval_materialized(db)?;
+                    check_union_compatible(&schema, t.schema())?;
                     rows.extend(t.into_rows());
                 }
                 Table::from_rows(schema, rows)
             }
             Plan::Distinct { input } => {
-                let t = input.eval(db)?;
+                let t = input.eval_materialized(db)?;
                 let schema = keyless(t.schema().clone());
                 let mut seen = std::collections::HashSet::new();
                 let rows: Vec<Row> = t
@@ -344,28 +342,15 @@ impl Plan {
                 aggregates,
             } => eval_aggregate(db, input, group_by, aggregates),
             Plan::Sort { input, by } => {
-                let t = input.eval(db)?;
+                let t = input.eval_materialized(db)?;
                 let schema = keyless(t.schema().clone());
-                let idxs: Vec<usize> = by
-                    .iter()
-                    .map(|c| {
-                        schema.index_of(c).ok_or_else(|| RelError::UnknownColumn {
-                            table: schema.name.clone(),
-                            column: c.clone(),
-                        })
-                    })
-                    .collect::<RelResult<_>>()?;
+                let idxs = resolve_columns(&schema, by)?;
                 let mut rows = t.into_rows();
-                rows.sort_by(|a, b| {
-                    idxs.iter()
-                        .map(|&i| a[i].total_cmp(&b[i]))
-                        .find(|o| !o.is_eq())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+                sort_rows(&mut rows, &idxs);
                 Table::from_rows(schema, rows)
             }
             Plan::Limit { input, n } => {
-                let t = input.eval(db)?;
+                let t = input.eval_materialized(db)?;
                 let schema = keyless(t.schema().clone());
                 let rows: Vec<Row> = t.into_rows().into_iter().take(*n).collect();
                 Table::from_rows(schema, rows)
@@ -374,10 +359,348 @@ impl Plan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Binding and row-level kernels, shared between the materializing
+// interpreter above and the streaming executor (`crate::exec`). Keeping both
+// evaluators on the same schema computations and per-row algorithms is what
+// makes them provably interchangeable.
+// ---------------------------------------------------------------------------
+
 /// Intermediate results drop primary keys: operators may legitimately
 /// produce duplicate key values (e.g. projection away from the key).
-fn keyless(schema: Schema) -> Schema {
+pub(crate) fn keyless(schema: Schema) -> Schema {
     Schema::new(schema.name.clone(), schema.columns().to_vec()).expect("schema was valid")
+}
+
+/// Resolve column names to positions in `s`, with the table-qualified error
+/// every operator reports for a missing column.
+pub(crate) fn resolve_columns<'a, I>(s: &Schema, names: I) -> RelResult<Vec<usize>>
+where
+    I: IntoIterator<Item = &'a String>,
+{
+    names
+        .into_iter()
+        .map(|c| {
+            s.index_of(c).ok_or_else(|| RelError::UnknownColumn {
+                table: s.name.clone(),
+                column: c.clone(),
+            })
+        })
+        .collect()
+}
+
+pub(crate) fn resolve_column(s: &Schema, name: &str) -> RelResult<usize> {
+    s.index_of(name).ok_or_else(|| RelError::UnknownColumn {
+        table: s.name.clone(),
+        column: name.to_owned(),
+    })
+}
+
+pub(crate) fn check_union_compatible(left: &Schema, right: &Schema) -> RelResult<()> {
+    if !left.union_compatible(right) {
+        return Err(RelError::Plan(format!(
+            "union-incompatible schemas `{left}` and `{right}`"
+        )));
+    }
+    Ok(())
+}
+
+pub(crate) fn project_output_schema(
+    in_schema: &Schema,
+    columns: &[(String, Expr)],
+) -> RelResult<Schema> {
+    let mut out_cols = Vec::with_capacity(columns.len());
+    for (alias, e) in columns {
+        out_cols.push(Column::new(alias.clone(), e.infer_type(in_schema)?));
+    }
+    Schema::new(in_schema.name.clone(), out_cols)
+}
+
+pub(crate) fn rename_output_schema(
+    s: &Schema,
+    table: Option<&str>,
+    columns: &[(String, String)],
+) -> RelResult<Schema> {
+    let mut cols = s.columns().to_vec();
+    for (from, to) in columns {
+        let idx = s.index_of(from).ok_or_else(|| RelError::UnknownColumn {
+            table: s.name.clone(),
+            column: from.clone(),
+        })?;
+        cols[idx].name = to.clone();
+    }
+    let name = table.map(str::to_owned).unwrap_or_else(|| s.name.clone());
+    Schema::new(name, cols)
+}
+
+/// Output schema of a join: left columns, then right columns. Name
+/// collisions get a `right.`-style disambiguating prefix; left-join right
+/// columns become nullable even if declared NOT NULL.
+pub(crate) fn join_output_schema(ls: &Schema, rs: &Schema, kind: JoinKind) -> RelResult<Schema> {
+    let mut cols = ls.columns().to_vec();
+    for c in rs.columns() {
+        let mut c = c.clone();
+        if ls.index_of(&c.name).is_some() {
+            c.name = format!("{}.{}", rs.name, c.name);
+        }
+        if kind == JoinKind::Left {
+            c.nullable = true;
+        }
+        cols.push(c);
+    }
+    Schema::new(format!("{}_{}", ls.name, rs.name), cols)
+}
+
+pub(crate) fn unpivot_output_schema(
+    s: &Schema,
+    key_idx: &[usize],
+    attr_col: &str,
+    val_col: &str,
+) -> RelResult<Schema> {
+    let mut cols: Vec<Column> = key_idx.iter().map(|&i| s.columns()[i].clone()).collect();
+    cols.push(Column::new(attr_col, DataType::Text));
+    cols.push(Column::new(val_col, DataType::Text));
+    Schema::new(format!("{}_eav", s.name), cols)
+}
+
+/// Encode wide rows into EAV triples. Infallible: output columns are
+/// carried keys plus freshly built text values.
+pub(crate) fn unpivot_rows(
+    s: &Schema,
+    rows: &[Row],
+    key_idx: &[usize],
+    data_idx: &[usize],
+) -> Vec<Row> {
+    let mut out = Vec::new();
+    for row in rows {
+        for &di in data_idx {
+            if row[di].is_null() {
+                continue; // unanswered controls simply have no EAV row
+            }
+            let mut r: Row = Vec::with_capacity(key_idx.len() + 2);
+            r.extend(key_idx.iter().map(|&i| row[i].clone()));
+            r.push(Value::text(s.columns()[di].name.clone()));
+            r.push(Value::text(row[di].to_string()));
+            out.push(r);
+        }
+    }
+    out
+}
+
+pub(crate) fn pivot_output_schema(
+    s: &Schema,
+    key_idx: &[usize],
+    attrs: &[(String, DataType)],
+) -> RelResult<Schema> {
+    let mut cols: Vec<Column> = key_idx.iter().map(|&i| s.columns()[i].clone()).collect();
+    for (name, ty) in attrs {
+        cols.push(Column::new(name.clone(), *ty));
+    }
+    Schema::new(format!("{}_wide", s.name), cols)
+}
+
+/// Decode EAV triples back into wide rows, preserving first-seen entity
+/// order for deterministic output.
+pub(crate) fn pivot_rows(
+    rows: &[Row],
+    key_idx: &[usize],
+    attr_idx: usize,
+    val_idx: usize,
+    attrs: &[(String, DataType)],
+) -> RelResult<Vec<Row>> {
+    use std::collections::hash_map::Entry;
+    // Groups map entity keys to slots in `out`, so rows land directly in
+    // first-seen order with no final reordering pass.
+    let mut out: Vec<Row> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let attr_pos: HashMap<&str, usize> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+    for row in rows {
+        let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+        let slot = match groups.entry(key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let mut r: Row = Vec::with_capacity(key_idx.len() + attrs.len());
+                r.extend(e.key().iter().cloned());
+                r.extend(std::iter::repeat_n(Value::Null, attrs.len()));
+                out.push(r);
+                *e.insert(out.len() - 1)
+            }
+        };
+        let attr = match &row[attr_idx] {
+            Value::Text(a) => a.as_str(),
+            other => {
+                return Err(RelError::Eval(format!(
+                    "pivot attribute column holds non-text value {other}"
+                )))
+            }
+        };
+        if let Some(&pos) = attr_pos.get(attr) {
+            let v = match &row[val_idx] {
+                Value::Null => continue,
+                Value::Text(t) => cast_text(t, attrs[pos].1)?,
+                other => cast_text(&other.to_string(), attrs[pos].1)?,
+            };
+            out[slot][key_idx.len() + pos] = v;
+        }
+        // Attributes outside `attrs` are silently dropped: the g-tree query
+        // asked only for these nodes.
+    }
+    Ok(out)
+}
+
+/// Resolve each aggregate's source column (`None` for `COUNT(*)`).
+pub(crate) fn resolve_aggregate_columns(
+    s: &Schema,
+    aggregates: &[Aggregate],
+) -> RelResult<Vec<Option<usize>>> {
+    aggregates
+        .iter()
+        .map(|a| match &a.func {
+            AggFunc::CountAll => Ok(None),
+            AggFunc::Count(c)
+            | AggFunc::Sum(c)
+            | AggFunc::Avg(c)
+            | AggFunc::Min(c)
+            | AggFunc::Max(c) => s
+                .index_of(c)
+                .map(Some)
+                .ok_or_else(|| RelError::UnknownColumn {
+                    table: s.name.clone(),
+                    column: c.clone(),
+                }),
+        })
+        .collect()
+}
+
+pub(crate) fn aggregate_output_schema(
+    s: &Schema,
+    g_idx: &[usize],
+    agg_idx: &[Option<usize>],
+    aggregates: &[Aggregate],
+) -> RelResult<Schema> {
+    let mut cols: Vec<Column> = g_idx.iter().map(|&i| s.columns()[i].clone()).collect();
+    for (a, idx) in aggregates.iter().zip(agg_idx) {
+        let ty = match &a.func {
+            AggFunc::CountAll | AggFunc::Count(_) => DataType::Int,
+            AggFunc::Avg(_) => DataType::Float,
+            AggFunc::Sum(_) | AggFunc::Min(_) | AggFunc::Max(_) => {
+                s.columns()[idx.expect("column agg")].data_type
+            }
+        };
+        cols.push(Column::new(a.alias.clone(), ty));
+    }
+    Schema::new(format!("{}_agg", s.name), cols)
+}
+
+/// Group rows and fold aggregates. Infallible once columns are resolved;
+/// group order is first-seen, matching the interpreter.
+pub(crate) fn aggregate_rows(
+    rows: &[Row],
+    g_idx: &[usize],
+    agg_idx: &[Option<usize>],
+    aggregates: &[Aggregate],
+) -> Vec<Row> {
+    #[derive(Default)]
+    struct Acc {
+        count: i64,
+        sum: f64,
+        sum_is_float: bool,
+        sum_int: i64,
+        min: Option<Value>,
+        max: Option<Value>,
+        non_null: i64,
+    }
+
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    // SQL semantics: a global aggregation (no GROUP BY) always produces
+    // exactly one row, even over an empty input — COUNT(*) of nothing is 0.
+    if g_idx.is_empty() {
+        order.push(Vec::new());
+        groups.insert(
+            Vec::new(),
+            (0..aggregates.len()).map(|_| Acc::default()).collect(),
+        );
+    }
+    for row in rows {
+        let key: Vec<Value> = g_idx.iter().map(|&i| row[i].clone()).collect();
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (0..aggregates.len()).map(|_| Acc::default()).collect()
+        });
+        for (idx, acc) in agg_idx.iter().zip(accs.iter_mut()) {
+            acc.count += 1;
+            if let Some(i) = idx {
+                let v = &row[*i];
+                if v.is_null() {
+                    continue;
+                }
+                acc.non_null += 1;
+                if let Some(f) = v.as_f64() {
+                    acc.sum += f;
+                    if let Value::Int(n) = v {
+                        acc.sum_int = acc.sum_int.wrapping_add(*n);
+                    } else {
+                        acc.sum_is_float = true;
+                    }
+                }
+                if acc.min.as_ref().is_none_or(|m| v < m) {
+                    acc.min = Some(v.clone());
+                }
+                if acc.max.as_ref().is_none_or(|m| v > m) {
+                    acc.max = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group exists");
+        let mut row = key;
+        for (a, acc) in aggregates.iter().zip(accs) {
+            let v = match &a.func {
+                AggFunc::CountAll => Value::Int(acc.count),
+                AggFunc::Count(_) => Value::Int(acc.non_null),
+                AggFunc::Sum(_) => {
+                    if acc.non_null == 0 {
+                        Value::Null
+                    } else if acc.sum_is_float {
+                        Value::Float(acc.sum)
+                    } else {
+                        Value::Int(acc.sum_int)
+                    }
+                }
+                AggFunc::Avg(_) => {
+                    if acc.non_null == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(acc.sum / acc.non_null as f64)
+                    }
+                }
+                AggFunc::Min(_) => acc.min.unwrap_or(Value::Null),
+                AggFunc::Max(_) => acc.max.unwrap_or(Value::Null),
+            };
+            row.push(v);
+        }
+        out.push(row);
+    }
+    out
+}
+
+/// Sort rows by the given column positions (ascending, NULLs first via the
+/// value total order).
+pub(crate) fn sort_rows(rows: &mut [Row], idxs: &[usize]) {
+    rows.sort_by(|a, b| {
+        idxs.iter()
+            .map(|&i| a[i].total_cmp(&b[i]))
+            .find(|o| !o.is_eq())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 }
 
 fn eval_join(
@@ -387,43 +710,12 @@ fn eval_join(
     on: &[(String, String)],
     kind: JoinKind,
 ) -> RelResult<Table> {
-    let lt = left.eval(db)?;
-    let rt = right.eval(db)?;
+    let lt = left.eval_materialized(db)?;
+    let rt = right.eval_materialized(db)?;
     let (ls, rs) = (lt.schema().clone(), rt.schema().clone());
-    let l_idx: Vec<usize> = on
-        .iter()
-        .map(|(l, _)| {
-            ls.index_of(l).ok_or_else(|| RelError::UnknownColumn {
-                table: ls.name.clone(),
-                column: l.clone(),
-            })
-        })
-        .collect::<RelResult<_>>()?;
-    let r_idx: Vec<usize> = on
-        .iter()
-        .map(|(_, r)| {
-            rs.index_of(r).ok_or_else(|| RelError::UnknownColumn {
-                table: rs.name.clone(),
-                column: r.clone(),
-            })
-        })
-        .collect::<RelResult<_>>()?;
-
-    // Output schema: left columns, then right columns. Name collisions get a
-    // `right.`-style disambiguating prefix.
-    let mut cols = ls.columns().to_vec();
-    for c in rs.columns() {
-        let mut c = c.clone();
-        if ls.index_of(&c.name).is_some() {
-            c.name = format!("{}.{}", rs.name, c.name);
-        }
-        // Left-join right columns may be NULL even if declared NOT NULL.
-        if kind == JoinKind::Left {
-            c.nullable = true;
-        }
-        cols.push(c);
-    }
-    let schema = Schema::new(format!("{}_{}", ls.name, rs.name), cols)?;
+    let l_idx = resolve_columns(&ls, on.iter().map(|(l, _)| l))?;
+    let r_idx = resolve_columns(&rs, on.iter().map(|(_, r)| r))?;
+    let schema = join_output_schema(&ls, &rs, kind)?;
 
     // Hash join, build side = right. NULL keys never match (SQL semantics).
     let mut index: HashMap<Vec<&Value>, Vec<&Row>> = HashMap::new();
@@ -434,7 +726,7 @@ fn eval_join(
         }
         index.entry(key).or_default().push(row);
     }
-    let r_arity = rs.arity();
+    let (l_arity, r_arity) = (ls.arity(), rs.arity());
     let mut out: Vec<Row> = Vec::new();
     for lrow in lt.rows() {
         let key: Vec<&Value> = l_idx.iter().map(|&i| &lrow[i]).collect();
@@ -446,13 +738,15 @@ fn eval_join(
         match matches {
             Some(rrows) => {
                 for rrow in rrows {
-                    let mut row = lrow.clone();
+                    let mut row = Vec::with_capacity(l_arity + r_arity);
+                    row.extend(lrow.iter().cloned());
                     row.extend(rrow.iter().cloned());
                     out.push(row);
                 }
             }
             None if kind == JoinKind::Left => {
-                let mut row = lrow.clone();
+                let mut row = Vec::with_capacity(l_arity + r_arity);
+                row.extend(lrow.iter().cloned());
                 row.extend(std::iter::repeat_n(Value::Null, r_arity));
                 out.push(row);
             }
@@ -469,34 +763,12 @@ fn eval_unpivot(
     attr_col: &str,
     val_col: &str,
 ) -> RelResult<Table> {
-    let t = input.eval(db)?;
+    let t = input.eval_materialized(db)?;
     let s = t.schema().clone();
-    let key_idx: Vec<usize> = keys
-        .iter()
-        .map(|k| {
-            s.index_of(k).ok_or_else(|| RelError::UnknownColumn {
-                table: s.name.clone(),
-                column: k.clone(),
-            })
-        })
-        .collect::<RelResult<_>>()?;
+    let key_idx = resolve_columns(&s, keys)?;
     let data_idx: Vec<usize> = (0..s.arity()).filter(|i| !key_idx.contains(i)).collect();
-    let mut cols: Vec<Column> = key_idx.iter().map(|&i| s.columns()[i].clone()).collect();
-    cols.push(Column::new(attr_col, DataType::Text));
-    cols.push(Column::new(val_col, DataType::Text));
-    let schema = Schema::new(format!("{}_eav", s.name), cols)?;
-    let mut rows = Vec::new();
-    for row in t.rows() {
-        for &di in &data_idx {
-            if row[di].is_null() {
-                continue; // unanswered controls simply have no EAV row
-            }
-            let mut out: Row = key_idx.iter().map(|&i| row[i].clone()).collect();
-            out.push(Value::text(s.columns()[di].name.clone()));
-            out.push(Value::text(row[di].to_string()));
-            rows.push(out);
-        }
-    }
+    let schema = unpivot_output_schema(&s, &key_idx, attr_col, val_col)?;
+    let rows = unpivot_rows(&s, t.rows(), &key_idx, &data_idx);
     Table::from_rows(schema, rows)
 }
 
@@ -535,73 +807,13 @@ fn eval_pivot(
     val_col: &str,
     attrs: &[(String, DataType)],
 ) -> RelResult<Table> {
-    let t = input.eval(db)?;
+    let t = input.eval_materialized(db)?;
     let s = t.schema().clone();
-    let key_idx: Vec<usize> = keys
-        .iter()
-        .map(|k| {
-            s.index_of(k).ok_or_else(|| RelError::UnknownColumn {
-                table: s.name.clone(),
-                column: k.clone(),
-            })
-        })
-        .collect::<RelResult<_>>()?;
-    let attr_idx = s
-        .index_of(attr_col)
-        .ok_or_else(|| RelError::UnknownColumn {
-            table: s.name.clone(),
-            column: attr_col.to_owned(),
-        })?;
-    let val_idx = s.index_of(val_col).ok_or_else(|| RelError::UnknownColumn {
-        table: s.name.clone(),
-        column: val_col.to_owned(),
-    })?;
-
-    let mut cols: Vec<Column> = key_idx.iter().map(|&i| s.columns()[i].clone()).collect();
-    for (name, ty) in attrs {
-        cols.push(Column::new(name.clone(), *ty));
-    }
-    let schema = Schema::new(format!("{}_wide", s.name), cols)?;
-
-    // Preserve first-seen entity order for deterministic output.
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    let mut groups: HashMap<Vec<Value>, Row> = HashMap::new();
-    let attr_pos: HashMap<&str, usize> = attrs
-        .iter()
-        .enumerate()
-        .map(|(i, (n, _))| (n.as_str(), i))
-        .collect();
-    for row in t.rows() {
-        let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
-        let entry = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
-            let mut r: Row = key_idx.iter().map(|&i| row[i].clone()).collect();
-            r.extend(std::iter::repeat_n(Value::Null, attrs.len()));
-            r
-        });
-        let attr = match &row[attr_idx] {
-            Value::Text(a) => a.as_str(),
-            other => {
-                return Err(RelError::Eval(format!(
-                    "pivot attribute column holds non-text value {other}"
-                )))
-            }
-        };
-        if let Some(&pos) = attr_pos.get(attr) {
-            let text = match &row[val_idx] {
-                Value::Null => continue,
-                Value::Text(t) => t.clone(),
-                other => other.to_string(),
-            };
-            entry[key_idx.len() + pos] = cast_text(&text, attrs[pos].1)?;
-        }
-        // Attributes outside `attrs` are silently dropped: the g-tree query
-        // asked only for these nodes.
-    }
-    let rows: Vec<Row> = order
-        .into_iter()
-        .map(|k| groups.remove(&k).expect("group exists"))
-        .collect();
+    let key_idx = resolve_columns(&s, keys)?;
+    let attr_idx = resolve_column(&s, attr_col)?;
+    let val_idx = resolve_column(&s, val_col)?;
+    let schema = pivot_output_schema(&s, &key_idx, attrs)?;
+    let rows = pivot_rows(t.rows(), &key_idx, attr_idx, val_idx, attrs)?;
     Table::from_rows(schema, rows)
 }
 
@@ -611,134 +823,12 @@ fn eval_aggregate(
     group_by: &[String],
     aggregates: &[Aggregate],
 ) -> RelResult<Table> {
-    let t = input.eval(db)?;
+    let t = input.eval_materialized(db)?;
     let s = t.schema().clone();
-    let g_idx: Vec<usize> = group_by
-        .iter()
-        .map(|c| {
-            s.index_of(c).ok_or_else(|| RelError::UnknownColumn {
-                table: s.name.clone(),
-                column: c.clone(),
-            })
-        })
-        .collect::<RelResult<_>>()?;
-    let agg_idx: Vec<Option<usize>> = aggregates
-        .iter()
-        .map(|a| match &a.func {
-            AggFunc::CountAll => Ok(None),
-            AggFunc::Count(c)
-            | AggFunc::Sum(c)
-            | AggFunc::Avg(c)
-            | AggFunc::Min(c)
-            | AggFunc::Max(c) => s
-                .index_of(c)
-                .map(Some)
-                .ok_or_else(|| RelError::UnknownColumn {
-                    table: s.name.clone(),
-                    column: c.clone(),
-                }),
-        })
-        .collect::<RelResult<_>>()?;
-
-    let mut cols: Vec<Column> = g_idx.iter().map(|&i| s.columns()[i].clone()).collect();
-    for (a, idx) in aggregates.iter().zip(&agg_idx) {
-        let ty = match &a.func {
-            AggFunc::CountAll | AggFunc::Count(_) => DataType::Int,
-            AggFunc::Avg(_) => DataType::Float,
-            AggFunc::Sum(_) | AggFunc::Min(_) | AggFunc::Max(_) => {
-                s.columns()[idx.expect("column agg")].data_type
-            }
-        };
-        cols.push(Column::new(a.alias.clone(), ty));
-    }
-    let schema = Schema::new(format!("{}_agg", s.name), cols)?;
-
-    #[derive(Default)]
-    struct Acc {
-        count: i64,
-        sum: f64,
-        sum_is_float: bool,
-        sum_int: i64,
-        min: Option<Value>,
-        max: Option<Value>,
-        non_null: i64,
-    }
-
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-    // SQL semantics: a global aggregation (no GROUP BY) always produces
-    // exactly one row, even over an empty input — COUNT(*) of nothing is 0.
-    if group_by.is_empty() {
-        order.push(Vec::new());
-        groups.insert(
-            Vec::new(),
-            (0..aggregates.len()).map(|_| Acc::default()).collect(),
-        );
-    }
-    for row in t.rows() {
-        let key: Vec<Value> = g_idx.iter().map(|&i| row[i].clone()).collect();
-        let accs = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
-            (0..aggregates.len()).map(|_| Acc::default()).collect()
-        });
-        for ((a, idx), acc) in aggregates.iter().zip(&agg_idx).zip(accs.iter_mut()) {
-            acc.count += 1;
-            if let Some(i) = idx {
-                let v = &row[*i];
-                if v.is_null() {
-                    continue;
-                }
-                acc.non_null += 1;
-                if let Some(f) = v.as_f64() {
-                    acc.sum += f;
-                    if let Value::Int(n) = v {
-                        acc.sum_int = acc.sum_int.wrapping_add(*n);
-                    } else {
-                        acc.sum_is_float = true;
-                    }
-                }
-                if acc.min.as_ref().is_none_or(|m| v < m) {
-                    acc.min = Some(v.clone());
-                }
-                if acc.max.as_ref().is_none_or(|m| v > m) {
-                    acc.max = Some(v.clone());
-                }
-                let _ = a;
-            }
-        }
-    }
-
-    let mut rows = Vec::with_capacity(order.len());
-    for key in order {
-        let accs = groups.remove(&key).expect("group exists");
-        let mut row = key;
-        for (a, acc) in aggregates.iter().zip(accs) {
-            let v = match &a.func {
-                AggFunc::CountAll => Value::Int(acc.count),
-                AggFunc::Count(_) => Value::Int(acc.non_null),
-                AggFunc::Sum(_) => {
-                    if acc.non_null == 0 {
-                        Value::Null
-                    } else if acc.sum_is_float {
-                        Value::Float(acc.sum)
-                    } else {
-                        Value::Int(acc.sum_int)
-                    }
-                }
-                AggFunc::Avg(_) => {
-                    if acc.non_null == 0 {
-                        Value::Null
-                    } else {
-                        Value::Float(acc.sum / acc.non_null as f64)
-                    }
-                }
-                AggFunc::Min(_) => acc.min.unwrap_or(Value::Null),
-                AggFunc::Max(_) => acc.max.unwrap_or(Value::Null),
-            };
-            row.push(v);
-        }
-        rows.push(row);
-    }
+    let g_idx = resolve_columns(&s, group_by)?;
+    let agg_idx = resolve_aggregate_columns(&s, aggregates)?;
+    let schema = aggregate_output_schema(&s, &g_idx, &agg_idx, aggregates)?;
+    let rows = aggregate_rows(t.rows(), &g_idx, &agg_idx, aggregates);
     Table::from_rows(schema, rows)
 }
 

@@ -1,0 +1,1085 @@
+//! Streaming batch executor: the physical execution layer behind
+//! [`Plan::eval`].
+//!
+//! The logical algebra in [`crate::algebra`] can be interpreted
+//! operator-at-a-time by [`Plan::eval_materialized`], which builds a full
+//! [`Table`] at every node — simple and obviously correct, but each
+//! operator re-validates and re-allocates every intermediate row. This
+//! module compiles the same plans into a tree of batch-at-a-time physical
+//! operators (`next_batch() -> RelResult<Option<Batch>>`):
+//!
+//! * **Scans are zero-copy.** A scan holds the table's `Arc`-shared row
+//!   storage (see [`Table::shared_rows`]) and clones only the rows that
+//!   survive to an output batch.
+//! * **Select / Project / Rename chains fuse** into a single
+//!   [`PipelineOp`] pass: a row flows through every predicate and
+//!   projection before the next row is touched, with no intermediate
+//!   tables. Rename is free — it only rewrites the schema at compile time.
+//! * **Union streams** child after child; **Join** builds its hash index
+//!   over the build side once and probes batch-by-batch; **Distinct**
+//!   streams behind a seen-set.
+//! * Only the inherently blocking operators — Pivot, AggregateBy, Sort —
+//!   gather their full input, and they reuse the row kernels shared with
+//!   the materializing interpreter (`pivot_rows`, `aggregate_rows`,
+//!   `sort_rows`).
+//!
+//! Compilation ("binding") resolves every schema and column position up
+//! front, so schema-level errors — unknown tables or columns, incompatible
+//! unions, duplicate output columns — surface before any data flows.
+//! Data-dependent errors (expression evaluation, EAV cast failures) surface
+//! in row order as batches stream. For plans with a single fault this
+//! reproduces the materializing interpreter's error exactly; when a plan
+//! contains several independent faults the two evaluators may report
+//! different ones (both still fail). `tests/algebra_properties.rs`
+//! cross-validates the two evaluators on random plans.
+
+use crate::algebra::{
+    aggregate_output_schema, aggregate_rows, check_union_compatible, join_output_schema, keyless,
+    pivot_output_schema, pivot_rows, project_output_schema, rename_output_schema,
+    resolve_aggregate_columns, resolve_column, resolve_columns, sort_rows, unpivot_output_schema,
+    unpivot_rows, JoinKind, Plan,
+};
+use crate::database::Database;
+use crate::error::{RelError, RelResult};
+use crate::expr::Expr;
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Target number of rows per batch. Large enough to amortize per-batch
+/// dispatch, small enough that a pipeline's working set stays cache-sized.
+pub const BATCH_SIZE: usize = 1024;
+
+/// One unit of streamed data: a chunk of rows, all matching the operator's
+/// output schema.
+pub type Batch = Vec<Row>;
+
+/// A physical operator. Pull-based: each call produces the next non-empty
+/// batch of output rows, or `None` once the stream is exhausted.
+pub trait Operator {
+    fn next_batch(&mut self) -> RelResult<Option<Batch>>;
+}
+
+type BoxedOp<'p> = Box<dyn Operator + 'p>;
+
+/// Evaluate `plan` against `db` through the streaming executor. This is
+/// what [`Plan::eval`] calls.
+pub fn execute(plan: &Plan, db: &Database) -> RelResult<Table> {
+    // A bare scan (or inline relation) at the root returns the stored table
+    // itself — primary key included — exactly like the materializing
+    // interpreter. With Arc-shared storage the clone is O(1).
+    match plan {
+        Plan::Scan(name) => return db.table(name).cloned(),
+        Plan::Values { schema, rows } => return Table::from_rows(schema.clone(), rows.clone()),
+        _ => {}
+    }
+    let (schema, exec) = compile(plan, db)?;
+    let mut op = exec.into_op();
+    let mut rows: Vec<Row> = Vec::new();
+    while let Some(batch) = op.next_batch()? {
+        rows.extend(batch);
+    }
+    // Every operator validated its own output wherever validation can fail
+    // at all, so assembling the result does not re-check rows.
+    Table::from_validated(schema, rows)
+}
+
+/// A compiled subtree: either a fusable pipeline (so a parent
+/// Select/Project can append itself as a stage) or an opaque operator.
+enum Exec<'p> {
+    Pipe(PipelineOp<'p>),
+    Op(BoxedOp<'p>),
+}
+
+impl<'p> Exec<'p> {
+    /// View this subtree as a pipeline to fuse more stages onto. Opaque
+    /// operators become the pipeline's source.
+    fn into_pipeline(self) -> PipelineOp<'p> {
+        match self {
+            Exec::Pipe(p) => p,
+            Exec::Op(op) => PipelineOp {
+                source: Source::Child(op),
+                stages: Vec::new(),
+                done: false,
+            },
+        }
+    }
+
+    fn into_op(self) -> BoxedOp<'p> {
+        match self {
+            Exec::Pipe(p) => Box::new(p),
+            Exec::Op(op) => op,
+        }
+    }
+}
+
+/// Compile a plan into its output schema and physical operator tree.
+/// Binding recurses children-first, so schema errors surface in the same
+/// order the materializing interpreter reports them.
+fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
+    Ok(match plan {
+        Plan::Scan(name) => {
+            let t = db.table(name)?;
+            (
+                t.schema().clone(),
+                Exec::Pipe(PipelineOp::over(t.shared_rows())),
+            )
+        }
+        Plan::Values { schema, rows } => {
+            // Inline relations validate eagerly — duplicate-key checks
+            // included — mirroring `Table::from_rows` in the interpreter.
+            let t = Table::from_rows(schema.clone(), rows.clone())?;
+            (
+                t.schema().clone(),
+                Exec::Pipe(PipelineOp::over(t.shared_rows())),
+            )
+        }
+        Plan::Select { input, predicate } => {
+            let (in_schema, child) = compile(input, db)?;
+            let out = keyless(in_schema.clone());
+            let mut pipe = child.into_pipeline();
+            pipe.stages.push(Stage::Filter {
+                predicate,
+                schema: in_schema,
+            });
+            (out, Exec::Pipe(pipe))
+        }
+        Plan::Project { input, columns } => {
+            let (in_schema, child) = compile(input, db)?;
+            let out = project_output_schema(&in_schema, columns)?;
+            let mut pipe = child.into_pipeline();
+            pipe.stages.push(Stage::Map {
+                exprs: columns,
+                in_schema,
+                out_schema: out.clone(),
+            });
+            (out, Exec::Pipe(pipe))
+        }
+        Plan::Rename {
+            input,
+            table,
+            columns,
+        } => {
+            // Pure metadata: rows pass through untouched, so Rename costs
+            // nothing at run time.
+            let (in_schema, child) = compile(input, db)?;
+            let out = rename_output_schema(&in_schema, table.as_deref(), columns)?;
+            (out, child)
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            kind,
+        } => {
+            let (ls, lchild) = compile(left, db)?;
+            let (rs, rchild) = compile(right, db)?;
+            let l_idx = resolve_columns(&ls, on.iter().map(|(l, _)| l))?;
+            let r_idx = resolve_columns(&rs, on.iter().map(|(_, r)| r))?;
+            let schema = join_output_schema(&ls, &rs, *kind)?;
+            let op = JoinOp {
+                left: RowsIn::from_exec(lchild),
+                build: Some(RowsIn::from_exec(rchild)),
+                l_idx,
+                r_idx,
+                kind: *kind,
+                l_arity: ls.arity(),
+                r_arity: rs.arity(),
+                right: Gathered::Owned(Vec::new()),
+                index: HashMap::new(),
+                done: false,
+            };
+            (schema, Exec::Op(Box::new(op)))
+        }
+        Plan::Union { inputs } => {
+            let mut iter = inputs.iter();
+            let first = iter
+                .next()
+                .ok_or_else(|| RelError::Plan("union of zero inputs".into()))?;
+            let (first_schema, first_child) = compile(first, db)?;
+            let schema = keyless(first_schema);
+            let mut children = vec![first_child.into_op()];
+            for p in iter {
+                let (s, c) = compile(p, db)?;
+                check_union_compatible(&schema, &s)?;
+                children.push(c.into_op());
+            }
+            // Later inputs may be nullable where the leading schema says
+            // NOT NULL; re-check rows only when that can actually reject.
+            let check_rows = schema.columns().iter().any(|c| !c.nullable);
+            let op = UnionOp {
+                children,
+                at: 0,
+                schema: schema.clone(),
+                check_rows,
+            };
+            (schema, Exec::Op(Box::new(op)))
+        }
+        Plan::Distinct { input } => {
+            let (in_schema, child) = compile(input, db)?;
+            let schema = keyless(in_schema);
+            let op = DistinctOp {
+                child: child.into_op(),
+                seen: HashSet::new(),
+            };
+            (schema, Exec::Op(Box::new(op)))
+        }
+        Plan::Unpivot {
+            input,
+            keys,
+            attr_col,
+            val_col,
+        } => {
+            let (s, child) = compile(input, db)?;
+            let key_idx = resolve_columns(&s, keys)?;
+            let data_idx: Vec<usize> = (0..s.arity()).filter(|i| !key_idx.contains(i)).collect();
+            let schema = unpivot_output_schema(&s, &key_idx, attr_col, val_col)?;
+            let op = UnpivotOp {
+                child: RowsIn::from_exec(child),
+                in_schema: s,
+                key_idx,
+                data_idx,
+            };
+            (schema, Exec::Op(Box::new(op)))
+        }
+        Plan::Pivot {
+            input,
+            keys,
+            attr_col,
+            val_col,
+            attrs,
+        } => {
+            let (s, child) = compile(input, db)?;
+            let key_idx = resolve_columns(&s, keys)?;
+            let attr_idx = resolve_column(&s, attr_col)?;
+            let val_idx = resolve_column(&s, val_col)?;
+            let schema = pivot_output_schema(&s, &key_idx, attrs)?;
+            let op = BlockingOp::new(RowsIn::from_exec(child), move |rows| {
+                pivot_rows(rows.as_slice(), &key_idx, attr_idx, val_idx, attrs)
+            });
+            (schema, Exec::Op(Box::new(op)))
+        }
+        Plan::AggregateBy {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let (s, child) = compile(input, db)?;
+            let g_idx = resolve_columns(&s, group_by)?;
+            let agg_idx = resolve_aggregate_columns(&s, aggregates)?;
+            let schema = aggregate_output_schema(&s, &g_idx, &agg_idx, aggregates)?;
+            let op = BlockingOp::new(RowsIn::from_exec(child), move |rows| {
+                Ok(aggregate_rows(
+                    rows.as_slice(),
+                    &g_idx,
+                    &agg_idx,
+                    aggregates,
+                ))
+            });
+            (schema, Exec::Op(Box::new(op)))
+        }
+        Plan::Sort { input, by } => {
+            let (in_schema, child) = compile(input, db)?;
+            let schema = keyless(in_schema);
+            let idxs = resolve_columns(&schema, by)?;
+            let op = BlockingOp::new(RowsIn::from_exec(child), move |rows| {
+                let mut rows = rows.into_rows();
+                sort_rows(&mut rows, &idxs);
+                Ok(rows)
+            });
+            (schema, Exec::Op(Box::new(op)))
+        }
+        Plan::Limit { input, n } => {
+            let (in_schema, child) = compile(input, db)?;
+            let schema = keyless(in_schema);
+            let op = LimitOp {
+                child: child.into_op(),
+                remaining: *n,
+                done: false,
+            };
+            (schema, Exec::Op(Box::new(op)))
+        }
+    })
+}
+
+/// Where a pipeline's rows come from.
+enum Source<'p> {
+    /// Zero-copy view over a table's shared row storage.
+    Shared { rows: Arc<Vec<Row>>, pos: usize },
+    /// Any upstream operator that is not fusable.
+    Child(BoxedOp<'p>),
+}
+
+/// Rows feeding a non-fused operator (join side, blocking input, unpivot).
+/// A bare scan stays a zero-copy handle on the table's shared storage —
+/// the consumer reads borrowed rows and never pays for copying its input,
+/// matching what the interpreter gets from `Table::rows()`.
+enum RowsIn<'p> {
+    Shared { rows: Arc<Vec<Row>>, pos: usize },
+    Child(BoxedOp<'p>),
+}
+
+impl<'p> RowsIn<'p> {
+    fn from_exec(e: Exec<'p>) -> RowsIn<'p> {
+        match e {
+            Exec::Pipe(PipelineOp {
+                source: Source::Shared { rows, pos },
+                stages,
+                ..
+            }) if stages.is_empty() => RowsIn::Shared { rows, pos },
+            other => RowsIn::Child(other.into_op()),
+        }
+    }
+
+    /// Gather the entire input at once (blocking kernels, join build side).
+    fn gather(self) -> RelResult<Gathered> {
+        match self {
+            RowsIn::Shared { rows, .. } => Ok(Gathered::Shared(rows)),
+            RowsIn::Child(mut op) => {
+                let mut rows = Vec::new();
+                while let Some(batch) = op.next_batch()? {
+                    rows.extend(batch);
+                }
+                Ok(Gathered::Owned(rows))
+            }
+        }
+    }
+}
+
+/// A fully-gathered input: still zero-copy when it came straight off a
+/// scan. Kernels that only read borrow the slice; kernels that need
+/// ownership (sort) unwrap the `Arc`, cloning only when the storage is
+/// shared — the same cost `Table::into_rows` pays in the interpreter.
+enum Gathered {
+    Shared(Arc<Vec<Row>>),
+    Owned(Vec<Row>),
+}
+
+impl Gathered {
+    fn as_slice(&self) -> &[Row] {
+        match self {
+            Gathered::Shared(rows) => rows,
+            Gathered::Owned(rows) => rows,
+        }
+    }
+
+    fn into_rows(self) -> Vec<Row> {
+        match self {
+            Gathered::Shared(rows) => {
+                Arc::try_unwrap(rows).unwrap_or_else(|shared| (*shared).clone())
+            }
+            Gathered::Owned(rows) => rows,
+        }
+    }
+}
+
+/// One fused per-row transform.
+enum Stage<'p> {
+    /// σ — drop rows failing the predicate (from `Plan::Select`).
+    Filter { predicate: &'p Expr, schema: Schema },
+    /// π — evaluate expressions into a fresh row (from `Plan::Project`).
+    /// Output rows are validated against `out_schema`, exactly as
+    /// `Table::from_rows` would in the interpreter.
+    Map {
+        exprs: &'p [(String, Expr)],
+        in_schema: Schema,
+        out_schema: Schema,
+    },
+}
+
+/// A row travelling through fused stages: borrowed from shared storage
+/// until some stage builds a fresh row, and cloned only if it survives to
+/// the output batch.
+enum Flow<'a> {
+    Borrowed(&'a Row),
+    Owned(Row),
+}
+
+impl Flow<'_> {
+    fn as_slice(&self) -> &[Value] {
+        match self {
+            Flow::Borrowed(r) => r,
+            Flow::Owned(r) => r,
+        }
+    }
+
+    fn into_row(self) -> Row {
+        match self {
+            Flow::Borrowed(r) => r.clone(),
+            Flow::Owned(r) => r,
+        }
+    }
+}
+
+fn apply_stages(stages: &[Stage], mut row: Flow<'_>) -> RelResult<Option<Row>> {
+    for stage in stages {
+        match stage {
+            Stage::Filter { predicate, schema } => {
+                if !predicate.matches(schema, row.as_slice())? {
+                    return Ok(None);
+                }
+            }
+            Stage::Map {
+                exprs,
+                in_schema,
+                out_schema,
+            } => {
+                let input = row.as_slice();
+                let mut out = Vec::with_capacity(exprs.len());
+                for (_, e) in exprs.iter() {
+                    out.push(e.eval(in_schema, input)?);
+                }
+                out_schema.check_row(&out)?;
+                row = Flow::Owned(out);
+            }
+        }
+    }
+    Ok(Some(row.into_row()))
+}
+
+/// Fused Select/Project chain over a scan or an opaque child: one pass per
+/// row, no intermediate tables.
+struct PipelineOp<'p> {
+    source: Source<'p>,
+    stages: Vec<Stage<'p>>,
+    done: bool,
+}
+
+impl<'p> PipelineOp<'p> {
+    fn over(rows: Arc<Vec<Row>>) -> PipelineOp<'p> {
+        PipelineOp {
+            source: Source::Shared { rows, pos: 0 },
+            stages: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+impl Operator for PipelineOp<'_> {
+    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        let PipelineOp {
+            source,
+            stages,
+            done,
+        } = self;
+        loop {
+            match source {
+                Source::Shared { rows, pos } => {
+                    if *pos >= rows.len() {
+                        *done = true;
+                        return Ok(None);
+                    }
+                    let end = usize::min(*pos + BATCH_SIZE, rows.len());
+                    let slice = &rows[*pos..end];
+                    *pos = end;
+                    if stages.is_empty() {
+                        // Bare scan feeding a parent that consumes owned
+                        // batches (union, distinct, limit): rows leave
+                        // shared storage here. Joins, blocking operators,
+                        // and unpivot take a `RowsIn` instead and read the
+                        // storage in place.
+                        return Ok(Some(slice.to_vec()));
+                    }
+                    let mut out = Vec::with_capacity(slice.len());
+                    for row in slice {
+                        if let Some(r) = apply_stages(stages, Flow::Borrowed(row))? {
+                            out.push(r);
+                        }
+                    }
+                    if !out.is_empty() {
+                        return Ok(Some(out));
+                    }
+                }
+                Source::Child(child) => match child.next_batch()? {
+                    None => {
+                        *done = true;
+                        return Ok(None);
+                    }
+                    Some(batch) => {
+                        if stages.is_empty() {
+                            return Ok(Some(batch));
+                        }
+                        let mut out = Vec::with_capacity(batch.len());
+                        for row in batch {
+                            if let Some(r) = apply_stages(stages, Flow::Owned(row))? {
+                                out.push(r);
+                            }
+                        }
+                        if !out.is_empty() {
+                            return Ok(Some(out));
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Hash join: gathers the build (right) side into an index on first poll
+/// — zero-copy when it is a bare scan — then probes the left side batch by
+/// batch, reading probe rows in place when they too come off a scan.
+struct JoinOp<'p> {
+    left: RowsIn<'p>,
+    /// Build-side input; consumed into `right`/`index` on first poll.
+    build: Option<RowsIn<'p>>,
+    l_idx: Vec<usize>,
+    r_idx: Vec<usize>,
+    kind: JoinKind,
+    l_arity: usize,
+    r_arity: usize,
+    right: Gathered,
+    /// Join key → positions in `right`. NULL keys are absent (SQL: NULL
+    /// never matches).
+    index: HashMap<Vec<Value>, Vec<usize>>,
+    done: bool,
+}
+
+/// Probe one chunk of left rows against the build index.
+#[allow(clippy::too_many_arguments)]
+fn probe_rows(
+    lrows: &[Row],
+    index: &HashMap<Vec<Value>, Vec<usize>>,
+    right: &[Row],
+    l_idx: &[usize],
+    kind: JoinKind,
+    l_arity: usize,
+    r_arity: usize,
+) -> Batch {
+    let mut out: Batch = Vec::with_capacity(lrows.len());
+    for lrow in lrows {
+        let key: Vec<Value> = l_idx.iter().map(|&i| lrow[i].clone()).collect();
+        let hit = if key.iter().any(|v| v.is_null()) {
+            None
+        } else {
+            index.get(&key)
+        };
+        match hit {
+            Some(positions) => {
+                for &ri in positions {
+                    let rrow = &right[ri];
+                    let mut row = Vec::with_capacity(l_arity + r_arity);
+                    row.extend(lrow.iter().cloned());
+                    row.extend(rrow.iter().cloned());
+                    out.push(row);
+                }
+            }
+            None if kind == JoinKind::Left => {
+                let mut row = Vec::with_capacity(l_arity + r_arity);
+                row.extend(lrow.iter().cloned());
+                row.extend(std::iter::repeat_n(Value::Null, r_arity));
+                out.push(row);
+            }
+            None => {}
+        }
+    }
+    out
+}
+
+impl Operator for JoinOp<'_> {
+    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        if let Some(build) = self.build.take() {
+            self.right = build.gather()?;
+            for (at, row) in self.right.as_slice().iter().enumerate() {
+                let key: Vec<Value> = self.r_idx.iter().map(|&i| row[i].clone()).collect();
+                if !key.iter().any(|v| v.is_null()) {
+                    self.index.entry(key).or_default().push(at);
+                }
+            }
+        }
+        let JoinOp {
+            left,
+            l_idx,
+            kind,
+            l_arity,
+            r_arity,
+            right,
+            index,
+            done,
+            ..
+        } = self;
+        loop {
+            let out = match left {
+                RowsIn::Shared { rows, pos } => {
+                    if *pos >= rows.len() {
+                        *done = true;
+                        return Ok(None);
+                    }
+                    let end = usize::min(*pos + BATCH_SIZE, rows.len());
+                    let slice = &rows[*pos..end];
+                    *pos = end;
+                    probe_rows(
+                        slice,
+                        index,
+                        right.as_slice(),
+                        l_idx,
+                        *kind,
+                        *l_arity,
+                        *r_arity,
+                    )
+                }
+                RowsIn::Child(op) => {
+                    let Some(batch) = op.next_batch()? else {
+                        *done = true;
+                        return Ok(None);
+                    };
+                    // Owned probe rows can be moved into the output when
+                    // they produce exactly one row (single match, or the
+                    // NULL pad of a left join).
+                    let mut out: Batch = Vec::with_capacity(batch.len());
+                    for lrow in batch {
+                        let key: Vec<Value> = l_idx.iter().map(|&i| lrow[i].clone()).collect();
+                        let hit = if key.iter().any(|v| v.is_null()) {
+                            None
+                        } else {
+                            index.get(&key)
+                        };
+                        match hit {
+                            Some(positions) if positions.len() == 1 => {
+                                let rrow = &right.as_slice()[positions[0]];
+                                let mut row = lrow;
+                                row.reserve(*r_arity);
+                                row.extend(rrow.iter().cloned());
+                                out.push(row);
+                            }
+                            Some(positions) => {
+                                for &ri in positions {
+                                    let rrow = &right.as_slice()[ri];
+                                    let mut row = Vec::with_capacity(*l_arity + *r_arity);
+                                    row.extend(lrow.iter().cloned());
+                                    row.extend(rrow.iter().cloned());
+                                    out.push(row);
+                                }
+                            }
+                            None if *kind == JoinKind::Left => {
+                                let mut row = lrow;
+                                row.reserve(*r_arity);
+                                row.extend(std::iter::repeat_n(Value::Null, *r_arity));
+                                out.push(row);
+                            }
+                            None => {}
+                        }
+                    }
+                    out
+                }
+            };
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+/// Streaming bag union: children drain in order, batches pass straight
+/// through. Rows from non-leading inputs are re-checked against the output
+/// schema only when some column is NOT NULL (the one way union rows can be
+/// rejected, since union compatibility already fixed the types).
+struct UnionOp<'p> {
+    children: Vec<BoxedOp<'p>>,
+    at: usize,
+    schema: Schema,
+    check_rows: bool,
+}
+
+impl Operator for UnionOp<'_> {
+    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
+        while self.at < self.children.len() {
+            match self.children[self.at].next_batch()? {
+                Some(batch) => {
+                    if self.check_rows && self.at > 0 {
+                        for row in &batch {
+                            self.schema.check_row(row)?;
+                        }
+                    }
+                    return Ok(Some(batch));
+                }
+                None => self.at += 1,
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Streaming δ: forwards first occurrences, keeping a seen-set across
+/// batches.
+struct DistinctOp<'p> {
+    child: BoxedOp<'p>,
+    seen: HashSet<Row>,
+}
+
+impl Operator for DistinctOp<'_> {
+    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
+        loop {
+            let Some(batch) = self.child.next_batch()? else {
+                return Ok(None);
+            };
+            let mut out = Vec::new();
+            for row in batch {
+                if self.seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+/// Streaming un-pivot: each input chunk expands independently into EAV
+/// triples, read in place when the input is a bare scan.
+struct UnpivotOp<'p> {
+    child: RowsIn<'p>,
+    in_schema: Schema,
+    key_idx: Vec<usize>,
+    data_idx: Vec<usize>,
+}
+
+impl Operator for UnpivotOp<'_> {
+    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
+        let UnpivotOp {
+            child,
+            in_schema,
+            key_idx,
+            data_idx,
+        } = self;
+        loop {
+            let out = match child {
+                RowsIn::Shared { rows, pos } => {
+                    if *pos >= rows.len() {
+                        return Ok(None);
+                    }
+                    let end = usize::min(*pos + BATCH_SIZE, rows.len());
+                    let slice = &rows[*pos..end];
+                    *pos = end;
+                    unpivot_rows(in_schema, slice, key_idx, data_idx)
+                }
+                RowsIn::Child(op) => {
+                    let Some(batch) = op.next_batch()? else {
+                        return Ok(None);
+                    };
+                    unpivot_rows(in_schema, &batch, key_idx, data_idx)
+                }
+            };
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+/// A one-shot row kernel shared with the interpreter (pivot, aggregate,
+/// sort), consuming the gathered child output.
+type RowKernel<'p> = Box<dyn FnOnce(Gathered) -> RelResult<Vec<Row>> + 'p>;
+
+/// Pivot, aggregation, and sort cannot stream: this operator gathers the
+/// child's full output — without copying it when the child is a bare scan
+/// — runs the row kernel shared with the interpreter, and re-emits the
+/// result in batches.
+struct BlockingOp<'p> {
+    input: Option<RowsIn<'p>>,
+    kernel: Option<RowKernel<'p>>,
+    output: std::vec::IntoIter<Row>,
+}
+
+impl<'p> BlockingOp<'p> {
+    fn new(
+        input: RowsIn<'p>,
+        kernel: impl FnOnce(Gathered) -> RelResult<Vec<Row>> + 'p,
+    ) -> BlockingOp<'p> {
+        BlockingOp {
+            input: Some(input),
+            kernel: Some(Box::new(kernel)),
+            output: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl Operator for BlockingOp<'_> {
+    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
+        if let Some(input) = self.input.take() {
+            let gathered = input.gather()?;
+            let kernel = self.kernel.take().expect("kernel runs once");
+            self.output = kernel(gathered)?.into_iter();
+        }
+        let batch: Batch = self.output.by_ref().take(BATCH_SIZE).collect();
+        if batch.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(batch))
+        }
+    }
+}
+
+/// Emits at most `n` rows — but still drains its child. The materializing
+/// interpreter evaluates the full input before truncating, so errors past
+/// the cutoff must surface here too.
+struct LimitOp<'p> {
+    child: BoxedOp<'p>,
+    remaining: usize,
+    done: bool,
+}
+
+impl Operator for LimitOp<'_> {
+    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            let Some(mut batch) = self.child.next_batch()? else {
+                self.done = true;
+                return Ok(None);
+            };
+            if self.remaining == 0 {
+                continue; // draining for error parity; nothing left to emit
+            }
+            if batch.len() > self.remaining {
+                batch.truncate(self.remaining);
+            }
+            self.remaining -= batch.len();
+            return Ok(Some(batch));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{AggFunc, Aggregate};
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn wide_db(n: i64) -> Database {
+        let schema = Schema::new(
+            "t",
+            vec![
+                Column::required("id", DataType::Int),
+                Column::new("grp", DataType::Text),
+                Column::new("x", DataType::Int),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["id"])
+        .unwrap();
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::text(if i % 2 == 0 { "even" } else { "odd" }),
+                    Value::Int(i % 7),
+                ]
+            })
+            .collect();
+        let mut db = Database::new("d");
+        db.create_table(Table::from_rows(schema, rows).unwrap())
+            .unwrap();
+        db
+    }
+
+    fn assert_agrees(plan: &Plan, db: &Database) {
+        let streamed = plan.eval(db);
+        let materialized = plan.eval_materialized(db);
+        match (streamed, materialized) {
+            (Ok(s), Ok(m)) => assert_eq!(s, m, "streamed != materialized for {plan:?}"),
+            (Err(s), Err(m)) => assert_eq!(s, m, "errors differ for {plan:?}"),
+            (s, m) => panic!("evaluators disagree for {plan:?}: {s:?} vs {m:?}"),
+        }
+    }
+
+    #[test]
+    fn root_scan_shares_storage() {
+        let db = wide_db(100);
+        let t = Plan::scan("t").eval(&db).unwrap();
+        // Same Arc: root scans are O(1), not copies.
+        assert!(Arc::ptr_eq(
+            &t.shared_rows(),
+            &db.table("t").unwrap().shared_rows()
+        ));
+        assert_eq!(t.schema().primary_key(), &[0]);
+    }
+
+    #[test]
+    fn fused_pipeline_matches_oracle_across_batches() {
+        // > BATCH_SIZE rows so the pipeline crosses batch boundaries.
+        let db = wide_db(3000);
+        let plan = Plan::scan("t")
+            .select(Expr::col("x").ge(Expr::lit(2i64)))
+            .project(vec![
+                ("id".to_owned(), Expr::col("id")),
+                ("x2".to_owned(), Expr::col("x").mul(Expr::lit(2i64))),
+            ])
+            .select(Expr::col("x2").lt(Expr::lit(10i64)));
+        assert_agrees(&plan, &db);
+    }
+
+    #[test]
+    fn pipeline_emits_bounded_batches() {
+        let db = wide_db(2500);
+        let plan = Plan::scan("t").select(Expr::lit(true));
+        let (_, exec) = compile(&plan, &db).unwrap();
+        let mut op = exec.into_op();
+        let mut total = 0;
+        while let Some(batch) = op.next_batch().unwrap() {
+            assert!(!batch.is_empty() && batch.len() <= BATCH_SIZE);
+            total += batch.len();
+        }
+        assert_eq!(total, 2500);
+    }
+
+    #[test]
+    fn join_union_distinct_agree() {
+        let db = wide_db(500);
+        let join = Plan::scan("t").join(
+            Plan::scan("t").project_cols(&["id", "grp"]),
+            vec![("id", "id")],
+            JoinKind::Inner,
+        );
+        assert_agrees(&join, &db);
+
+        let left = Plan::scan("t")
+            .select(Expr::col("x").ge(Expr::lit(3i64)))
+            .join(
+                Plan::scan("t").select(Expr::col("x").lt(Expr::lit(3i64))),
+                vec![("id", "id")],
+                JoinKind::Left,
+            );
+        assert_agrees(&left, &db);
+
+        let union = Plan::union(vec![
+            Plan::scan("t").project_cols(&["grp"]),
+            Plan::scan("t").project_cols(&["grp"]),
+        ])
+        .distinct();
+        assert_agrees(&union, &db);
+    }
+
+    #[test]
+    fn blocking_operators_agree() {
+        let db = wide_db(300);
+        let agg = Plan::scan("t")
+            .aggregate(
+                &["grp"],
+                vec![
+                    Aggregate {
+                        func: AggFunc::CountAll,
+                        alias: "n".into(),
+                    },
+                    Aggregate {
+                        func: AggFunc::Sum("x".into()),
+                        alias: "sx".into(),
+                    },
+                ],
+            )
+            .sort_by(&["grp"]);
+        assert_agrees(&agg, &db);
+
+        let eav = Plan::Unpivot {
+            input: Box::new(Plan::scan("t")),
+            keys: vec!["id".into()],
+            attr_col: "attr".into(),
+            val_col: "val".into(),
+        };
+        let roundtrip = Plan::Pivot {
+            input: Box::new(eav.clone()),
+            keys: vec!["id".into()],
+            attr_col: "attr".into(),
+            val_col: "val".into(),
+            attrs: vec![("grp".into(), DataType::Text), ("x".into(), DataType::Int)],
+        };
+        assert_agrees(&eav, &db);
+        assert_agrees(&roundtrip, &db);
+    }
+
+    #[test]
+    fn binding_errors_match_interpreter() {
+        let db = wide_db(10);
+        assert_agrees(&Plan::scan("nope"), &db);
+        assert_agrees(&Plan::scan("t").sort_by(&["nope"]), &db);
+        assert_agrees(
+            &Plan::scan("t").join(Plan::scan("t"), vec![("nope", "id")], JoinKind::Inner),
+            &db,
+        );
+        assert_agrees(
+            &Plan::union(vec![
+                Plan::scan("t").project_cols(&["id"]),
+                Plan::scan("t").project_cols(&["grp"]),
+            ]),
+            &db,
+        );
+        assert_agrees(&Plan::Union { inputs: vec![] }, &db);
+    }
+
+    #[test]
+    fn row_level_errors_match_interpreter() {
+        let db = wide_db(10);
+        // Division by zero deep in the data: x is 0 for id 0 and 7.
+        let plan = Plan::scan("t").project(vec![(
+            "q".to_owned(),
+            Expr::lit(100i64).div(Expr::col("x")),
+        )]);
+        assert_agrees(&plan, &db);
+        // Unknown column inside a predicate only fails when a row is
+        // actually evaluated — over an empty input both evaluators succeed.
+        let empty = Plan::scan("t")
+            .select(Expr::lit(false))
+            .select(Expr::col("ghost").is_null());
+        assert_agrees(&empty, &db);
+    }
+
+    #[test]
+    fn limit_drains_input_for_error_parity() {
+        let db = wide_db(10);
+        // The failing row (x == 0 at id 7) lies beyond the limit cutoff;
+        // the interpreter still reports it, so the executor must too.
+        let plan = Plan::scan("t")
+            .select(Expr::col("id").ge(Expr::lit(1i64)))
+            .project(vec![(
+                "q".to_owned(),
+                Expr::lit(100i64).div(Expr::col("x")),
+            )])
+            .limit(2);
+        assert_agrees(&plan, &db);
+        assert!(plan.eval(&db).is_err());
+        // And a plain limit still truncates correctly.
+        assert_agrees(&Plan::scan("t").project_cols(&["id"]).limit(3), &db);
+    }
+
+    #[test]
+    fn distinct_dedupes_across_batch_boundaries() {
+        let db = wide_db(2600);
+        let plan = Plan::scan("t").project_cols(&["x"]).distinct();
+        let t = plan.eval(&db).unwrap();
+        assert_eq!(t.len(), 7);
+        assert_agrees(&plan, &db);
+    }
+
+    #[test]
+    fn values_root_and_intermediate() {
+        let db = wide_db(5);
+        let schema = Schema::new("v", vec![Column::required("k", DataType::Int)])
+            .unwrap()
+            .with_primary_key(&["k"])
+            .unwrap();
+        let values = Plan::Values {
+            schema: schema.clone(),
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        };
+        let root = values.eval(&db).unwrap();
+        assert_eq!(root.schema().primary_key(), &[0]);
+        assert_agrees(&values, &db);
+        // Duplicate keys in an inline relation fail in both evaluators.
+        let dup = Plan::Values {
+            schema,
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(1)]],
+        };
+        assert_agrees(&dup, &db);
+        assert_agrees(&dup.clone().project_cols(&["k"]), &db);
+    }
+}

@@ -37,6 +37,7 @@ pub mod algebra;
 pub mod csv;
 pub mod database;
 pub mod error;
+pub mod exec;
 pub mod expr;
 pub mod optimize;
 pub mod schema;

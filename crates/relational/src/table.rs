@@ -6,19 +6,25 @@ use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A row is a boxed slice of values; arity always matches the table schema.
 pub type Row = Vec<Value>;
 
 /// An in-memory table. Rows are stored in insertion order; a hash index over
 /// the primary key (if declared) enforces uniqueness and gives O(1) lookup.
+///
+/// Row storage and the PK index are `Arc`-shared: cloning a table is O(1)
+/// (copy-on-write on the next mutation), which is what lets the streaming
+/// executor's scans be zero-copy and `Plan::Scan` avoid materializing a
+/// fresh copy of the source table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
     schema: Schema,
-    rows: Vec<Row>,
+    rows: Arc<Vec<Row>>,
     /// PK tuple → row position. Rebuilt on delete.
     #[serde(skip)]
-    pk_index: HashMap<Vec<Value>, usize>,
+    pk_index: Arc<HashMap<Vec<Value>, usize>>,
 }
 
 impl Table {
@@ -26,8 +32,8 @@ impl Table {
     pub fn new(schema: Schema) -> Table {
         Table {
             schema,
-            rows: Vec::new(),
-            pk_index: HashMap::new(),
+            rows: Arc::new(Vec::new()),
+            pk_index: Arc::new(HashMap::new()),
         }
     }
 
@@ -46,6 +52,26 @@ impl Table {
 
     pub fn rows(&self) -> &[Row] {
         &self.rows
+    }
+
+    /// The `Arc`-shared row storage. Cloning the returned handle is O(1);
+    /// the streaming executor scans through it without copying rows.
+    pub fn shared_rows(&self) -> Arc<Vec<Row>> {
+        Arc::clone(&self.rows)
+    }
+
+    /// Construct a table from rows the streaming executor has already
+    /// validated against `schema`, skipping the per-row re-checks of
+    /// [`Table::from_rows`]. The primary-key index is still rebuilt, so key
+    /// uniqueness is enforced whenever `schema` declares a key.
+    pub(crate) fn from_validated(schema: Schema, rows: Vec<Row>) -> RelResult<Table> {
+        let mut t = Table {
+            schema,
+            rows: Arc::new(rows),
+            pk_index: Arc::new(HashMap::new()),
+        };
+        t.rebuild_index()?;
+        Ok(t)
     }
 
     pub fn len(&self) -> usize {
@@ -81,9 +107,10 @@ impl Table {
                     ),
                 });
             }
-            self.pk_index.insert(key, self.rows.len());
+            let at = self.rows.len();
+            Arc::make_mut(&mut self.pk_index).insert(key, at);
         }
-        self.rows.push(row);
+        Arc::make_mut(&mut self.rows).push(row);
         Ok(())
     }
 
@@ -102,7 +129,7 @@ impl Table {
         F: FnMut(&mut Row),
     {
         let mut n = 0;
-        for row in &mut self.rows {
+        for row in Arc::make_mut(&mut self.rows).iter_mut() {
             if pred(row) {
                 f(row);
                 self.schema.check_row(row)?;
@@ -118,7 +145,7 @@ impl Table {
     /// Delete every row matching `pred`; returns the number removed.
     pub fn delete_where<P: Fn(&[Value]) -> bool>(&mut self, pred: P) -> RelResult<usize> {
         let before = self.rows.len();
-        self.rows.retain(|r| !pred(r));
+        Arc::make_mut(&mut self.rows).retain(|r| !pred(r));
         let removed = before - self.rows.len();
         if removed > 0 {
             self.rebuild_index()?;
@@ -127,13 +154,15 @@ impl Table {
     }
 
     fn rebuild_index(&mut self) -> RelResult<()> {
-        self.pk_index.clear();
-        if self.schema.primary_key().is_empty() {
+        let index = Arc::make_mut(&mut self.pk_index);
+        index.clear();
+        let pk = self.schema.primary_key();
+        if pk.is_empty() {
             return Ok(());
         }
-        for i in 0..self.rows.len() {
-            let key = self.key_of(&self.rows[i]).expect("pk declared");
-            if self.pk_index.insert(key.clone(), i).is_some() {
+        for (i, row) in self.rows.iter().enumerate() {
+            let key: Vec<Value> = pk.iter().map(|&c| row[c].clone()).collect();
+            if index.insert(key.clone(), i).is_some() {
                 return Err(RelError::DuplicateKey {
                     table: self.schema.name.clone(),
                     key: format!(
@@ -166,9 +195,11 @@ impl Table {
         Ok(&self.rows[row][idx])
     }
 
-    /// Consume the table into its rows (used by plan evaluation).
+    /// Consume the table into its rows (used by plan evaluation). O(1) when
+    /// this table holds the only reference to its storage; otherwise the
+    /// rows are cloned out.
     pub fn into_rows(self) -> Vec<Row> {
-        self.rows
+        Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Render the table as an ASCII grid — the shape analysts see when a

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, tests. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q --workspace

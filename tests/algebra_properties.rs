@@ -216,3 +216,132 @@ proptest! {
         prop_assert_eq!(back.rows(), t.rows());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Streaming executor ≡ materializing oracle
+// ---------------------------------------------------------------------------
+//
+// `Plan::eval` routes through the batch-at-a-time executor in
+// `guava_relational::exec`; `Plan::eval_materialized` is the original
+// tree-walking interpreter, kept as a cross-validation oracle. The property
+// below throws randomly composed plans — including deliberately broken ones
+// referencing a `ghost` column or a `missing` table — at both evaluators and
+// demands they agree: identical tables (schema, row order, primary key) on
+// success, and an error from both on failure. Single-fault plans are held to
+// exact error equality by the unit tests in `exec.rs`; the generator here can
+// stack several faults in one plan, where the two evaluators may legitimately
+// *report* a different one of the faults, so the property only requires that
+// both fail.
+
+/// Column pool for random plans: the four real columns of `t` plus a
+/// nonexistent one so the generator produces binding/eval errors too.
+fn arb_col() -> impl Strategy<Value = String> {
+    (0usize..5).prop_map(|i| ["id", "a", "b", "s", "ghost"][i].to_string())
+}
+
+/// Random single-column predicates. Comparing `b`/`s` against an Int
+/// literal exercises runtime type errors; `ghost` exercises unknown-column
+/// errors that only fire when a row is actually evaluated.
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    (arb_col(), 0i64..50, any::<bool>()).prop_map(|(c, k, ge)| {
+        if ge {
+            Expr::col(&c).ge(Expr::lit(k))
+        } else {
+            Expr::col(&c).lt(Expr::lit(k))
+        }
+    })
+}
+
+/// Random plans over the fixture database: scans (occasionally of a missing
+/// table) composed under selection, projection, rename, distinct, sort,
+/// limit, union, join, unpivot, and aggregation.
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    let leaf = prop_oneof![
+        8 => Just(Plan::scan("t")),
+        1 => Just(Plan::scan("missing")),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), arb_pred()).prop_map(|(p, e)| p.select(e)),
+            2 => (inner.clone(), proptest::collection::vec(arb_col(), 1..3)).prop_map(
+                |(p, cols)| {
+                    let refs: Vec<&str> = cols.iter().map(|c| c.as_str()).collect();
+                    p.project_cols(&refs)
+                }
+            ),
+            1 => (inner.clone(), arb_col()).prop_map(|(p, c)| {
+                p.rename_columns(vec![(c, "renamed".to_owned())])
+            }),
+            1 => inner.clone().prop_map(|p| p.distinct()),
+            1 => (inner.clone(), arb_col()).prop_map(|(p, c)| p.sort_by(&[c.as_str()])),
+            1 => (inner.clone(), 0usize..40).prop_map(|(p, n)| p.limit(n)),
+            1 => (inner.clone(), inner.clone()).prop_map(|(l, r)| Plan::union(vec![l, r])),
+            1 => (inner.clone(), inner.clone(), any::<bool>()).prop_map(|(l, r, left)| {
+                let kind = if left { JoinKind::Left } else { JoinKind::Inner };
+                l.join(r, vec![("id", "id")], kind)
+            }),
+            1 => inner.clone().prop_map(|p| Plan::Unpivot {
+                input: Box::new(p),
+                keys: vec!["id".into()],
+                attr_col: "attr".into(),
+                val_col: "val".into(),
+            }),
+            1 => (inner, arb_col()).prop_map(|(p, c)| {
+                p.aggregate(
+                    &[],
+                    vec![
+                        Aggregate { func: AggFunc::CountAll, alias: "n".into() },
+                        Aggregate { func: AggFunc::Min(c), alias: "lo".into() },
+                    ],
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// The streaming executor and the materializing interpreter are
+    /// observationally identical: same table (schema, rows, order) on
+    /// success, and failure on both sides for broken plans.
+    #[test]
+    fn streaming_executor_matches_materializing_oracle(
+        rows in arb_rows(30),
+        plan in arb_plan(),
+    ) {
+        let d = db(rows);
+        let streamed = plan.eval(&d);
+        let oracle = plan.eval_materialized(&d);
+        match (streamed, oracle) {
+            (Ok(s), Ok(m)) => prop_assert_eq!(s, m),
+            (Err(_), Err(_)) => {}
+            (s, m) => prop_assert!(
+                false,
+                "evaluators disagree for {:?}: streaming={:?} oracle={:?}",
+                plan, s, m
+            ),
+        }
+    }
+
+    /// Well-formed single-fault plans fail with the *same* error from both
+    /// evaluators — the executor binds schemas children-first, in the
+    /// interpreter's evaluation order.
+    #[test]
+    fn single_fault_plans_fail_identically(rows in arb_rows(20), k in 0i64..50) {
+        let d = db(rows);
+        let faults = vec![
+            Plan::scan("missing").select(Expr::col("a").ge(Expr::lit(k))),
+            Plan::scan("t").project_cols(&["ghost"]),
+            Plan::scan("t").sort_by(&["ghost"]).limit(3),
+            Plan::scan("t")
+                .project_cols(&["id", "a"])
+                .join(Plan::scan("t"), vec![("ghost", "id")], JoinKind::Inner),
+        ];
+        for plan in faults {
+            let streamed = plan.eval(&d).unwrap_err();
+            let oracle = plan.eval_materialized(&d).unwrap_err();
+            prop_assert_eq!(streamed, oracle);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline vendored stand-in for `criterion` 0.5.
+//!
+//! Implements the API surface this workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — over plain `std::time::Instant` wall-clock timing. Statistics
+//! are deliberately simple (median of timed samples after warm-up); results
+//! print as `name: time per iter [throughput]` lines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.id, 20, None, f);
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured for this benchmark, if any.
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run a few iterations and estimate per-iter cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters < 3 || warmup_start.elapsed() < Duration::from_millis(5) {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        // Aim for ~5ms per timed sample, at least one iteration each.
+        let iters_per_sample = ((5_000_000.0 / est_ns) as u64).clamp(1, 10_000_000);
+        let samples = 7usize;
+        let mut timings = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            timings.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.ns_per_iter = Some(timings[timings.len() / 2]);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    _sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher { ns_per_iter: None };
+    f(&mut bencher);
+    match bencher.ns_per_iter {
+        Some(ns) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  [{:.0} elem/s]", n as f64 * 1e9 / ns)
+                }
+                Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+                    format!("  [{:.0} B/s]", n as f64 * 1e9 / ns)
+                }
+                None => String::new(),
+            };
+            println!("{name:<50} {}{rate}", format_ns(ns));
+        }
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function(BenchmarkId::from_parameter(1), |b| {
+            b.iter(|| (0..100).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("f", 2), &5u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline vendored stand-in for `crossbeam` 0.8.
+//!
+//! Only the `thread::scope` API surface this workspace uses is provided,
+//! implemented over `std::thread::scope` (stable since Rust 1.63). Matches
+//! crossbeam's signatures: the spawn closure receives a `&Scope` so spawned
+//! threads can spawn further siblings, and `scope` returns `Err` if the
+//! closure itself panics.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope or a join: `Err` carries the panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure is
+        /// handed a `&Scope` so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope: all threads spawned inside are joined before it
+    /// returns. `Err` is returned if `f` itself panics (panics of spawned
+    /// threads surface through their join handles, as in crossbeam).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawn_and_join() {
+            let data = vec![1, 2, 3];
+            let total = super::scope(|scope| {
+                let handles: Vec<_> = data.iter().map(|&n| scope.spawn(move |_| n * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+            })
+            .unwrap();
+            assert_eq!(total, 60);
+        }
+
+        #[test]
+        fn child_panic_surfaces_via_join() {
+            let res = super::scope(|scope| {
+                let h = scope.spawn(|_| -> i32 { panic!("boom") });
+                h.join()
+            })
+            .unwrap();
+            assert!(res.is_err());
+        }
+    }
+}

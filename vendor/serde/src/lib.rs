@@ -1,0 +1,419 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no network access and an empty registry cache,
+//! so the workspace vendors a minimal serialization framework under the same
+//! crate name. It is value-based rather than visitor-based: `Serialize`
+//! lowers to a [`Json`] tree and `Deserialize` lifts back out of one. The
+//! derive macros (`serde_derive`) emit externally-tagged representations
+//! compatible with what the real serde would produce for the subset of
+//! shapes this workspace uses (`#[serde(skip)]`, `#[serde(default)]`,
+//! structs, tuple structs, and unit/tuple/struct enum variants).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON value — the interchange tree both traits speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Object entries in insertion order (printed verbatim).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(f) => Some(*f),
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Find a key among object entries (used by derived `Deserialize` impls).
+pub fn json_get<'a>(entries: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error: a message describing the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> DeError {
+        DeError(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    pub fn expected(what: &str, got: &Json) -> DeError {
+        let kind = match got {
+            Json::Null => "null",
+            Json::Bool(_) => "a boolean",
+            Json::Int(_) | Json::UInt(_) => "an integer",
+            Json::Float(_) => "a float",
+            Json::Str(_) => "a string",
+            Json::Array(_) => "an array",
+            Json::Object(_) => "an object",
+        };
+        DeError(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower a value into a [`Json`] tree.
+pub trait Serialize {
+    fn to_json(&self) -> Json;
+}
+
+/// Lift a value back out of a [`Json`] tree.
+pub trait Deserialize: Sized {
+    fn from_json(v: &Json) -> Result<Self, DeError>;
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("a boolean", v))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected("an integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected("an unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("a number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::expected("a number", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("a string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("a string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected a one-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(t) => t.to_json(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("an array", v))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        T::from_json(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        T::from_json(v).map(Rc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("an object", v))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_json(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_json(&self) -> Json {
+        // Sort for deterministic output.
+        let mut entries: Vec<(String, Json)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("an object", v))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_json(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::expected("a tuple array", v))?;
+                let expected = [$( stringify!($idx) ),+].len();
+                if arr.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected a {expected}-tuple, found array of {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_json(&arr[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);

@@ -1,0 +1,448 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on top of the compiler's `proc_macro` API (no
+//! syn/quote — the registry is unreachable in this build environment).
+//! Supports the shapes this workspace actually derives: non-generic
+//! structs with named fields, tuple structs, and enums with unit, tuple,
+//! and struct variants. Recognized field attributes: `#[serde(skip)]`
+//! (omit on serialize, `Default::default()` on deserialize) and
+//! `#[serde(default)]` (missing field deserializes to its default).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(ts: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility until `struct` / `enum`.
+    let mut is_enum = false;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" {
+                i += 1;
+                break;
+            }
+            if s == "enum" {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+        }
+        i += 1;
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after struct/enum, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types ({name})");
+        }
+    }
+    if is_enum {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("expected enum body for {name}, found {other:?}"),
+        };
+        let variants = split_top_level(body)
+            .into_iter()
+            .map(|seg| parse_variant(&seg))
+            .collect();
+        Input {
+            name,
+            kind: Kind::Enum(variants),
+        }
+    } else {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(split_top_level(g.stream()).len())
+            }
+            _ => Shape::Unit,
+        };
+        Input {
+            name,
+            kind: Kind::Struct(shape),
+        }
+    }
+}
+
+/// Split a token stream on commas that sit outside any `<...>` nesting.
+/// (Groups are atomic trees, so only angle brackets need depth tracking.)
+fn split_top_level(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut depth: i32 = 0;
+    for tt in ts {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                cur.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                cur.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(tt),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Consume leading `#[...]` attributes; report serde skip/default markers.
+fn take_attrs(tokens: &[TokenTree]) -> (usize, bool, bool) {
+    let mut i = 0;
+    let mut skip = false;
+    let mut default = false;
+    while i + 1 < tokens.len() {
+        let is_pound = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_pound {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for tt in args.stream() {
+                                if let TokenTree::Ident(arg) = tt {
+                                    match arg.to_string().as_str() {
+                                        "skip" => skip = true,
+                                        "default" => default = true,
+                                        other => panic!(
+                                            "unsupported serde attribute `{other}` \
+                                             (vendored serde_derive supports skip/default)"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, skip, default)
+}
+
+fn parse_field(tokens: &[TokenTree]) -> Field {
+    let (start, skip, default) = take_attrs(tokens);
+    // The field name is the last ident before the first `:` punct.
+    let mut name = None;
+    for tt in &tokens[start..] {
+        match tt {
+            TokenTree::Ident(id) => name = Some(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ':' => break,
+            _ => {}
+        }
+    }
+    Field {
+        name: name.expect("field name"),
+        skip,
+        default,
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    split_top_level(ts)
+        .into_iter()
+        .map(|seg| parse_field(&seg))
+        .collect()
+}
+
+fn parse_variant(tokens: &[TokenTree]) -> Variant {
+    let (start, _, _) = take_attrs(tokens);
+    let name = match &tokens[start] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected variant name, found {other:?}"),
+    };
+    let shape = match tokens.get(start + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(split_top_level(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        _ => Shape::Unit,
+    };
+    Variant { name, shape }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut body = String::from(
+        "let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Json)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        body.push_str(&format!(
+            "__o.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_json(&{p}{n})));\n",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    body.push_str("::serde::Json::Object(__o)");
+    body
+}
+
+fn de_named_fields(ty_label: &str, fields: &[Field], entries_var: &str) -> String {
+    // Produces the `field: value,` list for a struct literal. The leading
+    // binding is referenced even when every field is skipped, so the
+    // generated code never trips an unused-variable lint in the user crate.
+    let mut body = String::new();
+    for f in fields {
+        if f.skip {
+            body.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else if f.default {
+            body.push_str(&format!(
+                "{n}: match ::serde::json_get({e}, \"{n}\") {{ \
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::from_json(__v)?, \
+                 ::std::option::Option::None => ::std::default::Default::default() }},\n",
+                n = f.name,
+                e = entries_var,
+            ));
+        } else {
+            body.push_str(&format!(
+                "{n}: match ::serde::json_get({e}, \"{n}\") {{ \
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::from_json(__v)?, \
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::DeError::missing_field(\"{t}\", \"{n}\")) }},\n",
+                n = f.name,
+                e = entries_var,
+                t = ty_label,
+            ));
+        }
+    }
+    body
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Json::Null".to_string(),
+        Kind::Struct(Shape::Named(fields)) => ser_named_fields(fields, "self."),
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::Json::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Json::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json({b})"))
+                                .collect();
+                            format!(
+                                "::serde::Json::Array(::std::vec![{}])",
+                                items.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Json::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = ser_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ let __payload = {{ {inner} }}; \
+                             ::serde::Json::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), __payload)]) }},\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::Json {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => {
+            format!("let _ = __v;\n::std::result::Result::Ok({name})")
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let field_inits = de_named_fields(name, fields, "__entries");
+            format!(
+                "let __entries = match __v {{ \
+                 ::serde::Json::Object(__o) => __o.as_slice(), \
+                 __other => return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"an object for {name}\", __other)) }};\n\
+                 let _ = __entries;\n\
+                 ::std::result::Result::Ok({name} {{\n{field_inits}}})"
+            )
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_json(__v)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = match __v.as_array() {{ \
+                 ::std::option::Option::Some(__a) if __a.len() == {n} => __a, \
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"an array of {n} for {name}\", __v)) }};\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_json(__val)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __arr = match __val.as_array() {{ \
+                             ::std::option::Option::Some(__a) if __a.len() == {n} => __a, \
+                             _ => return ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"an array of {n} for {name}::{vn}\", __val)) }}; \
+                             ::std::result::Result::Ok({name}::{vn}({items})) }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let field_inits = de_named_fields(vn, fields, "__entries");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __entries = match __val {{ \
+                             ::serde::Json::Object(__o) => __o.as_slice(), \
+                             __other => return ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"an object for {name}::{vn}\", __other)) }}; \
+                             ::std::result::Result::Ok({name}::{vn} {{\n{field_inits}}}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Json::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Json::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __val) = &__o[0];\n\
+                 let _ = __val;\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"an enum value for {name}\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(__v: &::serde::Json) -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,419 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Prints and parses real JSON text against the vendored `serde` crate's
+//! [`Json`] value tree. Supports everything the workspace round-trips:
+//! objects, arrays, strings (with escapes and `\uXXXX`, including surrogate
+//! pairs), integers, floats (shortest round-trip formatting), booleans, and
+//! null.
+
+use serde::{Deserialize, Json, Serialize};
+use std::fmt;
+
+pub use serde::Json as Value;
+
+/// Error raised by serialization or parsing.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to 2-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize a value to a [`Json`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Json, Error> {
+    Ok(value.to_json())
+}
+
+/// Parse JSON text into any deserializable value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        chars: s.chars().collect(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let v = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.chars.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    T::from_json(&v).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Lift a [`Json`] tree into any deserializable value.
+pub fn from_value<T: Deserialize>(v: Json) -> Result<T, Error> {
+    T::from_json(&v).map_err(|e| Error::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------- printing
+
+fn write_json(v: &Json, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::UInt(u) => out.push_str(&u.to_string()),
+        Json::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` is Rust's shortest round-trip float formatting and
+                // always includes a decimal point or exponent.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                // JSON has no NaN/Infinity; mirror serde_json's lossy `null`.
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => write_escaped(s, out),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_json(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Json::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(val, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ----------------------------------------------------------------- parsing
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char, Error> {
+        let c = self
+            .peek()
+            .ok_or_else(|| Error::new("unexpected end of JSON input"))?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), Error> {
+        let got = self.bump()?;
+        if got != c {
+            return Err(Error::new(format!(
+                "expected `{c}` at offset {}, found `{got}`",
+                self.pos - 1
+            )));
+        }
+        Ok(())
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        for c in kw.chars() {
+            self.expect(c)?;
+        }
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<Json, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some('n') => {
+                self.expect_keyword("null")?;
+                Ok(Json::Null)
+            }
+            Some('t') => {
+                self.expect_keyword("true")?;
+                Ok(Json::Bool(true))
+            }
+            Some('f') => {
+                self.expect_keyword("false")?;
+                Ok(Json::Bool(false))
+            }
+            Some('"') => self.parse_string().map(Json::Str),
+            Some('[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.bump()? {
+                        ',' => continue,
+                        ']' => break,
+                        other => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `]` in array, found `{other}`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Json::Array(items))
+            }
+            Some('{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.pos += 1;
+                    return Ok(Json::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.bump()? {
+                        ',' => continue,
+                        '}' => break,
+                        other => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `}}` in object, found `{other}`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Json::Object(entries))
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(other) => Err(Error::new(format!(
+                "unexpected character `{other}` at offset {}",
+                self.pos
+            ))),
+            None => Err(Error::new("unexpected end of JSON input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(s),
+                '\\' => match self.bump()? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'b' => s.push('\u{08}'),
+                    'f' => s.push('\u{0c}'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'u' => {
+                        let hi = self.parse_hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require a trailing \uXXXX.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::new("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        s.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                        );
+                    }
+                    other => {
+                        return Err(Error::new(format!("invalid escape `\\{other}`")));
+                    }
+                },
+                c => s.push(c),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self.bump()?;
+            let digit = c
+                .to_digit(16)
+                .ok_or_else(|| Error::new(format!("invalid hex digit `{c}`")))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, Error> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Json::Int(i))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Json::UInt(u))
+        } else {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = Json::Object(vec![
+            ("a".into(), Json::Array(vec![Json::Int(1), Json::Null])),
+            ("b".into(), Json::Str("x\"\\\n←".into())),
+            ("c".into(), Json::Float(2.5)),
+            ("d".into(), Json::Bool(false)),
+        ]);
+        let text = to_string(&v).unwrap();
+        let back: Json = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Json = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        // BMP escape plus a surrogate pair (U+1F600).
+        let back: Json = from_str("\"\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(back, Json::Str("A\u{1F600}".into()));
+        // Raw (unescaped) non-ASCII passes through.
+        let back: Json = from_str("\"\u{2190}\"").unwrap();
+        assert_eq!(back, Json::Str("\u{2190}".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Json>("{\"a\": }").is_err());
+        assert!(from_str::<Json>("[1, 2,]").is_err());
+        assert!(from_str::<Json>("12 34").is_err());
+    }
+}
