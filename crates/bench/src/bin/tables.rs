@@ -500,14 +500,40 @@ struct BenchEntry {
     speedup: f64,
 }
 
+/// One cell of the threads axis: a plan evaluated morsel-parallel at a
+/// fixed worker count, against the serial streaming run and the
+/// materializing interpreter as baselines.
+#[derive(serde::Serialize)]
+struct ParallelBenchEntry {
+    group: &'static str,
+    name: String,
+    threads: usize,
+    input_rows: usize,
+    output_rows: usize,
+    materialized_ms: f64,
+    serial_streaming_ms: f64,
+    parallel_ms: f64,
+    /// Parallel streaming vs serial streaming (same executor, threads
+    /// only). Bounded by the host's physical core count.
+    speedup_vs_serial_streaming: f64,
+    /// Parallel streaming vs the materializing interpreter — the executor
+    /// the streaming engine replaced.
+    speedup_vs_materialized: f64,
+}
+
 #[derive(serde::Serialize)]
 struct BenchReport {
     description: &'static str,
     decode_rows: usize,
     join_rows: usize,
+    parallel_rows: usize,
     fixture_size: usize,
     samples_per_measurement: usize,
+    /// `std::thread::available_parallelism()` on the machine that produced
+    /// this snapshot — the ceiling for any speedup_vs_serial_streaming.
+    host_threads: usize,
     benches: Vec<BenchEntry>,
+    parallel: Vec<ParallelBenchEntry>,
 }
 
 const BENCH_SAMPLES: usize = 9;
@@ -915,10 +941,100 @@ fn bench_etl_section(entries: &mut Vec<BenchEntry>, fixture: &Fixture) {
     ));
 }
 
+/// The threads axis: morsel-parallel evaluation of the largest scan-heavy
+/// workloads at 1/2/4/8 workers. Every configuration produces the same
+/// table (asserted per measurement); only wall time may differ.
+fn bench_parallel_section(entries: &mut Vec<ParallelBenchEntry>, rows: usize) {
+    use guava::relational::exec::ExecConfig;
+
+    let db = bench_naive_db(rows);
+    // The largest scan-heavy plan in the suite: the Study-1-shaped
+    // eligibility funnel (chained selections + projection), fused into a
+    // single pipeline pass and morsel-parallel over the scan.
+    let funnel = Plan::scan("form")
+        .select(Expr::col("count").ge(Expr::lit(25i64)))
+        .project_cols(&["instance_id", "flag", "count"])
+        .select(Expr::col("flag").eq(Expr::lit(true)))
+        .select(Expr::col("count").lt(Expr::lit(90i64)));
+    // Hash join with a bare-scan probe side: parallel build + parallel
+    // probe (the right side's Rename is metadata-only, so both inputs stay
+    // zero-copy shared storage).
+    let join = Plan::scan("form").join(
+        Plan::scan("form").rename_columns(vec![
+            ("instance_id", "rid"),
+            ("flag", "rflag"),
+            ("count", "rcount"),
+            ("note", "rnote"),
+        ]),
+        vec![("instance_id", "rid")],
+        JoinKind::Inner,
+    );
+    // Grouped aggregation over integer columns: per-morsel partial states
+    // merged in a final reduce (FLOAT sums would pin the serial kernel).
+    let agg = Plan::scan("form").aggregate(
+        &["count"],
+        vec![
+            Aggregate {
+                func: AggFunc::CountAll,
+                alias: "n".into(),
+            },
+            Aggregate {
+                func: AggFunc::Sum("count".into()),
+                alias: "sum".into(),
+            },
+            Aggregate {
+                func: AggFunc::Avg("count".into()),
+                alias: "avg".into(),
+            },
+        ],
+    );
+    let plans = vec![
+        ("scan_funnel", funnel),
+        ("self_join", join),
+        ("group_by_agg", agg),
+    ];
+    for (name, plan) in plans {
+        let (mat_secs, mat_rows) = median_secs(|| plan.eval_materialized(&db).unwrap().len());
+        let serial_cfg = ExecConfig::serial();
+        let (serial_secs, serial_rows) =
+            median_secs(|| plan.eval_with(&db, &serial_cfg).unwrap().len());
+        assert_eq!(mat_rows, serial_rows, "parallel/{name}: oracle disagrees");
+        for threads in [2, 4, 8] {
+            let cfg = ExecConfig::with_threads(threads);
+            let (par_secs, par_rows) = median_secs(|| plan.eval_with(&db, &cfg).unwrap().len());
+            assert_eq!(serial_rows, par_rows, "parallel/{name}: threads disagree");
+            let entry = ParallelBenchEntry {
+                group: "parallel_scan",
+                name: name.to_string(),
+                threads,
+                input_rows: rows,
+                output_rows: par_rows,
+                materialized_ms: mat_secs * 1e3,
+                serial_streaming_ms: serial_secs * 1e3,
+                parallel_ms: par_secs * 1e3,
+                speedup_vs_serial_streaming: serial_secs / par_secs,
+                speedup_vs_materialized: mat_secs / par_secs,
+            };
+            println!(
+                "  {:<16} {:<21} t={:<2} {:>9.3} {:>10.3} {:>7.2}x {:>7.2}x",
+                entry.group,
+                entry.name,
+                entry.threads,
+                entry.serial_streaming_ms,
+                entry.parallel_ms,
+                entry.speedup_vs_serial_streaming,
+                entry.speedup_vs_materialized,
+            );
+            entries.push(entry);
+        }
+    }
+}
+
 fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
     heading("Executor benchmark — streaming `eval` vs materializing `eval_materialized`");
     const DECODE_ROWS: usize = 4_000;
     const JOIN_ROWS: usize = 8_000;
+    const PARALLEL_ROWS: usize = 200_000;
     println!(
         "  {:<16} {:<28} {:>10} {:>10} {:>10}",
         "group", "bench", "mat (ms)", "stream(ms)", "speedup"
@@ -927,15 +1043,27 @@ fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
     bench_decode_section(&mut entries, DECODE_ROWS);
     bench_join_section(&mut entries, JOIN_ROWS);
     bench_etl_section(&mut entries, fixture);
+    println!(
+        "\n  {:<16} {:<21} {:<4} {:>9} {:>10} {:>8} {:>8}",
+        "group", "bench", "thr", "ser (ms)", "par (ms)", "vs ser", "vs mat"
+    );
+    let mut parallel = Vec::new();
+    bench_parallel_section(&mut parallel, PARALLEL_ROWS);
     let report = BenchReport {
         description: "Streaming batch executor (Plan::eval) vs the materializing \
                       interpreter it replaced (Plan::eval_materialized). Median wall \
-                      time per evaluation; rows/sec relative to input rows.",
+                      time per evaluation; rows/sec relative to input rows. The \
+                      `parallel` section is the threads axis: the same plans run \
+                      morsel-parallel (GUAVA_EXEC_THREADS equivalent) at 2/4/8 \
+                      workers against serial-streaming and materializing baselines.",
         decode_rows: DECODE_ROWS,
         join_rows: JOIN_ROWS,
+        parallel_rows: PARALLEL_ROWS,
         fixture_size,
         samples_per_measurement: BENCH_SAMPLES,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         benches: entries,
+        parallel,
     };
     let json = serde_json::to_string_pretty(&report).unwrap();
     std::fs::write(out_path, json + "\n").unwrap();

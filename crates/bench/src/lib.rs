@@ -1,4 +1,32 @@
-//! Shared fixtures for the benchmark harness and the `tables` binary.
+//! # guava-bench
+//!
+//! The measurement harness: shared fixtures plus the `tables` binary that
+//! regenerates the paper-reproduction artifacts (`TABLES.md`) and the
+//! executor benchmark (`BENCH_executor.json`).
+//!
+//! The paper evaluates GUAVA/MultiClass by hypotheses rather than by
+//! wall-clock numbers, so this crate plays two roles:
+//!
+//! * **Artifact regeneration** — `tables` (no flags) rebuilds every figure
+//!   and table the reproduction claims, end to end, from the seeded
+//!   clinical generator through compiled ETL to study output.
+//! * **Executor benchmarking** — `tables --bench-executor` times the
+//!   materializing interpreter ([`Plan::eval_materialized`]) against the
+//!   streaming executor ([`Plan::eval`]) over each contributor's decode
+//!   stack, and sweeps the morsel-parallel executor across a threads axis
+//!   (`1` serial baseline, then 2/4/8 via
+//!   [`ExecConfig::with_threads`]). Results land in
+//!   `BENCH_executor.json`; EXPERIMENTS.md documents how to read and
+//!   regenerate them.
+//!
+//! Fixtures here are deterministic (seeded generator, fixed sizes) so two
+//! runs on the same machine produce comparable timings and *identical*
+//! row counts — every benchmark asserts that all executors agree on output
+//! cardinality before a timing is recorded.
+//!
+//! [`Plan::eval`]: guava::relational::algebra::Plan::eval
+//! [`Plan::eval_materialized`]: guava::relational::algebra::Plan::eval_materialized
+//! [`ExecConfig::with_threads`]: guava::relational::exec::ExecConfig::with_threads
 
 use guava::clinical::prelude::*;
 use guava::etl::prelude::*;

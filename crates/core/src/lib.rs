@@ -32,6 +32,12 @@
 //!   seeded clinical reality, and the paper's Studies 1 & 2.
 //! * [`system`] — the [`system::GuavaSystem`] facade tying it together.
 //!
+//! Underneath all of it sits [`relational`], the embedded engine whose
+//! streaming executor runs plans morsel-parallel above a cardinality
+//! threshold ([`relational::exec::ExecConfig`], `GUAVA_EXEC_THREADS`;
+//! DESIGN.md §10) — study workflows inherit this transparently through
+//! `Workflow::run` / `Workflow::run_with`.
+//!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs`; the one-paragraph version:

@@ -11,6 +11,7 @@
 use guava_relational::algebra::Plan;
 use guava_relational::database::{Catalog, Database};
 use guava_relational::error::{RelError, RelResult};
+use guava_relational::exec::ExecConfig;
 use guava_relational::table::Table;
 use serde::{Deserialize, Serialize};
 
@@ -60,9 +61,23 @@ impl EtlWorkflow {
     /// aborts the run, so the observable outcome is identical to sequential
     /// execution regardless of thread completion order.
     pub fn run(&self, catalog: &mut Catalog) -> RelResult<Vec<ComponentRun>> {
+        self.run_with(catalog, &ExecConfig::from_env())
+    }
+
+    /// [`run`](Self::run) with an explicit executor configuration threaded
+    /// through every component's plan evaluation, instead of re-reading
+    /// `GUAVA_EXEC_THREADS` per component. Component-level concurrency
+    /// (one thread per component of a stage) composes with the executor's
+    /// morsel parallelism — pass [`ExecConfig::serial`] to keep a
+    /// many-component workflow at one thread per component.
+    pub fn run_with(
+        &self,
+        catalog: &mut Catalog,
+        cfg: &ExecConfig,
+    ) -> RelResult<Vec<ComponentRun>> {
         let mut runs = Vec::new();
         for stage in &self.stages {
-            let results = run_stage(stage, catalog);
+            let results = run_stage(stage, catalog, cfg);
             for (comp, result) in stage.components.iter().zip(results) {
                 let table = result?;
                 if catalog.database(&comp.target_db).is_err() {
@@ -105,19 +120,19 @@ impl EtlWorkflow {
 /// the catalog. Multi-component stages fan out on crossbeam scoped threads;
 /// results come back in declaration order, with a panicking component
 /// surfaced as an error rather than tearing down the caller.
-fn run_stage(stage: &EtlStage, catalog: &Catalog) -> Vec<RelResult<Table>> {
+fn run_stage(stage: &EtlStage, catalog: &Catalog, cfg: &ExecConfig) -> Vec<RelResult<Table>> {
     if stage.components.len() <= 1 {
         return stage
             .components
             .iter()
-            .map(|c| run_component(c, catalog))
+            .map(|c| run_component(c, catalog, cfg))
             .collect();
     }
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = stage
             .components
             .iter()
-            .map(|comp| scope.spawn(move |_| run_component(comp, catalog)))
+            .map(|comp| scope.spawn(move |_| run_component(comp, catalog, cfg)))
             .collect();
         handles
             .into_iter()
@@ -138,14 +153,14 @@ fn run_stage(stage: &EtlStage, catalog: &Catalog) -> Vec<RelResult<Table>> {
 /// One component: evaluate its plan over the source database and rename the
 /// result to the target table. Pure with respect to the catalog — loading
 /// is the caller's job, which keeps this safe to run concurrently.
-fn run_component(comp: &EtlComponent, catalog: &Catalog) -> RelResult<Table> {
+fn run_component(comp: &EtlComponent, catalog: &Catalog, cfg: &ExecConfig) -> RelResult<Table> {
     let source = catalog.database(&comp.source_db).map_err(|_| {
         RelError::Plan(format!(
             "component `{}` reads missing database `{}`",
             comp.name, comp.source_db
         ))
     })?;
-    let table = comp.plan.eval(source)?;
+    let table = comp.plan.eval_with(source, cfg)?;
     Table::from_rows(
         table.schema().renamed(comp.target_table.clone()),
         table.into_rows(),

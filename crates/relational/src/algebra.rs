@@ -247,6 +247,20 @@ impl Plan {
         crate::exec::execute(self, db)
     }
 
+    /// Evaluate through the streaming executor with an explicit
+    /// [`ExecConfig`](crate::exec::ExecConfig) instead of the
+    /// `GUAVA_EXEC_THREADS`-derived default.
+    ///
+    /// The configuration only chooses between the serial and
+    /// morsel-parallel physical paths — the result (table bytes and error
+    /// status alike) is identical for every configuration. Use this where
+    /// determinism must not depend on the process environment: tests pin
+    /// both paths explicitly, and ETL runs thread one configuration
+    /// through a whole workflow.
+    pub fn eval_with(&self, db: &Database, cfg: &crate::exec::ExecConfig) -> RelResult<Table> {
+        crate::exec::execute_with(self, db, cfg)
+    }
+
     /// Evaluate the plan by materializing a full [`Table`] at every
     /// operator.
     ///
@@ -596,6 +610,184 @@ pub(crate) fn aggregate_output_schema(
     Schema::new(format!("{}_agg", s.name), cols)
 }
 
+/// Running accumulators for one aggregate of one group.
+///
+/// The state is **mergeable**: [`AggAcc::merge`] combines two accumulators
+/// built over disjoint row ranges into the accumulator the full range would
+/// have produced. That is what lets the parallel executor
+/// (`exec::morsel`) fold per-morsel partial states in a final reduce.
+/// Every combining operation here is associative (integer sums use
+/// wrapping addition; min/max keep the first-seen extremum), **except**
+/// the `f64` sum used for FLOAT columns — which is why the executor falls
+/// back to the serial kernel for SUM/AVG over FLOAT (see `exec`).
+#[derive(Default)]
+pub(crate) struct AggAcc {
+    count: i64,
+    sum: f64,
+    sum_is_float: bool,
+    sum_int: i64,
+    min: Option<Value>,
+    max: Option<Value>,
+    non_null: i64,
+}
+
+impl AggAcc {
+    /// Fold one row into the accumulator. `idx` is the aggregate's source
+    /// column (`None` for `COUNT(*)`).
+    fn update(&mut self, idx: Option<usize>, row: &[Value]) {
+        self.count += 1;
+        if let Some(i) = idx {
+            let v = &row[i];
+            if v.is_null() {
+                return;
+            }
+            self.non_null += 1;
+            if let Some(f) = v.as_f64() {
+                self.sum += f;
+                if let Value::Int(n) = v {
+                    self.sum_int = self.sum_int.wrapping_add(*n);
+                } else {
+                    self.sum_is_float = true;
+                }
+            }
+            if self.min.as_ref().is_none_or(|m| v < m) {
+                self.min = Some(v.clone());
+            }
+            if self.max.as_ref().is_none_or(|m| v > m) {
+                self.max = Some(v.clone());
+            }
+        }
+    }
+
+    /// Combine with an accumulator over a *later* row range. Ties in
+    /// min/max keep `self`'s value, matching the serial kernel's
+    /// first-occurrence-wins behaviour.
+    fn merge(&mut self, other: AggAcc) {
+        self.count += other.count;
+        self.non_null += other.non_null;
+        self.sum += other.sum;
+        self.sum_int = self.sum_int.wrapping_add(other.sum_int);
+        self.sum_is_float |= other.sum_is_float;
+        if let Some(m) = other.min {
+            if self.min.as_ref().is_none_or(|s| &m < s) {
+                self.min = Some(m);
+            }
+        }
+        if let Some(m) = other.max {
+            if self.max.as_ref().is_none_or(|s| &m > s) {
+                self.max = Some(m);
+            }
+        }
+    }
+
+    /// Final value of one aggregate function over this accumulator.
+    fn finish(self, func: &AggFunc) -> Value {
+        match func {
+            AggFunc::CountAll => Value::Int(self.count),
+            AggFunc::Count(_) => Value::Int(self.non_null),
+            AggFunc::Sum(_) => {
+                if self.non_null == 0 {
+                    Value::Null
+                } else if self.sum_is_float {
+                    Value::Float(self.sum)
+                } else {
+                    Value::Int(self.sum_int)
+                }
+            }
+            AggFunc::Avg(_) => {
+                if self.non_null == 0 {
+                    Value::Null
+                } else if self.sum_is_float {
+                    Value::Float(self.sum / self.non_null as f64)
+                } else {
+                    // All inputs were integers: average the exact integer
+                    // sum so the result is independent of accumulation
+                    // order (the f64 running sum is not associative).
+                    Value::Float(self.sum_int as f64 / self.non_null as f64)
+                }
+            }
+            AggFunc::Min(_) => self.min.unwrap_or(Value::Null),
+            AggFunc::Max(_) => self.max.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Grouped aggregation state: accumulators per group key, with groups kept
+/// in first-seen order. Built row-by-row by the serial kernel; built
+/// per-morsel and merged in morsel-index order by the parallel executor —
+/// because morsels are contiguous row ranges, merging partials in morsel
+/// order reproduces the serial first-seen group order exactly.
+pub(crate) struct GroupedAggState {
+    order: Vec<Vec<Value>>,
+    groups: HashMap<Vec<Value>, Vec<AggAcc>>,
+    n_aggs: usize,
+}
+
+impl GroupedAggState {
+    /// Fresh state. When `global` (no GROUP BY), the single output group is
+    /// pre-seeded: SQL's COUNT(*) over an empty input is one `0` row.
+    pub(crate) fn new(global: bool, n_aggs: usize) -> GroupedAggState {
+        let mut st = GroupedAggState {
+            order: Vec::new(),
+            groups: HashMap::new(),
+            n_aggs,
+        };
+        if global {
+            st.order.push(Vec::new());
+            st.groups
+                .insert(Vec::new(), (0..n_aggs).map(|_| AggAcc::default()).collect());
+        }
+        st
+    }
+
+    /// Fold one row into its group's accumulators.
+    pub(crate) fn update(&mut self, row: &[Value], g_idx: &[usize], agg_idx: &[Option<usize>]) {
+        let key: Vec<Value> = g_idx.iter().map(|&i| row[i].clone()).collect();
+        let n_aggs = self.n_aggs;
+        let accs = self.groups.entry(key.clone()).or_insert_with(|| {
+            self.order.push(key);
+            (0..n_aggs).map(|_| AggAcc::default()).collect()
+        });
+        for (idx, acc) in agg_idx.iter().zip(accs.iter_mut()) {
+            acc.update(*idx, row);
+        }
+    }
+
+    /// Merge a partial state built over a *later* contiguous row range.
+    /// `other`'s new groups append after `self`'s in `other`'s own
+    /// first-seen order, preserving global first-seen order overall.
+    pub(crate) fn merge(&mut self, mut other: GroupedAggState) {
+        for key in std::mem::take(&mut other.order) {
+            let incoming = other.groups.remove(&key).expect("group exists");
+            match self.groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (acc, inc) in e.get_mut().iter_mut().zip(incoming) {
+                        acc.merge(inc);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.order.push(e.key().clone());
+                    e.insert(incoming);
+                }
+            }
+        }
+    }
+
+    /// Emit one output row per group, in first-seen order.
+    pub(crate) fn finish(mut self, aggregates: &[Aggregate]) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.order.len());
+        for key in self.order {
+            let accs = self.groups.remove(&key).expect("group exists");
+            let mut row = key;
+            for (a, acc) in aggregates.iter().zip(accs) {
+                row.push(acc.finish(&a.func));
+            }
+            out.push(row);
+        }
+        out
+    }
+}
+
 /// Group rows and fold aggregates. Infallible once columns are resolved;
 /// group order is first-seen, matching the interpreter.
 pub(crate) fn aggregate_rows(
@@ -604,92 +796,11 @@ pub(crate) fn aggregate_rows(
     agg_idx: &[Option<usize>],
     aggregates: &[Aggregate],
 ) -> Vec<Row> {
-    #[derive(Default)]
-    struct Acc {
-        count: i64,
-        sum: f64,
-        sum_is_float: bool,
-        sum_int: i64,
-        min: Option<Value>,
-        max: Option<Value>,
-        non_null: i64,
-    }
-
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-    // SQL semantics: a global aggregation (no GROUP BY) always produces
-    // exactly one row, even over an empty input — COUNT(*) of nothing is 0.
-    if g_idx.is_empty() {
-        order.push(Vec::new());
-        groups.insert(
-            Vec::new(),
-            (0..aggregates.len()).map(|_| Acc::default()).collect(),
-        );
-    }
+    let mut st = GroupedAggState::new(g_idx.is_empty(), aggregates.len());
     for row in rows {
-        let key: Vec<Value> = g_idx.iter().map(|&i| row[i].clone()).collect();
-        let accs = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
-            (0..aggregates.len()).map(|_| Acc::default()).collect()
-        });
-        for (idx, acc) in agg_idx.iter().zip(accs.iter_mut()) {
-            acc.count += 1;
-            if let Some(i) = idx {
-                let v = &row[*i];
-                if v.is_null() {
-                    continue;
-                }
-                acc.non_null += 1;
-                if let Some(f) = v.as_f64() {
-                    acc.sum += f;
-                    if let Value::Int(n) = v {
-                        acc.sum_int = acc.sum_int.wrapping_add(*n);
-                    } else {
-                        acc.sum_is_float = true;
-                    }
-                }
-                if acc.min.as_ref().is_none_or(|m| v < m) {
-                    acc.min = Some(v.clone());
-                }
-                if acc.max.as_ref().is_none_or(|m| v > m) {
-                    acc.max = Some(v.clone());
-                }
-            }
-        }
+        st.update(row, g_idx, agg_idx);
     }
-
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let accs = groups.remove(&key).expect("group exists");
-        let mut row = key;
-        for (a, acc) in aggregates.iter().zip(accs) {
-            let v = match &a.func {
-                AggFunc::CountAll => Value::Int(acc.count),
-                AggFunc::Count(_) => Value::Int(acc.non_null),
-                AggFunc::Sum(_) => {
-                    if acc.non_null == 0 {
-                        Value::Null
-                    } else if acc.sum_is_float {
-                        Value::Float(acc.sum)
-                    } else {
-                        Value::Int(acc.sum_int)
-                    }
-                }
-                AggFunc::Avg(_) => {
-                    if acc.non_null == 0 {
-                        Value::Null
-                    } else {
-                        Value::Float(acc.sum / acc.non_null as f64)
-                    }
-                }
-                AggFunc::Min(_) => acc.min.unwrap_or(Value::Null),
-                AggFunc::Max(_) => acc.max.unwrap_or(Value::Null),
-            };
-            row.push(v);
-        }
-        out.push(row);
-    }
-    out
+    st.finish(aggregates)
 }
 
 /// Sort rows by the given column positions (ascending, NULLs first via the

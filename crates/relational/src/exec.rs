@@ -12,7 +12,7 @@
 //!   storage (see [`Table::shared_rows`]) and clones only the rows that
 //!   survive to an output batch.
 //! * **Select / Project / Rename chains fuse** into a single
-//!   [`PipelineOp`] pass: a row flows through every predicate and
+//!   `PipelineOp` pass: a row flows through every predicate and
 //!   projection before the next row is touched, with no intermediate
 //!   tables. Rename is free — it only rewrites the schema at compile time.
 //! * **Union streams** child after child; **Join** builds its hash index
@@ -32,19 +32,41 @@
 //! contains several independent faults the two evaluators may report
 //! different ones (both still fail). `tests/algebra_properties.rs`
 //! cross-validates the two evaluators on random plans.
+//!
+//! # Parallel execution
+//!
+//! Large inputs take a **morsel-parallel** path (see [`morsel`]): shared
+//! scan storage is split into fixed-size row ranges and a small
+//! work-stealing scheduler runs the fused pipeline — or a join build /
+//! probe, aggregation, or pivot kernel — over the morsels on scoped
+//! threads, merging per-morsel results strictly in morsel-index order.
+//! That merge rule, together with thread-count-independent morsel
+//! boundaries, makes parallel output **byte-identical** to serial output
+//! at any thread count; errors keep row order because the lowest-index
+//! failing morsel wins. The choice between the serial and parallel path is
+//! made per operator by [`ExecConfig`]: inputs below
+//! [`ExecConfig::parallel_threshold`] stay serial, and the
+//! [`GUAVA_EXEC_THREADS`](THREADS_ENV) environment variable (or an
+//! explicit config passed to [`execute_with`] / `Plan::eval_with`)
+//! overrides the thread count — `1` forces the serial path everywhere.
+//! SUM/AVG over FLOAT columns always run serially: `f64` addition is not
+//! associative, and bit-for-bit agreement with the serial kernel matters
+//! more than parallel speedup there.
+
+pub mod morsel;
 
 use crate::algebra::{
     aggregate_output_schema, aggregate_rows, check_union_compatible, join_output_schema, keyless,
     pivot_output_schema, pivot_rows, project_output_schema, rename_output_schema,
     resolve_aggregate_columns, resolve_column, resolve_columns, sort_rows, unpivot_output_schema,
-    unpivot_rows, JoinKind, Plan,
+    unpivot_rows, AggFunc, JoinKind, Plan,
 };
 use crate::database::Database;
 use crate::error::{RelError, RelResult};
 use crate::expr::Expr;
 use crate::schema::Schema;
 use crate::table::{Row, Table};
-use crate::value::Value;
+use crate::value::{DataType, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -64,9 +86,96 @@ pub trait Operator {
 
 type BoxedOp<'p> = Box<dyn Operator + 'p>;
 
-/// Evaluate `plan` against `db` through the streaming executor. This is
-/// what [`Plan::eval`] calls.
+/// Environment variable overriding the executor's thread count.
+///
+/// `GUAVA_EXEC_THREADS=1` forces the serial path everywhere; any larger
+/// value enables the morsel-parallel path with that many workers for
+/// inputs above the cardinality threshold. Unset, `0`, or unparsable
+/// values fall back to the host's available parallelism. The variable is
+/// re-read on every [`execute`] call, so tests can flip it at run time;
+/// code that needs a fixed configuration should call [`execute_with`]
+/// (or `Plan::eval_with`) instead of mutating the process environment.
+pub const THREADS_ENV: &str = "GUAVA_EXEC_THREADS";
+
+/// Default minimum input cardinality for an operator to go parallel.
+/// Below this, spawning threads costs more than the scan saves.
+pub const PARALLEL_THRESHOLD: usize = 4096;
+
+/// Tuning knobs for the executor's morsel-parallel path.
+///
+/// The configuration never changes *what* a plan evaluates to — parallel
+/// and serial runs produce byte-identical tables and errors (see
+/// [`morsel`]) — only how much hardware the evaluation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads for parallel operators. `1` forces the serial path.
+    pub threads: usize,
+    /// Minimum input rows before an operator considers going parallel.
+    pub parallel_threshold: usize,
+    /// Rows per morsel. Fixed morsel boundaries (independent of thread
+    /// count) are what make parallel output deterministic; change this
+    /// only to exercise merge logic in tests.
+    pub morsel_size: usize,
+}
+
+impl Default for ExecConfig {
+    /// Threads from [`std::thread::available_parallelism`], the default
+    /// cardinality threshold, and the default morsel size.
+    fn default() -> ExecConfig {
+        ExecConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            parallel_threshold: PARALLEL_THRESHOLD,
+            morsel_size: morsel::MORSEL_SIZE,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// A configuration that always takes the serial path.
+    pub fn serial() -> ExecConfig {
+        ExecConfig {
+            threads: 1,
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Default configuration with an explicit worker count (min 1).
+    pub fn with_threads(threads: usize) -> ExecConfig {
+        ExecConfig {
+            threads: threads.max(1),
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Read the configuration from [`THREADS_ENV`].
+    pub fn from_env() -> ExecConfig {
+        Self::from_env_value(std::env::var(THREADS_ENV).ok().as_deref())
+    }
+
+    /// Pure core of [`Self::from_env`], split out for unit testing.
+    fn from_env_value(v: Option<&str>) -> ExecConfig {
+        match v.and_then(|s| s.trim().parse::<usize>().ok()) {
+            Some(n) if n >= 1 => ExecConfig::with_threads(n),
+            _ => ExecConfig::default(),
+        }
+    }
+
+    /// Should an operator over `rows` input rows take the parallel path?
+    fn parallel_for(&self, rows: usize) -> bool {
+        self.threads > 1 && rows > 0 && rows >= self.parallel_threshold
+    }
+}
+
+/// Evaluate `plan` against `db` through the streaming executor with the
+/// configuration from [`THREADS_ENV`]. This is what [`Plan::eval`] calls.
 pub fn execute(plan: &Plan, db: &Database) -> RelResult<Table> {
+    execute_with(plan, db, &ExecConfig::from_env())
+}
+
+/// Evaluate `plan` against `db` with an explicit [`ExecConfig`]. Results
+/// are identical for every configuration; tests use this to pin the
+/// serial or parallel path without touching the process environment.
+pub fn execute_with(plan: &Plan, db: &Database, cfg: &ExecConfig) -> RelResult<Table> {
     // A bare scan (or inline relation) at the root returns the stored table
     // itself — primary key included — exactly like the materializing
     // interpreter. With Arc-shared storage the clone is O(1).
@@ -75,8 +184,8 @@ pub fn execute(plan: &Plan, db: &Database) -> RelResult<Table> {
         Plan::Values { schema, rows } => return Table::from_rows(schema.clone(), rows.clone()),
         _ => {}
     }
-    let (schema, exec) = compile(plan, db)?;
-    let mut op = exec.into_op();
+    let (schema, exec) = compile(plan, db, *cfg)?;
+    let mut op = exec.into_op(*cfg);
     let mut rows: Vec<Row> = Vec::new();
     while let Some(batch) = op.next_batch()? {
         rows.extend(batch);
@@ -107,10 +216,29 @@ impl<'p> Exec<'p> {
         }
     }
 
-    fn into_op(self) -> BoxedOp<'p> {
-        match self {
-            Exec::Pipe(p) => Box::new(p),
-            Exec::Op(op) => op,
+    /// Seal this subtree into an operator. A fused pipeline over shared
+    /// scan storage that is still at row 0 — i.e. a Select/Project chain
+    /// directly over a table — upgrades to the morsel-parallel variant
+    /// when the configuration allows it for the scan's cardinality.
+    fn into_op(self, cfg: ExecConfig) -> BoxedOp<'p> {
+        let p = match self {
+            Exec::Op(op) => return op,
+            Exec::Pipe(p) => p,
+        };
+        match p {
+            PipelineOp {
+                source: Source::Shared { rows, pos: 0 },
+                stages,
+                ..
+            } if !stages.is_empty() && cfg.parallel_for(rows.len()) => {
+                Box::new(ParallelPipelineOp {
+                    rows,
+                    stages,
+                    cfg,
+                    out: None,
+                })
+            }
+            p => Box::new(p),
         }
     }
 }
@@ -118,7 +246,7 @@ impl<'p> Exec<'p> {
 /// Compile a plan into its output schema and physical operator tree.
 /// Binding recurses children-first, so schema errors surface in the same
 /// order the materializing interpreter reports them.
-fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
+fn compile<'p>(plan: &'p Plan, db: &Database, cfg: ExecConfig) -> RelResult<(Schema, Exec<'p>)> {
     Ok(match plan {
         Plan::Scan(name) => {
             let t = db.table(name)?;
@@ -137,7 +265,7 @@ fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
             )
         }
         Plan::Select { input, predicate } => {
-            let (in_schema, child) = compile(input, db)?;
+            let (in_schema, child) = compile(input, db, cfg)?;
             let out = keyless(in_schema.clone());
             let mut pipe = child.into_pipeline();
             pipe.stages.push(Stage::Filter {
@@ -147,7 +275,7 @@ fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
             (out, Exec::Pipe(pipe))
         }
         Plan::Project { input, columns } => {
-            let (in_schema, child) = compile(input, db)?;
+            let (in_schema, child) = compile(input, db, cfg)?;
             let out = project_output_schema(&in_schema, columns)?;
             let mut pipe = child.into_pipeline();
             pipe.stages.push(Stage::Map {
@@ -164,7 +292,7 @@ fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
         } => {
             // Pure metadata: rows pass through untouched, so Rename costs
             // nothing at run time.
-            let (in_schema, child) = compile(input, db)?;
+            let (in_schema, child) = compile(input, db, cfg)?;
             let out = rename_output_schema(&in_schema, table.as_deref(), columns)?;
             (out, child)
         }
@@ -174,14 +302,14 @@ fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
             on,
             kind,
         } => {
-            let (ls, lchild) = compile(left, db)?;
-            let (rs, rchild) = compile(right, db)?;
+            let (ls, lchild) = compile(left, db, cfg)?;
+            let (rs, rchild) = compile(right, db, cfg)?;
             let l_idx = resolve_columns(&ls, on.iter().map(|(l, _)| l))?;
             let r_idx = resolve_columns(&rs, on.iter().map(|(_, r)| r))?;
             let schema = join_output_schema(&ls, &rs, *kind)?;
             let op = JoinOp {
-                left: RowsIn::from_exec(lchild),
-                build: Some(RowsIn::from_exec(rchild)),
+                left: RowsIn::from_exec(lchild, cfg),
+                build: Some(RowsIn::from_exec(rchild, cfg)),
                 l_idx,
                 r_idx,
                 kind: *kind,
@@ -189,6 +317,8 @@ fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
                 r_arity: rs.arity(),
                 right: Gathered::Owned(Vec::new()),
                 index: HashMap::new(),
+                cfg,
+                par_out: None,
                 done: false,
             };
             (schema, Exec::Op(Box::new(op)))
@@ -198,13 +328,13 @@ fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
             let first = iter
                 .next()
                 .ok_or_else(|| RelError::Plan("union of zero inputs".into()))?;
-            let (first_schema, first_child) = compile(first, db)?;
+            let (first_schema, first_child) = compile(first, db, cfg)?;
             let schema = keyless(first_schema);
-            let mut children = vec![first_child.into_op()];
+            let mut children = vec![first_child.into_op(cfg)];
             for p in iter {
-                let (s, c) = compile(p, db)?;
+                let (s, c) = compile(p, db, cfg)?;
                 check_union_compatible(&schema, &s)?;
-                children.push(c.into_op());
+                children.push(c.into_op(cfg));
             }
             // Later inputs may be nullable where the leading schema says
             // NOT NULL; re-check rows only when that can actually reject.
@@ -218,10 +348,10 @@ fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
             (schema, Exec::Op(Box::new(op)))
         }
         Plan::Distinct { input } => {
-            let (in_schema, child) = compile(input, db)?;
+            let (in_schema, child) = compile(input, db, cfg)?;
             let schema = keyless(in_schema);
             let op = DistinctOp {
-                child: child.into_op(),
+                child: child.into_op(cfg),
                 seen: HashSet::new(),
             };
             (schema, Exec::Op(Box::new(op)))
@@ -232,12 +362,12 @@ fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
             attr_col,
             val_col,
         } => {
-            let (s, child) = compile(input, db)?;
+            let (s, child) = compile(input, db, cfg)?;
             let key_idx = resolve_columns(&s, keys)?;
             let data_idx: Vec<usize> = (0..s.arity()).filter(|i| !key_idx.contains(i)).collect();
             let schema = unpivot_output_schema(&s, &key_idx, attr_col, val_col)?;
             let op = UnpivotOp {
-                child: RowsIn::from_exec(child),
+                child: RowsIn::from_exec(child, cfg),
                 in_schema: s,
                 key_idx,
                 data_idx,
@@ -251,13 +381,18 @@ fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
             val_col,
             attrs,
         } => {
-            let (s, child) = compile(input, db)?;
+            let (s, child) = compile(input, db, cfg)?;
             let key_idx = resolve_columns(&s, keys)?;
             let attr_idx = resolve_column(&s, attr_col)?;
             let val_idx = resolve_column(&s, val_col)?;
             let schema = pivot_output_schema(&s, &key_idx, attrs)?;
-            let op = BlockingOp::new(RowsIn::from_exec(child), move |rows| {
-                pivot_rows(rows.as_slice(), &key_idx, attr_idx, val_idx, attrs)
+            let op = BlockingOp::new(RowsIn::from_exec(child, cfg), move |rows| {
+                let input = rows.as_slice();
+                if cfg.parallel_for(input.len()) {
+                    morsel::par_pivot(input, &key_idx, attr_idx, val_idx, attrs, cfg)
+                } else {
+                    pivot_rows(input, &key_idx, attr_idx, val_idx, attrs)
+                }
             });
             (schema, Exec::Op(Box::new(op)))
         }
@@ -266,25 +401,40 @@ fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
             group_by,
             aggregates,
         } => {
-            let (s, child) = compile(input, db)?;
+            let (s, child) = compile(input, db, cfg)?;
             let g_idx = resolve_columns(&s, group_by)?;
             let agg_idx = resolve_aggregate_columns(&s, aggregates)?;
             let schema = aggregate_output_schema(&s, &g_idx, &agg_idx, aggregates)?;
-            let op = BlockingOp::new(RowsIn::from_exec(child), move |rows| {
-                Ok(aggregate_rows(
-                    rows.as_slice(),
-                    &g_idx,
-                    &agg_idx,
-                    aggregates,
-                ))
+            // Integer sums are wrapping, hence associative; `f64` sums are
+            // not, so SUM/AVG over a FLOAT column pins the serial kernel to
+            // keep parallel results bit-identical to serial ones.
+            let associative =
+                aggregates
+                    .iter()
+                    .zip(&agg_idx)
+                    .all(|(a, idx)| match (&a.func, idx) {
+                        (AggFunc::Sum(_) | AggFunc::Avg(_), Some(i)) => {
+                            s.columns()[*i].data_type != DataType::Float
+                        }
+                        _ => true,
+                    });
+            let op = BlockingOp::new(RowsIn::from_exec(child, cfg), move |rows| {
+                let input = rows.as_slice();
+                if associative && cfg.parallel_for(input.len()) {
+                    Ok(morsel::par_aggregate(
+                        input, &g_idx, &agg_idx, aggregates, cfg,
+                    ))
+                } else {
+                    Ok(aggregate_rows(input, &g_idx, &agg_idx, aggregates))
+                }
             });
             (schema, Exec::Op(Box::new(op)))
         }
         Plan::Sort { input, by } => {
-            let (in_schema, child) = compile(input, db)?;
+            let (in_schema, child) = compile(input, db, cfg)?;
             let schema = keyless(in_schema);
             let idxs = resolve_columns(&schema, by)?;
-            let op = BlockingOp::new(RowsIn::from_exec(child), move |rows| {
+            let op = BlockingOp::new(RowsIn::from_exec(child, cfg), move |rows| {
                 let mut rows = rows.into_rows();
                 sort_rows(&mut rows, &idxs);
                 Ok(rows)
@@ -292,10 +442,10 @@ fn compile<'p>(plan: &'p Plan, db: &Database) -> RelResult<(Schema, Exec<'p>)> {
             (schema, Exec::Op(Box::new(op)))
         }
         Plan::Limit { input, n } => {
-            let (in_schema, child) = compile(input, db)?;
+            let (in_schema, child) = compile(input, db, cfg)?;
             let schema = keyless(in_schema);
             let op = LimitOp {
-                child: child.into_op(),
+                child: child.into_op(cfg),
                 remaining: *n,
                 done: false,
             };
@@ -322,14 +472,14 @@ enum RowsIn<'p> {
 }
 
 impl<'p> RowsIn<'p> {
-    fn from_exec(e: Exec<'p>) -> RowsIn<'p> {
+    fn from_exec(e: Exec<'p>, cfg: ExecConfig) -> RowsIn<'p> {
         match e {
             Exec::Pipe(PipelineOp {
                 source: Source::Shared { rows, pos },
                 stages,
                 ..
             }) if stages.is_empty() => RowsIn::Shared { rows, pos },
-            other => RowsIn::Child(other.into_op()),
+            other => RowsIn::Child(other.into_op(cfg)),
         }
     }
 
@@ -520,9 +670,39 @@ impl Operator for PipelineOp<'_> {
     }
 }
 
+/// Morsel-parallel variant of `PipelineOp`: runs the fused stages over
+/// shared scan storage on the work-stealing scheduler at first poll, then
+/// re-emits the deterministically merged result in `BATCH_SIZE` chunks.
+/// Only built by [`Exec::into_op`] when [`ExecConfig::parallel_for`] says
+/// the scan is large enough.
+struct ParallelPipelineOp<'p> {
+    rows: Arc<Vec<Row>>,
+    stages: Vec<Stage<'p>>,
+    cfg: ExecConfig,
+    out: Option<std::vec::IntoIter<Row>>,
+}
+
+impl Operator for ParallelPipelineOp<'_> {
+    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
+        if self.out.is_none() {
+            self.out = Some(morsel::par_pipeline(&self.rows, &self.stages, self.cfg)?.into_iter());
+        }
+        let out = self.out.as_mut().expect("pipeline ran above");
+        let batch: Batch = out.by_ref().take(BATCH_SIZE).collect();
+        if batch.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(batch))
+        }
+    }
+}
+
 /// Hash join: gathers the build (right) side into an index on first poll
 /// — zero-copy when it is a bare scan — then probes the left side batch by
 /// batch, reading probe rows in place when they too come off a scan.
+/// Large inputs parallelize both phases: the index merges morsel-local
+/// maps built concurrently, and a shared-storage probe side is probed
+/// morsel-parallel with results merged in morsel order.
 struct JoinOp<'p> {
     left: RowsIn<'p>,
     /// Build-side input; consumed into `right`/`index` on first poll.
@@ -536,6 +716,9 @@ struct JoinOp<'p> {
     /// Join key → positions in `right`. NULL keys are absent (SQL: NULL
     /// never matches).
     index: HashMap<Vec<Value>, Vec<usize>>,
+    cfg: ExecConfig,
+    /// Pre-computed output when the probe phase ran morsel-parallel.
+    par_out: Option<std::vec::IntoIter<Row>>,
     done: bool,
 }
 
@@ -587,12 +770,43 @@ impl Operator for JoinOp<'_> {
         }
         if let Some(build) = self.build.take() {
             self.right = build.gather()?;
-            for (at, row) in self.right.as_slice().iter().enumerate() {
-                let key: Vec<Value> = self.r_idx.iter().map(|&i| row[i].clone()).collect();
-                if !key.iter().any(|v| v.is_null()) {
-                    self.index.entry(key).or_default().push(at);
+            let rrows = self.right.as_slice();
+            if self.cfg.parallel_for(rrows.len()) {
+                self.index = morsel::par_build_index(rrows, &self.r_idx, self.cfg);
+            } else {
+                for (at, row) in rrows.iter().enumerate() {
+                    let key: Vec<Value> = self.r_idx.iter().map(|&i| row[i].clone()).collect();
+                    if !key.iter().any(|v| v.is_null()) {
+                        self.index.entry(key).or_default().push(at);
+                    }
                 }
             }
+            // A large shared-storage probe side is probed whole, morsel-
+            // parallel; the merged output then streams out in batches.
+            if let RowsIn::Shared { rows, pos } = &mut self.left {
+                if *pos == 0 && self.cfg.parallel_for(rows.len()) {
+                    let out = morsel::par_probe(
+                        rows,
+                        &self.index,
+                        self.right.as_slice(),
+                        &self.l_idx,
+                        self.kind,
+                        self.l_arity,
+                        self.r_arity,
+                        self.cfg,
+                    );
+                    *pos = rows.len();
+                    self.par_out = Some(out.into_iter());
+                }
+            }
+        }
+        if let Some(out) = &mut self.par_out {
+            let batch: Batch = out.by_ref().take(BATCH_SIZE).collect();
+            if batch.is_empty() {
+                self.done = true;
+                return Ok(None);
+            }
+            return Ok(Some(batch));
         }
         let JoinOp {
             left,
@@ -923,8 +1137,8 @@ mod tests {
     fn pipeline_emits_bounded_batches() {
         let db = wide_db(2500);
         let plan = Plan::scan("t").select(Expr::lit(true));
-        let (_, exec) = compile(&plan, &db).unwrap();
-        let mut op = exec.into_op();
+        let (_, exec) = compile(&plan, &db, ExecConfig::serial()).unwrap();
+        let mut op = exec.into_op(ExecConfig::serial());
         let mut total = 0;
         while let Some(batch) = op.next_batch().unwrap() {
             assert!(!batch.is_empty() && batch.len() <= BATCH_SIZE);

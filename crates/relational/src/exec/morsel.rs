@@ -1,0 +1,390 @@
+//! Morsel-driven parallel kernels and the work-stealing scheduler behind
+//! the streaming executor's parallel path.
+//!
+//! # Morsels
+//!
+//! A *morsel* is a fixed-size contiguous range of input rows
+//! ([`MORSEL_SIZE`] by default). Morsel boundaries depend only on the
+//! input length and the configured morsel size — **never** on the thread
+//! count or on scheduling order — so every run over the same input
+//! produces the same morsels. Each kernel here processes morsels
+//! independently and merges the per-morsel partial results **strictly in
+//! morsel-index order**, which is what makes parallel output byte-identical
+//! to serial output:
+//!
+//! * `par_pipeline` / `par_probe` concatenate per-morsel output rows in
+//!   morsel order — exactly the serial row order, because morsels are
+//!   contiguous ranges.
+//! * `par_build_index` merges morsel-local hash maps in morsel order, so
+//!   every key's postings list stays sorted by row position, matching a
+//!   serial build.
+//! * `par_aggregate` folds per-morsel `GroupedAggState` partials in
+//!   morsel order; first-seen group order is preserved for the same
+//!   reason, and every accumulator combine is associative (see
+//!   `algebra::AggAcc` — FLOAT sums are excluded upstream).
+//! * `par_pivot` merges per-morsel wide rows entity-by-entity in morsel
+//!   order: first-seen entity slots match the serial kernel, and later
+//!   non-null cells overwrite earlier ones just as later rows overwrite in
+//!   a serial pass.
+//!
+//! Fallible kernels keep **error parity** with the serial path: the error
+//! from the lowest-index failing morsel wins, and within a morsel rows are
+//! processed in order, so the reported error is the one the globally first
+//! failing row raises — the same error the serial executor (and the
+//! materializing oracle) reports.
+//!
+//! # Scheduler
+//!
+//! `run_tasks` is a small work-stealing scheduler over
+//! [`std::thread::scope`]. Morsel indices are split into per-worker
+//! contiguous ranges, each guarded by a mutex. A worker pops from the
+//! front of its own range; when empty it sweeps its peers and steals the
+//! back half of the first non-empty range it finds, parking the remainder
+//! in its own (empty) queue so other thieves can steal from it in turn.
+//! Results land in per-morsel slots, so nothing about scheduling order is
+//! observable in the output. The mutexes are uncontended in the common
+//! case — a steal happens once per range imbalance, not once per morsel.
+
+use super::{apply_stages, probe_rows, ExecConfig, Flow, Stage};
+use crate::algebra::{pivot_rows, Aggregate, GroupedAggState, JoinKind};
+use crate::error::RelResult;
+use crate::table::Row;
+use crate::value::{DataType, Value};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Rows per morsel. Matches the executor's batch size so a morsel is one
+/// batch worth of work — big enough to amortize scheduling, small enough
+/// to rebalance skewed pipelines (a selective filter makes some morsels
+/// much cheaper than others).
+pub const MORSEL_SIZE: usize = 1024;
+
+/// How many times the work-stealing scheduler has run in this process.
+static SCHEDULER_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of work-stealing scheduler invocations.
+///
+/// Purely diagnostic: tests and benchmarks read it before and after an
+/// evaluation to observe whether the parallel path actually ran (e.g. that
+/// `GUAVA_EXEC_THREADS=1` or a sub-threshold input stayed serial). Monotone
+/// and racy-by-design; compare deltas, not absolute values, and serialize
+/// tests that assert on it.
+pub fn scheduler_runs() -> u64 {
+    SCHEDULER_RUNS.load(Ordering::Relaxed)
+}
+
+/// Number of morsels covering `rows` input rows.
+fn n_morsels(rows: usize, morsel: usize) -> usize {
+    rows.div_ceil(morsel.max(1))
+}
+
+/// Half-open row range `[lo, hi)` of morsel `i`.
+fn morsel_bounds(i: usize, rows: usize, morsel: usize) -> (usize, usize) {
+    let m = morsel.max(1);
+    (i * m, usize::min((i + 1) * m, rows))
+}
+
+/// One worker's pending morsel indices: a contiguous half-open range
+/// `[next, end)` behind a mutex. The owner pops from the front; thieves
+/// take the back half. Ranges only ever shrink or move wholesale, so no
+/// index can be claimed twice.
+struct WorkerQueue {
+    range: Mutex<(usize, usize)>,
+}
+
+impl WorkerQueue {
+    fn pop_front(&self) -> Option<usize> {
+        let mut r = self.range.lock().unwrap();
+        if r.0 < r.1 {
+            let i = r.0;
+            r.0 += 1;
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Detach the back half of the pending range (rounded up), for a thief.
+    fn steal_back_half(&self) -> Option<(usize, usize)> {
+        let mut r = self.range.lock().unwrap();
+        let avail = r.1 - r.0;
+        if avail == 0 {
+            return None;
+        }
+        let take = avail.div_ceil(2);
+        let stolen = (r.1 - take, r.1);
+        r.1 -= take;
+        Some(stolen)
+    }
+}
+
+/// Next morsel for worker `w`: own queue first, then steal. A stolen range
+/// is parked in the worker's own (necessarily empty) queue so that other
+/// thieves can steal from it in turn.
+fn next_task(w: usize, queues: &[WorkerQueue]) -> Option<usize> {
+    if let Some(i) = queues[w].pop_front() {
+        return Some(i);
+    }
+    for (v, q) in queues.iter().enumerate() {
+        if v == w {
+            continue;
+        }
+        if let Some((lo, hi)) = q.steal_back_half() {
+            if lo + 1 < hi {
+                *queues[w].range.lock().unwrap() = (lo + 1, hi);
+            }
+            return Some(lo);
+        }
+    }
+    None
+}
+
+/// Run `f(0..n_tasks)` on up to `threads` scoped workers with work
+/// stealing, returning the results **indexed by task** — scheduling order
+/// is unobservable. With one effective worker (or one task) this runs
+/// inline on the caller's thread without touching the scheduler.
+fn run_tasks<T, F>(n_tasks: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(n_tasks);
+    if threads <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+    SCHEDULER_RUNS.fetch_add(1, Ordering::Relaxed);
+    let queues: Vec<WorkerQueue> = (0..threads)
+        .map(|w| WorkerQueue {
+            range: Mutex::new((n_tasks * w / threads, n_tasks * (w + 1) / threads)),
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let queues = &queues;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                while let Some(i) = next_task(w, queues) {
+                    let out = f(i);
+                    *slots[i].lock().unwrap() = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker panics propagate through scope")
+                .expect("scheduler ran every morsel")
+        })
+        .collect()
+}
+
+/// Concatenate per-morsel row results in morsel order; the lowest-index
+/// morsel's error wins, which is the globally first failing row.
+fn merge_row_results(parts: Vec<RelResult<Vec<Row>>>) -> RelResult<Vec<Row>> {
+    let mut out = Vec::new();
+    for part in parts {
+        out.extend(part?);
+    }
+    Ok(out)
+}
+
+/// Run a fused Select/Project stage chain over shared scan storage,
+/// morsel-parallel. Output row order and any error are identical to a
+/// serial pass.
+pub(super) fn par_pipeline(
+    rows: &[Row],
+    stages: &[Stage<'_>],
+    cfg: ExecConfig,
+) -> RelResult<Vec<Row>> {
+    let parts = run_tasks(n_morsels(rows.len(), cfg.morsel_size), cfg.threads, |m| {
+        let (lo, hi) = morsel_bounds(m, rows.len(), cfg.morsel_size);
+        let mut out = Vec::new();
+        for row in &rows[lo..hi] {
+            if let Some(r) = apply_stages(stages, Flow::Borrowed(row))? {
+                out.push(r);
+            }
+        }
+        Ok(out)
+    });
+    merge_row_results(parts)
+}
+
+/// Build a hash-join index from morsel-local maps merged once, in morsel
+/// order. Each key's postings list ends up sorted by row position, exactly
+/// as a serial build would leave it.
+pub(super) fn par_build_index(
+    rows: &[Row],
+    r_idx: &[usize],
+    cfg: ExecConfig,
+) -> HashMap<Vec<Value>, Vec<usize>> {
+    let parts = run_tasks(n_morsels(rows.len(), cfg.morsel_size), cfg.threads, |m| {
+        let (lo, hi) = morsel_bounds(m, rows.len(), cfg.morsel_size);
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (off, row) in rows[lo..hi].iter().enumerate() {
+            let key: Vec<Value> = r_idx.iter().map(|&i| row[i].clone()).collect();
+            if !key.iter().any(|v| v.is_null()) {
+                map.entry(key).or_default().push(lo + off);
+            }
+        }
+        map
+    });
+    let mut parts = parts.into_iter();
+    let mut index = parts.next().unwrap_or_default();
+    for part in parts {
+        for (key, mut positions) in part {
+            index.entry(key).or_default().append(&mut positions);
+        }
+    }
+    index
+}
+
+/// Probe a shared-storage join input against the build index,
+/// morsel-parallel. Infallible, like the serial probe; output order
+/// matches a serial probe because morsels concatenate in order.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn par_probe(
+    lrows: &[Row],
+    index: &HashMap<Vec<Value>, Vec<usize>>,
+    right: &[Row],
+    l_idx: &[usize],
+    kind: JoinKind,
+    l_arity: usize,
+    r_arity: usize,
+    cfg: ExecConfig,
+) -> Vec<Row> {
+    let parts = run_tasks(n_morsels(lrows.len(), cfg.morsel_size), cfg.threads, |m| {
+        let (lo, hi) = morsel_bounds(m, lrows.len(), cfg.morsel_size);
+        probe_rows(&lrows[lo..hi], index, right, l_idx, kind, l_arity, r_arity)
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Aggregate via per-morsel partial states combined in a final reduce.
+/// Only called when every SUM/AVG input is non-FLOAT, so each accumulator
+/// combine is associative and the reduce is order-insensitive; group
+/// output order is first-seen because partials merge in morsel order over
+/// contiguous ranges.
+pub(super) fn par_aggregate(
+    rows: &[Row],
+    g_idx: &[usize],
+    agg_idx: &[Option<usize>],
+    aggregates: &[Aggregate],
+    cfg: ExecConfig,
+) -> Vec<Row> {
+    let parts = run_tasks(n_morsels(rows.len(), cfg.morsel_size), cfg.threads, |m| {
+        let (lo, hi) = morsel_bounds(m, rows.len(), cfg.morsel_size);
+        let mut st = GroupedAggState::new(g_idx.is_empty(), aggregates.len());
+        for row in &rows[lo..hi] {
+            st.update(row, g_idx, agg_idx);
+        }
+        st
+    });
+    let mut parts = parts.into_iter();
+    let mut st = parts
+        .next()
+        .unwrap_or_else(|| GroupedAggState::new(g_idx.is_empty(), aggregates.len()));
+    for part in parts {
+        st.merge(part);
+    }
+    st.finish(aggregates)
+}
+
+/// Pivot EAV rows morsel-parallel: each morsel pivots independently, then
+/// partial wide rows merge entity-by-entity in morsel order. A partial's
+/// NULL cell means "no write in that morsel", so skipping NULLs while
+/// merging reproduces the serial rule that the last written value wins.
+pub(super) fn par_pivot(
+    rows: &[Row],
+    key_idx: &[usize],
+    attr_idx: usize,
+    val_idx: usize,
+    attrs: &[(String, DataType)],
+    cfg: ExecConfig,
+) -> RelResult<Vec<Row>> {
+    let parts = run_tasks(n_morsels(rows.len(), cfg.morsel_size), cfg.threads, |m| {
+        let (lo, hi) = morsel_bounds(m, rows.len(), cfg.morsel_size);
+        pivot_rows(&rows[lo..hi], key_idx, attr_idx, val_idx, attrs)
+    });
+    let klen = key_idx.len();
+    let mut slots: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut out: Vec<Row> = Vec::new();
+    for part in parts {
+        for row in part? {
+            match slots.entry(row[..klen].to_vec()) {
+                Entry::Vacant(e) => {
+                    e.insert(out.len());
+                    out.push(row);
+                }
+                Entry::Occupied(e) => {
+                    let slot = *e.get();
+                    for (i, v) in row.into_iter().enumerate().skip(klen) {
+                        if !v.is_null() {
+                            out[slot][i] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_partition_exactly() {
+        for (rows, morsel) in [(0, 4), (1, 4), (4, 4), (5, 4), (4099, 1024)] {
+            let n = n_morsels(rows, morsel);
+            let mut next = 0;
+            for m in 0..n {
+                let (lo, hi) = morsel_bounds(m, rows, morsel);
+                assert_eq!(lo, next, "gap before morsel {m}");
+                assert!(hi > lo, "empty morsel {m}");
+                next = hi;
+            }
+            assert_eq!(next, rows, "morsels must cover all {rows} rows");
+        }
+    }
+
+    #[test]
+    fn run_tasks_results_are_task_indexed() {
+        for threads in [1, 2, 3, 8] {
+            let out = run_tasks(37, threads, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert_eq!(run_tasks(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn stealing_covers_skewed_queues() {
+        // One task is vastly slower than the rest; every index must still
+        // appear exactly once regardless of which worker ends up with it.
+        let out = run_tasks(64, 4, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduler_counter_moves_only_when_parallel() {
+        let before = scheduler_runs();
+        run_tasks(8, 1, |i| i); // serial: inline, no scheduler
+        run_tasks(1, 8, |i| i); // one task: inline, no scheduler
+        assert_eq!(scheduler_runs(), before);
+    }
+}

@@ -12,6 +12,15 @@
 //! the temporary databases between ETL components, and the warehouse's
 //! study-schema storage.
 //!
+//! Plans evaluate through a streaming, batch-at-a-time executor
+//! ([`exec`]) that fuses Select/Project/Rename towers and, above a
+//! cardinality threshold, runs scans morsel-parallel with a
+//! work-stealing scheduler ([`exec::ExecConfig`], `GUAVA_EXEC_THREADS`).
+//! Parallel output is byte-identical to serial output — DESIGN.md §9–§10
+//! document the execution model, and the original tree-walking
+//! interpreter survives as [`algebra::Plan::eval_materialized`], the
+//! differential-testing oracle.
+//!
 //! ```
 //! use guava_relational::prelude::*;
 //!

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, tests. Run before every push.
+# Repo gate: formatting, lints, docs, tests. Run before every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
-cargo test -q --workspace
+
+# Rustdoc gate: every public item documented, no broken intra-doc links.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Property tests run with a pinned RNG stream so failures reproduce across
+# machines; bump the seed deliberately to explore a new stream.
+PROPTEST_RNG_SEED=0 cargo test -q --workspace

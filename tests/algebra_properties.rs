@@ -4,8 +4,21 @@
 
 use guava::prelude::*;
 use guava_relational::algebra::{AggFunc, Aggregate};
+use guava_relational::exec::ExecConfig;
 use guava_relational::value::DataType;
 use proptest::prelude::*;
+
+/// A configuration that forces the morsel-parallel path for *every*
+/// operator over these tiny fixtures: no cardinality threshold, several
+/// workers, and a deliberately odd morsel size so most plans span multiple
+/// morsels and exercise the merge logic.
+fn parallel_cfg() -> ExecConfig {
+    ExecConfig {
+        threads: 3,
+        parallel_threshold: 1,
+        morsel_size: 7,
+    }
+}
 
 fn schema() -> Schema {
     Schema::new(
@@ -302,31 +315,40 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
 
-    /// The streaming executor and the materializing interpreter are
-    /// observationally identical: same table (schema, rows, order) on
-    /// success, and failure on both sides for broken plans.
+    /// The streaming executor — serial *and* morsel-parallel — and the
+    /// materializing interpreter are observationally identical: same table
+    /// (schema, rows, order) on success, and failure on all sides for
+    /// broken plans.
     #[test]
     fn streaming_executor_matches_materializing_oracle(
         rows in arb_rows(30),
         plan in arb_plan(),
     ) {
         let d = db(rows);
-        let streamed = plan.eval(&d);
+        let streamed = plan.eval_with(&d, &ExecConfig::serial());
+        let parallel = plan.eval_with(&d, &parallel_cfg());
         let oracle = plan.eval_materialized(&d);
-        match (streamed, oracle) {
-            (Ok(s), Ok(m)) => prop_assert_eq!(s, m),
-            (Err(_), Err(_)) => {}
-            (s, m) => prop_assert!(
-                false,
-                "evaluators disagree for {:?}: streaming={:?} oracle={:?}",
-                plan, s, m
-            ),
+        for (which, result) in [("serial", &streamed), ("parallel", &parallel)] {
+            match (result, &oracle) {
+                (Ok(s), Ok(m)) => prop_assert_eq!(s, m),
+                (Err(_), Err(_)) => {}
+                (s, m) => prop_assert!(
+                    false,
+                    "{} executor disagrees with oracle for {:?}: {:?} vs {:?}",
+                    which, plan, s, m
+                ),
+            }
         }
+        // The parallel path must also be byte-identical to the serial path
+        // — including which error a multi-fault plan reports, since morsel
+        // merges keep row order.
+        prop_assert_eq!(parallel, streamed, "parallel != serial for {:?}", plan);
     }
 
-    /// Well-formed single-fault plans fail with the *same* error from both
-    /// evaluators — the executor binds schemas children-first, in the
-    /// interpreter's evaluation order.
+    /// Well-formed single-fault plans fail with the *same* error from all
+    /// three evaluators — the executor binds schemas children-first, in the
+    /// interpreter's evaluation order, and the parallel path reports the
+    /// lowest-morsel (i.e. first-row) error.
     #[test]
     fn single_fault_plans_fail_identically(rows in arb_rows(20), k in 0i64..50) {
         let d = db(rows);
@@ -341,7 +363,9 @@ proptest! {
         for plan in faults {
             let streamed = plan.eval(&d).unwrap_err();
             let oracle = plan.eval_materialized(&d).unwrap_err();
-            prop_assert_eq!(streamed, oracle);
+            let parallel = plan.eval_with(&d, &parallel_cfg()).unwrap_err();
+            prop_assert_eq!(&streamed, &oracle);
+            prop_assert_eq!(&parallel, &oracle);
         }
     }
 }

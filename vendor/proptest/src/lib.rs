@@ -83,13 +83,21 @@ impl TestRng {
 
     /// Seed for one case of one named test: FNV-1a over the name, mixed
     /// with the case index.
+    ///
+    /// Setting `PROPTEST_RNG_SEED=<u64>` XORs the given value into every
+    /// seed, letting CI pin a run (`PROPTEST_RNG_SEED=0` is the default
+    /// stream) or explore a fresh one without editing code.
     pub fn for_case(test_name: &str, case: u64) -> TestRng {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in test_name.bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng::from_seed(h.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        let env_seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng::from_seed(h.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ env_seed)
     }
 
     pub fn next_u64(&mut self) -> u64 {
