@@ -521,6 +521,27 @@ struct ParallelBenchEntry {
     speedup_vs_materialized: f64,
 }
 
+/// One cell of the vectorized axis: the same plan evaluated serially
+/// under the row-streaming mode and the vectorized (columnar-kernel)
+/// mode, with the materializing interpreter as the common baseline. Run
+/// at one thread so the comparison isolates the inner evaluation loop
+/// from morsel parallelism.
+#[derive(serde::Serialize)]
+struct VectorizedBenchEntry {
+    group: &'static str,
+    name: String,
+    input_rows: usize,
+    output_rows: usize,
+    materialized_ms: f64,
+    row_streaming_ms: f64,
+    vectorized_ms: f64,
+    /// Vectorized kernels vs the row-at-a-time streaming loop — the axis
+    /// DESIGN.md §11 documents. Fallback-lane plans sit near 1.0x by
+    /// construction.
+    speedup_vs_row_streaming: f64,
+    speedup_vs_materialized: f64,
+}
+
 #[derive(serde::Serialize)]
 struct BenchReport {
     description: &'static str,
@@ -534,6 +555,7 @@ struct BenchReport {
     host_threads: usize,
     benches: Vec<BenchEntry>,
     parallel: Vec<ParallelBenchEntry>,
+    vectorized: Vec<VectorizedBenchEntry>,
 }
 
 const BENCH_SAMPLES: usize = 9;
@@ -1030,6 +1052,88 @@ fn bench_parallel_section(entries: &mut Vec<ParallelBenchEntry>, rows: usize) {
     }
 }
 
+/// The vectorized axis: row-streaming vs columnar-kernel evaluation at
+/// one thread, over the kernel-friendly funnel, an arithmetic
+/// projection, and a CASE-bearing plan that exercises the row fallback
+/// lane. Every mode must produce the same row count (asserted).
+fn bench_vectorized_section(entries: &mut Vec<VectorizedBenchEntry>, rows: usize) {
+    use guava::relational::exec::{ExecMode, Executor};
+
+    let db = bench_naive_db(rows);
+    // The Study-1-shaped eligibility funnel again: a deep fused
+    // Select/Project stack where every expression lowers onto kernels.
+    let funnel = Plan::scan("form")
+        .select(Expr::col("count").ge(Expr::lit(25i64)))
+        .project_cols(&["instance_id", "flag", "count"])
+        .select(Expr::col("flag").eq(Expr::lit(true)))
+        .select(Expr::col("count").lt(Expr::lit(90i64)));
+    // Arithmetic-heavy projection: every output column is a kernel.
+    let arith = Plan::scan("form")
+        .project(vec![
+            ("instance_id".to_owned(), Expr::col("instance_id")),
+            (
+                "scaled".to_owned(),
+                Expr::col("count")
+                    .mul(Expr::lit(3i64))
+                    .add(Expr::col("instance_id")),
+            ),
+            ("small".to_owned(), Expr::col("count").lt(Expr::lit(50i64))),
+        ])
+        .select(Expr::col("scaled").ge(Expr::lit(100i64)));
+    // CASE forces the row fallback lane for one expression while the
+    // rest stay vectorized — the mixed-lane cost the docs call out.
+    let fallback = Plan::scan("form")
+        .select(Expr::col("count").is_not_null())
+        .project(vec![
+            ("instance_id".to_owned(), Expr::col("instance_id")),
+            (
+                "bucket".to_owned(),
+                Expr::Case {
+                    arms: vec![
+                        (Expr::col("count").lt(Expr::lit(30i64)), Expr::lit("low")),
+                        (Expr::col("count").lt(Expr::lit(70i64)), Expr::lit("mid")),
+                    ],
+                    default: Box::new(Expr::lit("high")),
+                },
+            ),
+        ]);
+    let plans = vec![
+        ("scan_funnel", funnel),
+        ("arith_project", arith),
+        ("case_fallback", fallback),
+    ];
+    let row_exec = Executor::new().threads(1).mode(ExecMode::Streaming);
+    let vec_exec = Executor::new().threads(1).mode(ExecMode::Vectorized);
+    for (name, plan) in plans {
+        let (mat_secs, mat_rows) = median_secs(|| plan.eval_materialized(&db).unwrap().len());
+        let (row_secs, row_rows) = median_secs(|| row_exec.execute(&plan, &db).unwrap().len());
+        let (vec_secs, vec_rows) = median_secs(|| vec_exec.execute(&plan, &db).unwrap().len());
+        assert_eq!(mat_rows, row_rows, "vectorized/{name}: oracle disagrees");
+        assert_eq!(row_rows, vec_rows, "vectorized/{name}: modes disagree");
+        let entry = VectorizedBenchEntry {
+            group: "vectorized",
+            name: name.to_string(),
+            input_rows: rows,
+            output_rows: vec_rows,
+            materialized_ms: mat_secs * 1e3,
+            row_streaming_ms: row_secs * 1e3,
+            vectorized_ms: vec_secs * 1e3,
+            speedup_vs_row_streaming: row_secs / vec_secs,
+            speedup_vs_materialized: mat_secs / vec_secs,
+        };
+        println!(
+            "  {:<16} {:<21} {:>9.3} {:>10.3} {:>10.3} {:>7.2}x",
+            entry.group,
+            entry.name,
+            entry.materialized_ms,
+            entry.row_streaming_ms,
+            entry.vectorized_ms,
+            entry.speedup_vs_row_streaming,
+        );
+        entries.push(entry);
+    }
+}
+
 fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
     heading("Executor benchmark — streaming `eval` vs materializing `eval_materialized`");
     const DECODE_ROWS: usize = 4_000;
@@ -1049,13 +1153,22 @@ fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
     );
     let mut parallel = Vec::new();
     bench_parallel_section(&mut parallel, PARALLEL_ROWS);
+    println!(
+        "\n  {:<16} {:<21} {:>9} {:>10} {:>10} {:>8}",
+        "group", "bench", "mat (ms)", "row (ms)", "vec (ms)", "vs row"
+    );
+    let mut vectorized = Vec::new();
+    bench_vectorized_section(&mut vectorized, PARALLEL_ROWS);
     let report = BenchReport {
         description: "Streaming batch executor (Plan::eval) vs the materializing \
                       interpreter it replaced (Plan::eval_materialized). Median wall \
                       time per evaluation; rows/sec relative to input rows. The \
                       `parallel` section is the threads axis: the same plans run \
                       morsel-parallel (GUAVA_EXEC_THREADS equivalent) at 2/4/8 \
-                      workers against serial-streaming and materializing baselines.",
+                      workers against serial-streaming and materializing baselines. \
+                      The `vectorized` section is the evaluation-mode axis \
+                      (GUAVA_EXEC_MODE equivalent): columnar batch kernels vs the \
+                      row-at-a-time streaming loop at one thread.",
         decode_rows: DECODE_ROWS,
         join_rows: JOIN_ROWS,
         parallel_rows: PARALLEL_ROWS,
@@ -1064,6 +1177,7 @@ fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         benches: entries,
         parallel,
+        vectorized,
     };
     let json = serde_json::to_string_pretty(&report).unwrap();
     std::fs::write(out_path, json + "\n").unwrap();

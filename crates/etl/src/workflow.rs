@@ -11,7 +11,7 @@
 use guava_relational::algebra::Plan;
 use guava_relational::database::{Catalog, Database};
 use guava_relational::error::{RelError, RelResult};
-use guava_relational::exec::ExecConfig;
+use guava_relational::exec::{ExecConfig, Executor};
 use guava_relational::table::Table;
 use serde::{Deserialize, Serialize};
 
@@ -61,23 +61,30 @@ impl EtlWorkflow {
     /// aborts the run, so the observable outcome is identical to sequential
     /// execution regardless of thread completion order.
     pub fn run(&self, catalog: &mut Catalog) -> RelResult<Vec<ComponentRun>> {
-        self.run_with(catalog, &ExecConfig::from_env())
+        self.run_on(catalog, &Executor::from_env())
     }
 
-    /// [`run`](Self::run) with an explicit executor configuration threaded
-    /// through every component's plan evaluation, instead of re-reading
-    /// `GUAVA_EXEC_THREADS` per component. Component-level concurrency
-    /// (one thread per component of a stage) composes with the executor's
-    /// morsel parallelism — pass [`ExecConfig::serial`] to keep a
-    /// many-component workflow at one thread per component.
+    /// [`run`](Self::run) with an explicit executor configuration —
+    /// equivalent to `run_on` with `Executor::with_config(*cfg)`, kept so
+    /// call sites holding a bare [`ExecConfig`] need no conversion.
     pub fn run_with(
         &self,
         catalog: &mut Catalog,
         cfg: &ExecConfig,
     ) -> RelResult<Vec<ComponentRun>> {
+        self.run_on(catalog, &Executor::with_config(*cfg))
+    }
+
+    /// [`run`](Self::run) with an explicit [`Executor`] threaded through
+    /// every component's plan evaluation, instead of re-reading the
+    /// environment per component. Component-level concurrency (one thread
+    /// per component of a stage) composes with the executor's morsel
+    /// parallelism — pass an executor built with `.threads(1)` to keep a
+    /// many-component workflow at one thread per component.
+    pub fn run_on(&self, catalog: &mut Catalog, exec: &Executor) -> RelResult<Vec<ComponentRun>> {
         let mut runs = Vec::new();
         for stage in &self.stages {
-            let results = run_stage(stage, catalog, cfg);
+            let results = run_stage(stage, catalog, exec);
             for (comp, result) in stage.components.iter().zip(results) {
                 let table = result?;
                 if catalog.database(&comp.target_db).is_err() {
@@ -120,19 +127,19 @@ impl EtlWorkflow {
 /// the catalog. Multi-component stages fan out on crossbeam scoped threads;
 /// results come back in declaration order, with a panicking component
 /// surfaced as an error rather than tearing down the caller.
-fn run_stage(stage: &EtlStage, catalog: &Catalog, cfg: &ExecConfig) -> Vec<RelResult<Table>> {
+fn run_stage(stage: &EtlStage, catalog: &Catalog, exec: &Executor) -> Vec<RelResult<Table>> {
     if stage.components.len() <= 1 {
         return stage
             .components
             .iter()
-            .map(|c| run_component(c, catalog, cfg))
+            .map(|c| run_component(c, catalog, exec))
             .collect();
     }
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = stage
             .components
             .iter()
-            .map(|comp| scope.spawn(move |_| run_component(comp, catalog, cfg)))
+            .map(|comp| scope.spawn(move |_| run_component(comp, catalog, exec)))
             .collect();
         handles
             .into_iter()
@@ -153,14 +160,14 @@ fn run_stage(stage: &EtlStage, catalog: &Catalog, cfg: &ExecConfig) -> Vec<RelRe
 /// One component: evaluate its plan over the source database and rename the
 /// result to the target table. Pure with respect to the catalog — loading
 /// is the caller's job, which keeps this safe to run concurrently.
-fn run_component(comp: &EtlComponent, catalog: &Catalog, cfg: &ExecConfig) -> RelResult<Table> {
+fn run_component(comp: &EtlComponent, catalog: &Catalog, exec: &Executor) -> RelResult<Table> {
     let source = catalog.database(&comp.source_db).map_err(|_| {
         RelError::Plan(format!(
             "component `{}` reads missing database `{}`",
             comp.name, comp.source_db
         ))
     })?;
-    let table = comp.plan.eval_with(source, cfg)?;
+    let table = exec.execute(&comp.plan, source)?;
     Table::from_rows(
         table.schema().renamed(comp.target_table.clone()),
         table.into_rows(),

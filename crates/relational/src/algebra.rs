@@ -235,34 +235,39 @@ impl Plan {
 
     /// Evaluate the plan against a database.
     ///
-    /// Execution routes through the streaming batch executor
-    /// ([`crate::exec`]): scans read the source table's `Arc`-shared row
-    /// storage without copying it, chains of Select/Project/Rename run fused
-    /// in a single pass, and only the blocking operators (Pivot,
-    /// AggregateBy, Sort) gather their full input. The original
+    /// A thin wrapper over [`Executor::from_env`](crate::exec::Executor):
+    /// execution routes through the batch executor ([`crate::exec`]) in
+    /// its environment-selected mode — by default the vectorized one,
+    /// where scans read the source table's `Arc`-shared row storage
+    /// without copying it and chains of Select/Project/Rename run fused
+    /// columnar passes over 1024-row batches. Only the blocking operators
+    /// (Pivot, AggregateBy, Sort) gather their full input. The original
     /// operator-at-a-time interpreter remains available as
     /// [`Plan::eval_materialized`] and serves as the oracle the executor is
     /// property-tested against.
     pub fn eval(&self, db: &Database) -> RelResult<Table> {
-        crate::exec::execute(self, db)
+        crate::exec::Executor::from_env().execute(self, db)
     }
 
-    /// Evaluate through the streaming executor with an explicit
-    /// [`ExecConfig`](crate::exec::ExecConfig) instead of the
-    /// `GUAVA_EXEC_THREADS`-derived default.
+    /// Evaluate with an explicit [`ExecConfig`](crate::exec::ExecConfig)
+    /// instead of the environment-derived default — equivalent to
+    /// [`Executor::with_config`](crate::exec::Executor::with_config)
+    /// followed by `execute`.
     ///
-    /// The configuration only chooses between the serial and
-    /// morsel-parallel physical paths — the result (table bytes and error
+    /// The configuration only chooses the physical path — execution mode,
+    /// serial or morsel-parallel — and the result (table bytes and error
     /// status alike) is identical for every configuration. Use this where
     /// determinism must not depend on the process environment: tests pin
-    /// both paths explicitly, and ETL runs thread one configuration
-    /// through a whole workflow.
+    /// paths explicitly, and ETL runs thread one configuration through a
+    /// whole workflow.
     pub fn eval_with(&self, db: &Database, cfg: &crate::exec::ExecConfig) -> RelResult<Table> {
-        crate::exec::execute_with(self, db, cfg)
+        crate::exec::Executor::with_config(*cfg).execute(self, db)
     }
 
     /// Evaluate the plan by materializing a full [`Table`] at every
-    /// operator.
+    /// operator — a thin wrapper over an
+    /// [`Executor`](crate::exec::Executor) in
+    /// [`ExecMode::Materialized`](crate::exec::ExecMode).
     ///
     /// This is the reference interpreter: simple, obviously correct, and
     /// the cross-validation oracle for the streaming executor —
@@ -270,12 +275,21 @@ impl Plan {
     /// on random plans, including failing ones. Prefer `eval` unless you
     /// specifically want operator-at-a-time materialization.
     pub fn eval_materialized(&self, db: &Database) -> RelResult<Table> {
+        crate::exec::Executor::new()
+            .mode(crate::exec::ExecMode::Materialized)
+            .execute(self, db)
+    }
+
+    /// The materializing interpreter itself: the recursion behind
+    /// [`Plan::eval_materialized`], called by the executor when the
+    /// configured mode is `Materialized`.
+    pub(crate) fn interpret(&self, db: &Database) -> RelResult<Table> {
         match self {
             // O(1) since table row storage is Arc-shared.
             Plan::Scan(name) => db.table(name).cloned(),
             Plan::Values { schema, rows } => Table::from_rows(schema.clone(), rows.clone()),
             Plan::Select { input, predicate } => {
-                let t = input.eval_materialized(db)?;
+                let t = input.interpret(db)?;
                 let schema = t.schema().clone();
                 let mut rows = Vec::new();
                 for r in t.into_rows() {
@@ -286,7 +300,7 @@ impl Plan {
                 Table::from_rows(keyless(schema), rows)
             }
             Plan::Project { input, columns } => {
-                let t = input.eval_materialized(db)?;
+                let t = input.interpret(db)?;
                 let in_schema = t.schema().clone();
                 let schema = project_output_schema(&in_schema, columns)?;
                 let rows: Vec<Row> = t
@@ -301,7 +315,7 @@ impl Plan {
                 table,
                 columns,
             } => {
-                let t = input.eval_materialized(db)?;
+                let t = input.interpret(db)?;
                 let schema = rename_output_schema(t.schema(), table.as_deref(), columns)?;
                 Table::from_rows(schema, t.into_rows())
             }
@@ -316,18 +330,18 @@ impl Plan {
                 let first = iter
                     .next()
                     .ok_or_else(|| RelError::Plan("union of zero inputs".into()))?
-                    .eval_materialized(db)?;
+                    .interpret(db)?;
                 let schema = keyless(first.schema().clone());
                 let mut rows = first.into_rows();
                 for p in iter {
-                    let t = p.eval_materialized(db)?;
+                    let t = p.interpret(db)?;
                     check_union_compatible(&schema, t.schema())?;
                     rows.extend(t.into_rows());
                 }
                 Table::from_rows(schema, rows)
             }
             Plan::Distinct { input } => {
-                let t = input.eval_materialized(db)?;
+                let t = input.interpret(db)?;
                 let schema = keyless(t.schema().clone());
                 let mut seen = std::collections::HashSet::new();
                 let rows: Vec<Row> = t
@@ -356,7 +370,7 @@ impl Plan {
                 aggregates,
             } => eval_aggregate(db, input, group_by, aggregates),
             Plan::Sort { input, by } => {
-                let t = input.eval_materialized(db)?;
+                let t = input.interpret(db)?;
                 let schema = keyless(t.schema().clone());
                 let idxs = resolve_columns(&schema, by)?;
                 let mut rows = t.into_rows();
@@ -364,7 +378,7 @@ impl Plan {
                 Table::from_rows(schema, rows)
             }
             Plan::Limit { input, n } => {
-                let t = input.eval_materialized(db)?;
+                let t = input.interpret(db)?;
                 let schema = keyless(t.schema().clone());
                 let rows: Vec<Row> = t.into_rows().into_iter().take(*n).collect();
                 Table::from_rows(schema, rows)
@@ -821,8 +835,8 @@ fn eval_join(
     on: &[(String, String)],
     kind: JoinKind,
 ) -> RelResult<Table> {
-    let lt = left.eval_materialized(db)?;
-    let rt = right.eval_materialized(db)?;
+    let lt = left.interpret(db)?;
+    let rt = right.interpret(db)?;
     let (ls, rs) = (lt.schema().clone(), rt.schema().clone());
     let l_idx = resolve_columns(&ls, on.iter().map(|(l, _)| l))?;
     let r_idx = resolve_columns(&rs, on.iter().map(|(_, r)| r))?;
@@ -874,7 +888,7 @@ fn eval_unpivot(
     attr_col: &str,
     val_col: &str,
 ) -> RelResult<Table> {
-    let t = input.eval_materialized(db)?;
+    let t = input.interpret(db)?;
     let s = t.schema().clone();
     let key_idx = resolve_columns(&s, keys)?;
     let data_idx: Vec<usize> = (0..s.arity()).filter(|i| !key_idx.contains(i)).collect();
@@ -918,7 +932,7 @@ fn eval_pivot(
     val_col: &str,
     attrs: &[(String, DataType)],
 ) -> RelResult<Table> {
-    let t = input.eval_materialized(db)?;
+    let t = input.interpret(db)?;
     let s = t.schema().clone();
     let key_idx = resolve_columns(&s, keys)?;
     let attr_idx = resolve_column(&s, attr_col)?;
@@ -934,7 +948,7 @@ fn eval_aggregate(
     group_by: &[String],
     aggregates: &[Aggregate],
 ) -> RelResult<Table> {
-    let t = input.eval_materialized(db)?;
+    let t = input.interpret(db)?;
     let s = t.schema().clone();
     let g_idx = resolve_columns(&s, group_by)?;
     let agg_idx = resolve_aggregate_columns(&s, aggregates)?;

@@ -52,8 +52,28 @@
 //! SUM/AVG over FLOAT columns always run serially: `f64` addition is not
 //! associative, and bit-for-bit agreement with the serial kernel matters
 //! more than parallel speedup there.
+//!
+//! # Execution modes and the `Executor` session API
+//!
+//! [`Executor`] is the single entry point tying the knobs together: a
+//! builder over [`ExecConfig`] whose [`ExecMode`] picks the evaluation
+//! strategy. [`ExecMode::Vectorized`] (the default) runs fused
+//! Select/Project chains over shared scan storage through the columnar
+//! kernels in `exec::vector`: each 1024-row batch (or morsel) is shredded into
+//! typed per-column arrays with null masks, predicates produce selection
+//! masks, and projections produce output columns — amortizing expression
+//! dispatch and column-name resolution across the whole batch.
+//! Expressions outside the kernel catalog (`CASE`, `COALESCE`, unknown
+//! columns) and non-scan pipeline inputs fall back to row-at-a-time
+//! `Expr::eval` with byte-identical results and error parity (see
+//! `exec::vector` and DESIGN.md §11). [`ExecMode::Streaming`] forces the
+//! row-at-a-time pipeline everywhere; [`ExecMode::Materialized`] routes to
+//! the operator-at-a-time reference interpreter. All three modes produce
+//! identical tables and errors; `tests/algebra_properties.rs` holds them
+//! to that on random plans.
 
 pub mod morsel;
+mod vector;
 
 use crate::algebra::{
     aggregate_output_schema, aggregate_rows, check_union_compatible, join_output_schema, keyless,
@@ -95,17 +115,48 @@ type BoxedOp<'p> = Box<dyn Operator + 'p>;
 /// re-read on every [`execute`] call, so tests can flip it at run time;
 /// code that needs a fixed configuration should call [`execute_with`]
 /// (or `Plan::eval_with`) instead of mutating the process environment.
+///
+/// [`ExecConfig::from_env`] is the one place this variable (and
+/// [`MODE_ENV`]) is read.
 pub const THREADS_ENV: &str = "GUAVA_EXEC_THREADS";
+
+/// Environment variable overriding the executor's [`ExecMode`].
+///
+/// Accepts `streaming`, `vectorized`, or `materialized`
+/// (case-insensitive); unset or unrecognized values keep the default
+/// ([`ExecMode::Vectorized`]). Read only by [`ExecConfig::from_env`],
+/// alongside [`THREADS_ENV`].
+pub const MODE_ENV: &str = "GUAVA_EXEC_MODE";
 
 /// Default minimum input cardinality for an operator to go parallel.
 /// Below this, spawning threads costs more than the scan saves.
 pub const PARALLEL_THRESHOLD: usize = 4096;
 
+/// How the executor evaluates a plan. Every mode produces byte-identical
+/// tables and errors; they differ only in the physical inner loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Streaming batch executor with row-at-a-time expression evaluation
+    /// — the pre-vectorization pipeline, kept as the fallback lane and the
+    /// baseline axis of `--bench-executor`.
+    Streaming,
+    /// Streaming batch executor with columnar expression kernels (see
+    /// `exec::vector`) over fused Select/Project chains; expressions or inputs
+    /// the kernels cannot handle fall back to the row path per expression.
+    #[default]
+    Vectorized,
+    /// The operator-at-a-time reference interpreter
+    /// (`Plan::eval_materialized`): a full table at every node. The oracle
+    /// the streaming modes are property-tested against.
+    Materialized,
+}
+
 /// Tuning knobs for the executor's morsel-parallel path.
 ///
-/// The configuration never changes *what* a plan evaluates to — parallel
-/// and serial runs produce byte-identical tables and errors (see
-/// [`morsel`]) — only how much hardware the evaluation uses.
+/// The configuration never changes *what* a plan evaluates to — all
+/// [`ExecMode`]s and thread counts produce byte-identical tables and
+/// errors (see [`morsel`] and `exec::vector`) — only which inner loops run
+/// and how much hardware they use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Worker threads for parallel operators. `1` forces the serial path.
@@ -116,16 +167,21 @@ pub struct ExecConfig {
     /// count) are what make parallel output deterministic; change this
     /// only to exercise merge logic in tests.
     pub morsel_size: usize,
+    /// Evaluation strategy: vectorized (default), row streaming, or the
+    /// materializing interpreter.
+    pub mode: ExecMode,
 }
 
 impl Default for ExecConfig {
     /// Threads from [`std::thread::available_parallelism`], the default
-    /// cardinality threshold, and the default morsel size.
+    /// cardinality threshold, the default morsel size, and the vectorized
+    /// mode.
     fn default() -> ExecConfig {
         ExecConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             parallel_threshold: PARALLEL_THRESHOLD,
             morsel_size: morsel::MORSEL_SIZE,
+            mode: ExecMode::default(),
         }
     }
 }
@@ -147,17 +203,32 @@ impl ExecConfig {
         }
     }
 
-    /// Read the configuration from [`THREADS_ENV`].
+    /// Read the configuration from the environment. This is the single
+    /// entry point for executor env handling: [`THREADS_ENV`] sets the
+    /// worker count and [`MODE_ENV`] sets the [`ExecMode`]; anything
+    /// unset or unparsable keeps the default. Both variables are
+    /// re-evaluated on every call (and thus on every [`execute`] /
+    /// `Plan::eval`), so tests can flip them at run time.
     pub fn from_env() -> ExecConfig {
-        Self::from_env_value(std::env::var(THREADS_ENV).ok().as_deref())
+        Self::from_env_value(
+            std::env::var(THREADS_ENV).ok().as_deref(),
+            std::env::var(MODE_ENV).ok().as_deref(),
+        )
     }
 
     /// Pure core of [`Self::from_env`], split out for unit testing.
-    fn from_env_value(v: Option<&str>) -> ExecConfig {
-        match v.and_then(|s| s.trim().parse::<usize>().ok()) {
+    fn from_env_value(threads: Option<&str>, mode: Option<&str>) -> ExecConfig {
+        let mut cfg = match threads.and_then(|s| s.trim().parse::<usize>().ok()) {
             Some(n) if n >= 1 => ExecConfig::with_threads(n),
             _ => ExecConfig::default(),
-        }
+        };
+        cfg.mode = match mode.map(|s| s.trim().to_ascii_lowercase()).as_deref() {
+            Some("streaming") => ExecMode::Streaming,
+            Some("vectorized") => ExecMode::Vectorized,
+            Some("materialized") => ExecMode::Materialized,
+            _ => ExecMode::default(),
+        };
+        cfg
     }
 
     /// Should an operator over `rows` input rows take the parallel path?
@@ -166,16 +237,110 @@ impl ExecConfig {
     }
 }
 
-/// Evaluate `plan` against `db` through the streaming executor with the
-/// configuration from [`THREADS_ENV`]. This is what [`Plan::eval`] calls.
+/// The executor session API: one configured handle that evaluates any
+/// number of plans. `Plan::eval`, `Plan::eval_with`,
+/// `Plan::eval_materialized`, and the ETL workflow runners are all thin
+/// wrappers over an `Executor`; construct one directly to pin a
+/// configuration once and reuse it:
+///
+/// ```
+/// use guava_relational::exec::{ExecMode, Executor};
+/// # use guava_relational::database::Database;
+/// # use guava_relational::algebra::Plan;
+/// # use guava_relational::schema::{Column, Schema};
+/// # use guava_relational::table::Table;
+/// # use guava_relational::value::DataType;
+/// # let schema = Schema::new("t", vec![Column::new("x", DataType::Int)]).unwrap();
+/// # let mut db = Database::new("d");
+/// # db.create_table(Table::from_rows(schema, vec![]).unwrap()).unwrap();
+/// let exec = Executor::new()
+///     .threads(2)
+///     .morsel_size(512)
+///     .mode(ExecMode::Vectorized);
+/// let table = exec.execute(&Plan::scan("t"), &db).unwrap();
+/// # assert_eq!(table.len(), 0);
+/// ```
+///
+/// The builder methods move `self`, so a shared executor is cheap to
+/// specialize: `base.mode(ExecMode::Streaming)` copies the handle. Like
+/// [`ExecConfig`], the configuration never changes what a plan evaluates
+/// to — only which physical loops run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Executor {
+    cfg: ExecConfig,
+}
+
+impl Executor {
+    /// An executor with the default configuration ([`ExecConfig::default`]).
+    pub fn new() -> Executor {
+        Executor::default()
+    }
+
+    /// An executor configured from the environment
+    /// ([`ExecConfig::from_env`]).
+    pub fn from_env() -> Executor {
+        Executor {
+            cfg: ExecConfig::from_env(),
+        }
+    }
+
+    /// An executor over an existing configuration.
+    pub fn with_config(cfg: ExecConfig) -> Executor {
+        Executor { cfg }
+    }
+
+    /// Set the worker thread count (min 1; `1` forces the serial path).
+    pub fn threads(mut self, n: usize) -> Executor {
+        self.cfg.threads = n.max(1);
+        self
+    }
+
+    /// Set the rows-per-morsel size (min 1).
+    pub fn morsel_size(mut self, m: usize) -> Executor {
+        self.cfg.morsel_size = m.max(1);
+        self
+    }
+
+    /// Set the minimum input cardinality for operators to go parallel.
+    pub fn parallel_threshold(mut self, rows: usize) -> Executor {
+        self.cfg.parallel_threshold = rows;
+        self
+    }
+
+    /// Set the evaluation strategy.
+    pub fn mode(mut self, mode: ExecMode) -> Executor {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.cfg
+    }
+
+    /// Evaluate `plan` against `db` under this executor's configuration.
+    pub fn execute(&self, plan: &Plan, db: &Database) -> RelResult<Table> {
+        execute_with(plan, db, &self.cfg)
+    }
+}
+
+/// Evaluate `plan` against `db` with the configuration from the
+/// environment ([`ExecConfig::from_env`]). This is what [`Plan::eval`]
+/// calls.
 pub fn execute(plan: &Plan, db: &Database) -> RelResult<Table> {
     execute_with(plan, db, &ExecConfig::from_env())
 }
 
 /// Evaluate `plan` against `db` with an explicit [`ExecConfig`]. Results
 /// are identical for every configuration; tests use this to pin the
-/// serial or parallel path without touching the process environment.
+/// serial or parallel path (or a specific [`ExecMode`]) without touching
+/// the process environment.
 pub fn execute_with(plan: &Plan, db: &Database, cfg: &ExecConfig) -> RelResult<Table> {
+    // The materializing interpreter is its own self-contained recursion;
+    // the streaming machinery below is never built for it.
+    if cfg.mode == ExecMode::Materialized {
+        return plan.interpret(db);
+    }
     // A bare scan (or inline relation) at the root returns the stored table
     // itself — primary key included — exactly like the materializing
     // interpreter. With Arc-shared storage the clone is O(1).
@@ -211,6 +376,7 @@ impl<'p> Exec<'p> {
             Exec::Op(op) => PipelineOp {
                 source: Source::Child(op),
                 stages: Vec::new(),
+                programs: None,
                 done: false,
             },
         }
@@ -219,11 +385,17 @@ impl<'p> Exec<'p> {
     /// Seal this subtree into an operator. A fused pipeline over shared
     /// scan storage that is still at row 0 — i.e. a Select/Project chain
     /// directly over a table — upgrades to the morsel-parallel variant
-    /// when the configuration allows it for the scan's cardinality.
+    /// when the configuration allows it for the scan's cardinality; in
+    /// [`ExecMode::Vectorized`] its stages are also compiled into columnar
+    /// programs here, once per plan, for both the serial and parallel
+    /// variants.
     fn into_op(self, cfg: ExecConfig) -> BoxedOp<'p> {
         let p = match self {
             Exec::Op(op) => return op,
             Exec::Pipe(p) => p,
+        };
+        let vectorize = |stages: &[Stage<'_>]| {
+            (cfg.mode == ExecMode::Vectorized).then(|| vector::compile_stages(stages))
         };
         match p {
             PipelineOp {
@@ -232,13 +404,19 @@ impl<'p> Exec<'p> {
                 ..
             } if !stages.is_empty() && cfg.parallel_for(rows.len()) => {
                 Box::new(ParallelPipelineOp {
+                    programs: vectorize(&stages),
                     rows,
                     stages,
                     cfg,
                     out: None,
                 })
             }
-            p => Box::new(p),
+            mut p => {
+                if !p.stages.is_empty() {
+                    p.programs = vectorize(&p.stages);
+                }
+                Box::new(p)
+            }
         }
     }
 }
@@ -590,10 +768,17 @@ fn apply_stages(stages: &[Stage], mut row: Flow<'_>) -> RelResult<Option<Row>> {
 }
 
 /// Fused Select/Project chain over a scan or an opaque child: one pass per
-/// row, no intermediate tables.
+/// row (or one columnar pass per batch, when `programs` is compiled), no
+/// intermediate tables.
 struct PipelineOp<'p> {
     source: Source<'p>,
     stages: Vec<Stage<'p>>,
+    /// Columnar stage programs, compiled by [`Exec::into_op`] in
+    /// [`ExecMode::Vectorized`]. Only shared-storage batches run them:
+    /// a `Source::Child` feeds batches whose rows the row path can move
+    /// rather than clone, so the fallback rule (DESIGN.md §11) keeps
+    /// child-fed pipelines on `apply_stages`.
+    programs: Option<Vec<vector::StageProg>>,
     done: bool,
 }
 
@@ -602,6 +787,7 @@ impl<'p> PipelineOp<'p> {
         PipelineOp {
             source: Source::Shared { rows, pos: 0 },
             stages: Vec::new(),
+            programs: None,
             done: false,
         }
     }
@@ -615,6 +801,7 @@ impl Operator for PipelineOp<'_> {
         let PipelineOp {
             source,
             stages,
+            programs,
             done,
         } = self;
         loop {
@@ -634,6 +821,13 @@ impl Operator for PipelineOp<'_> {
                         // and unpivot take a `RowsIn` instead and read the
                         // storage in place.
                         return Ok(Some(slice.to_vec()));
+                    }
+                    if let Some(progs) = programs {
+                        let out = vector::run_batch(stages, progs, slice)?;
+                        if !out.is_empty() {
+                            return Ok(Some(out));
+                        }
+                        continue;
                     }
                     let mut out = Vec::with_capacity(slice.len());
                     for row in slice {
@@ -678,6 +872,10 @@ impl Operator for PipelineOp<'_> {
 struct ParallelPipelineOp<'p> {
     rows: Arc<Vec<Row>>,
     stages: Vec<Stage<'p>>,
+    /// Columnar stage programs (see [`PipelineOp::programs`]); each morsel
+    /// runs them as one batch, so the morsel-order merge rules are
+    /// untouched.
+    programs: Option<Vec<vector::StageProg>>,
     cfg: ExecConfig,
     out: Option<std::vec::IntoIter<Row>>,
 }
@@ -685,7 +883,10 @@ struct ParallelPipelineOp<'p> {
 impl Operator for ParallelPipelineOp<'_> {
     fn next_batch(&mut self) -> RelResult<Option<Batch>> {
         if self.out.is_none() {
-            self.out = Some(morsel::par_pipeline(&self.rows, &self.stages, self.cfg)?.into_iter());
+            self.out = Some(
+                morsel::par_pipeline(&self.rows, &self.stages, self.programs.as_deref(), self.cfg)?
+                    .into_iter(),
+            );
         }
         let out = self.out.as_mut().expect("pipeline ran above");
         let batch: Batch = out.by_ref().take(BATCH_SIZE).collect();
@@ -1295,5 +1496,81 @@ mod tests {
         };
         assert_agrees(&dup, &db);
         assert_agrees(&dup.clone().project_cols(&["k"]), &db);
+    }
+
+    #[test]
+    fn env_config_parses_threads_and_mode() {
+        let cfg = ExecConfig::from_env_value(Some("3"), Some("materialized"));
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.mode, ExecMode::Materialized);
+        // Mode matching trims whitespace and ignores case.
+        let cfg = ExecConfig::from_env_value(None, Some("  Streaming "));
+        assert_eq!(cfg.mode, ExecMode::Streaming);
+        assert_eq!(
+            ExecConfig::from_env_value(None, Some("vectorized")).mode,
+            ExecMode::Vectorized
+        );
+        // Unset or unparsable values keep the defaults.
+        let dflt = ExecConfig::default();
+        for bad in [None, Some("0"), Some("fast"), Some("")] {
+            assert_eq!(ExecConfig::from_env_value(bad, None).threads, dflt.threads);
+        }
+        for bad in [None, Some("rowwise"), Some("")] {
+            assert_eq!(
+                ExecConfig::from_env_value(None, bad).mode,
+                ExecMode::Vectorized
+            );
+        }
+    }
+
+    #[test]
+    fn executor_builder_clamps_and_composes() {
+        let exec = Executor::new()
+            .threads(0)
+            .morsel_size(0)
+            .parallel_threshold(17)
+            .mode(ExecMode::Streaming);
+        assert_eq!(exec.config().threads, 1);
+        assert_eq!(exec.config().morsel_size, 1);
+        assert_eq!(exec.config().parallel_threshold, 17);
+        assert_eq!(exec.config().mode, ExecMode::Streaming);
+        // Builder methods copy the handle: specializing one executor
+        // leaves the original untouched.
+        let base = Executor::new().threads(4);
+        let mat = base.mode(ExecMode::Materialized);
+        assert_eq!(base.config().mode, ExecMode::Vectorized);
+        assert_eq!(mat.config().mode, ExecMode::Materialized);
+        assert_eq!(mat.config().threads, 4);
+        assert_eq!(
+            Executor::with_config(ExecConfig::serial()).config(),
+            &ExecConfig::serial()
+        );
+    }
+
+    #[test]
+    fn all_modes_agree_on_a_fused_pipeline() {
+        let db = wide_db(2000);
+        let plan = Plan::scan("t")
+            .select(Expr::col("x").ge(Expr::lit(1i64)))
+            .project(vec![
+                ("id".to_owned(), Expr::col("id")),
+                ("x2".to_owned(), Expr::col("x").mul(Expr::lit(2i64))),
+            ])
+            .select(Expr::col("x2").lt(Expr::lit(12i64)));
+        let oracle = Executor::new()
+            .mode(ExecMode::Materialized)
+            .execute(&plan, &db)
+            .unwrap();
+        for mode in [ExecMode::Streaming, ExecMode::Vectorized] {
+            for threads in [1, 3] {
+                let exec = Executor::new()
+                    .threads(threads)
+                    .parallel_threshold(1)
+                    .morsel_size(64)
+                    .mode(mode);
+                let got = exec.execute(&plan, &db).unwrap();
+                assert_eq!(got, oracle, "{mode:?} with {threads} threads");
+            }
+        }
     }
 }

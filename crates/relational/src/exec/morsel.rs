@@ -45,6 +45,7 @@
 //! observable in the output. The mutexes are uncontended in the common
 //! case — a steal happens once per range imbalance, not once per morsel.
 
+use super::vector::{self, StageProg};
 use super::{apply_stages, probe_rows, ExecConfig, Flow, Stage};
 use crate::algebra::{pivot_rows, Aggregate, GroupedAggState, JoinKind};
 use crate::error::RelResult;
@@ -195,15 +196,23 @@ fn merge_row_results(parts: Vec<RelResult<Vec<Row>>>) -> RelResult<Vec<Row>> {
 }
 
 /// Run a fused Select/Project stage chain over shared scan storage,
-/// morsel-parallel. Output row order and any error are identical to a
-/// serial pass.
+/// morsel-parallel. With compiled columnar `programs` each morsel runs as
+/// one batch through the vectorized kernels; otherwise rows stream through
+/// `apply_stages` one at a time. Either way, output row order and any
+/// error are identical to a serial pass: `vector::run_batch` reports the
+/// first failing row *within* its morsel, and the morsel-order merge picks
+/// the lowest-index failing morsel.
 pub(super) fn par_pipeline(
     rows: &[Row],
     stages: &[Stage<'_>],
+    programs: Option<&[StageProg]>,
     cfg: ExecConfig,
 ) -> RelResult<Vec<Row>> {
     let parts = run_tasks(n_morsels(rows.len(), cfg.morsel_size), cfg.threads, |m| {
         let (lo, hi) = morsel_bounds(m, rows.len(), cfg.morsel_size);
+        if let Some(progs) = programs {
+            return vector::run_batch(stages, progs, &rows[lo..hi]);
+        }
         let mut out = Vec::new();
         for row in &rows[lo..hi] {
             if let Some(r) = apply_stages(stages, Flow::Borrowed(row))? {

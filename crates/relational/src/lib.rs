@@ -12,14 +12,17 @@
 //! the temporary databases between ETL components, and the warehouse's
 //! study-schema storage.
 //!
-//! Plans evaluate through a streaming, batch-at-a-time executor
-//! ([`exec`]) that fuses Select/Project/Rename towers and, above a
+//! Plans evaluate through an [`exec::Executor`] session: a streaming,
+//! batch-at-a-time engine that fuses Select/Project/Rename towers,
+//! lowers fused expressions onto columnar batch kernels
+//! ([`exec::ExecMode::Vectorized`], the default), and, above a
 //! cardinality threshold, runs scans morsel-parallel with a
-//! work-stealing scheduler ([`exec::ExecConfig`], `GUAVA_EXEC_THREADS`).
-//! Parallel output is byte-identical to serial output — DESIGN.md §9–§10
-//! document the execution model, and the original tree-walking
-//! interpreter survives as [`algebra::Plan::eval_materialized`], the
-//! differential-testing oracle.
+//! work-stealing scheduler ([`exec::ExecConfig`], `GUAVA_EXEC_THREADS`,
+//! `GUAVA_EXEC_MODE`). Every mode produces byte-identical output —
+//! DESIGN.md §9–§11 document the execution model, and the original
+//! tree-walking interpreter survives as
+//! [`exec::ExecMode::Materialized`] / [`algebra::Plan::eval_materialized`],
+//! the differential-testing oracle.
 //!
 //! ```
 //! use guava_relational::prelude::*;
@@ -58,6 +61,7 @@ pub mod prelude {
     pub use crate::algebra::{AggFunc, Aggregate, JoinKind, Plan};
     pub use crate::database::{Catalog, Database};
     pub use crate::error::{RelError, RelResult};
+    pub use crate::exec::{ExecConfig, ExecMode, Executor};
     pub use crate::expr::{BinOp, Expr};
     pub use crate::optimize::optimize;
     pub use crate::schema::{Column, Schema};

@@ -54,8 +54,12 @@ impl Table {
         &self.rows
     }
 
-    /// The `Arc`-shared row storage. Cloning the returned handle is O(1);
-    /// the streaming executor scans through it without copying rows.
+    /// The `Arc`-shared row storage. Cloning the returned handle is O(1)
+    /// and shares storage with this table — the rows are never copied here,
+    /// and the executor scans through the handle in place. The sharing is
+    /// clone-on-write: the storage is immutable while shared, and a later
+    /// [`Table::into_rows`] (or any mutation) on *any* holder pays the deep
+    /// copy only if other handles are still alive at that point.
     pub fn shared_rows(&self) -> Arc<Vec<Row>> {
         Arc::clone(&self.rows)
     }
@@ -195,9 +199,15 @@ impl Table {
         Ok(&self.rows[row][idx])
     }
 
-    /// Consume the table into its rows (used by plan evaluation). O(1) when
-    /// this table holds the only reference to its storage; otherwise the
-    /// rows are cloned out.
+    /// Consume the table into its rows (used by plan evaluation).
+    ///
+    /// Row storage is `Arc`-shared with clone-on-write semantics (see
+    /// [`Table::shared_rows`]): when this table holds the only reference —
+    /// no live [`Table::shared_rows`] handle and no clone of the table —
+    /// the storage is unwrapped in O(1) and no row is copied. Otherwise
+    /// the shared storage stays intact for the other holders and the rows
+    /// are deep-cloned out here, which is the only point the sharing ever
+    /// costs a copy.
     pub fn into_rows(self) -> Vec<Row> {
         Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())
     }

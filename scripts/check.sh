@@ -9,6 +9,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Rustdoc gate: every public item documented, no broken intra-doc links.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+# The benchmark snapshot must carry the evaluation-mode axis (DESIGN.md
+# §11); a regeneration from a stale binary would silently drop it.
+if ! grep -q '"vectorized"' BENCH_executor.json; then
+  echo "check.sh: BENCH_executor.json lacks the 'vectorized' axis — regenerate with" >&2
+  echo "  cargo run --release -p guava-bench --bin tables -- --bench-executor" >&2
+  exit 1
+fi
+
 # Property tests run with a pinned RNG stream so failures reproduce across
-# machines; bump the seed deliberately to explore a new stream.
+# machines; bump the seed deliberately to explore a new stream. This
+# includes the vectorized-vs-row-vs-oracle equivalence suite
+# (tests/algebra_properties.rs, tests/exec_vectorized.rs).
 PROPTEST_RNG_SEED=0 cargo test -q --workspace

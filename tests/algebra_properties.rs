@@ -4,7 +4,7 @@
 
 use guava::prelude::*;
 use guava_relational::algebra::{AggFunc, Aggregate};
-use guava_relational::exec::ExecConfig;
+use guava_relational::exec::{ExecConfig, ExecMode};
 use guava_relational::value::DataType;
 use proptest::prelude::*;
 
@@ -12,11 +12,20 @@ use proptest::prelude::*;
 /// operator over these tiny fixtures: no cardinality threshold, several
 /// workers, and a deliberately odd morsel size so most plans span multiple
 /// morsels and exercise the merge logic.
-fn parallel_cfg() -> ExecConfig {
+fn parallel_cfg(mode: ExecMode) -> ExecConfig {
     ExecConfig {
         threads: 3,
         parallel_threshold: 1,
         morsel_size: 7,
+        mode,
+    }
+}
+
+/// A serial configuration pinned to one execution mode.
+fn serial_cfg(mode: ExecMode) -> ExecConfig {
+    ExecConfig {
+        mode,
+        ..ExecConfig::serial()
     }
 }
 
@@ -252,10 +261,10 @@ fn arb_col() -> impl Strategy<Value = String> {
     (0usize..5).prop_map(|i| ["id", "a", "b", "s", "ghost"][i].to_string())
 }
 
-/// Random single-column predicates. Comparing `b`/`s` against an Int
-/// literal exercises runtime type errors; `ghost` exercises unknown-column
-/// errors that only fire when a row is actually evaluated.
-fn arb_pred() -> impl Strategy<Value = Expr> {
+/// Random single-column comparison predicates. Comparing `b`/`s` against
+/// an Int literal exercises runtime type errors; `ghost` exercises
+/// unknown-column errors that only fire when a row is actually evaluated.
+fn arb_cmp() -> impl Strategy<Value = Expr> {
     (arb_col(), 0i64..50, any::<bool>()).prop_map(|(c, k, ge)| {
         if ge {
             Expr::col(&c).ge(Expr::lit(k))
@@ -263,6 +272,41 @@ fn arb_pred() -> impl Strategy<Value = Expr> {
             Expr::col(&c).lt(Expr::lit(k))
         }
     })
+}
+
+/// Random predicates spanning the vectorized kernel catalog *and* its
+/// row-fallback lane: plain comparisons, arithmetic inside comparisons
+/// (including `/ 0` faults when `a` is 0), three-valued AND/OR, NULL
+/// tests, IN lists, and the lazily-evaluated CASE/COALESCE forms the
+/// kernel compiler must refuse and route through `Expr::eval`.
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        4 => arb_cmp(),
+        2 => (arb_col(), 0i64..50).prop_map(|(c, k)| {
+            Expr::col(&c)
+                .mul(Expr::lit(2i64))
+                .add(Expr::lit(k))
+                .ge(Expr::lit(30i64))
+        }),
+        1 => (arb_col(), 0i64..5).prop_map(|(c, k)| {
+            Expr::lit(100i64).div(Expr::col(&c)).gt(Expr::lit(k))
+        }),
+        2 => (arb_cmp(), arb_cmp(), any::<bool>()).prop_map(|(p, q, and)| {
+            if and { p.and(q) } else { p.or(q) }
+        }),
+        1 => arb_cmp().prop_map(|p| p.not()),
+        1 => arb_col().prop_map(|c| Expr::col(&c).is_null()),
+        1 => (arb_col(), proptest::collection::vec(0i64..50, 1..4)).prop_map(|(c, vs)| {
+            Expr::col(&c).in_list(vs.into_iter().map(Value::Int).collect())
+        }),
+        1 => (arb_col(), 0i64..50).prop_map(|(c, k)| {
+            Expr::Coalesce(vec![Expr::col(&c), Expr::lit(k)]).lt(Expr::lit(25i64))
+        }),
+        1 => (arb_cmp(), arb_col()).prop_map(|(p, c)| Expr::Case {
+            arms: vec![(p, Expr::col(&c).is_not_null())],
+            default: Box::new(Expr::lit(false)),
+        }),
+    ]
 }
 
 /// Random plans over the fixture database: scans (occasionally of a missing
@@ -282,6 +326,17 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
                     p.project_cols(&refs)
                 }
             ),
+            // Computed projections: arithmetic output columns (vectorized
+            // kernels) next to a COALESCE (row-fallback lane) in one Map.
+            2 => (inner.clone(), arb_col(), 0i64..10).prop_map(|(p, c, k)| {
+                p.project(vec![
+                    ("v".to_owned(), Expr::col(&c).add(Expr::lit(k))),
+                    (
+                        "w".to_owned(),
+                        Expr::Coalesce(vec![Expr::col(&c), Expr::lit(-1i64)]),
+                    ),
+                ])
+            }),
             1 => (inner.clone(), arb_col()).prop_map(|(p, c)| {
                 p.rename_columns(vec![(c, "renamed".to_owned())])
             }),
@@ -315,22 +370,26 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
 
-    /// The streaming executor — serial *and* morsel-parallel — and the
-    /// materializing interpreter are observationally identical: same table
-    /// (schema, rows, order) on success, and failure on all sides for
-    /// broken plans.
+    /// Every physical lane of the batch executor — row streaming and
+    /// vectorized, serial and morsel-parallel — and the materializing
+    /// interpreter are observationally identical: same table (schema,
+    /// rows, order) on success, and failure on all sides for broken plans.
     #[test]
     fn streaming_executor_matches_materializing_oracle(
         rows in arb_rows(30),
         plan in arb_plan(),
     ) {
         let d = db(rows);
-        let streamed = plan.eval_with(&d, &ExecConfig::serial());
-        let parallel = plan.eval_with(&d, &parallel_cfg());
         let oracle = plan.eval_materialized(&d);
-        for (which, result) in [("serial", &streamed), ("parallel", &parallel)] {
+        let lanes = [
+            ("serial-streaming", plan.eval_with(&d, &serial_cfg(ExecMode::Streaming))),
+            ("serial-vectorized", plan.eval_with(&d, &serial_cfg(ExecMode::Vectorized))),
+            ("parallel-streaming", plan.eval_with(&d, &parallel_cfg(ExecMode::Streaming))),
+            ("parallel-vectorized", plan.eval_with(&d, &parallel_cfg(ExecMode::Vectorized))),
+        ];
+        for (which, result) in &lanes {
             match (result, &oracle) {
-                (Ok(s), Ok(m)) => prop_assert_eq!(s, m),
+                (Ok(s), Ok(m)) => prop_assert_eq!(s, m, "{} != oracle", which),
                 (Err(_), Err(_)) => {}
                 (s, m) => prop_assert!(
                     false,
@@ -339,16 +398,24 @@ proptest! {
                 ),
             }
         }
-        // The parallel path must also be byte-identical to the serial path
-        // — including which error a multi-fault plan reports, since morsel
-        // merges keep row order.
-        prop_assert_eq!(parallel, streamed, "parallel != serial for {:?}", plan);
+        // The executor lanes must also be byte-identical to *each other* —
+        // including which error a multi-fault plan reports: morsel merges
+        // keep row order, and the vectorized kernels accumulate errors in
+        // original row order (first-error-in-row-order, DESIGN.md §11).
+        let (_, reference) = &lanes[0];
+        for (which, result) in &lanes[1..] {
+            prop_assert_eq!(
+                result, reference,
+                "{} != serial-streaming for {:?}", which, plan
+            );
+        }
     }
 
-    /// Well-formed single-fault plans fail with the *same* error from all
-    /// three evaluators — the executor binds schemas children-first, in the
-    /// interpreter's evaluation order, and the parallel path reports the
-    /// lowest-morsel (i.e. first-row) error.
+    /// Well-formed single-fault plans fail with the *same* error from
+    /// every evaluator — the executor binds schemas children-first, in the
+    /// interpreter's evaluation order; the parallel path reports the
+    /// lowest-morsel (i.e. first-row) error; and the vectorized kernels
+    /// report the lowest-row error recorded across a batch.
     #[test]
     fn single_fault_plans_fail_identically(rows in arb_rows(20), k in 0i64..50) {
         let d = db(rows);
@@ -361,11 +428,13 @@ proptest! {
                 .join(Plan::scan("t"), vec![("ghost", "id")], JoinKind::Inner),
         ];
         for plan in faults {
-            let streamed = plan.eval(&d).unwrap_err();
             let oracle = plan.eval_materialized(&d).unwrap_err();
-            let parallel = plan.eval_with(&d, &parallel_cfg()).unwrap_err();
-            prop_assert_eq!(&streamed, &oracle);
-            prop_assert_eq!(&parallel, &oracle);
+            for mode in [ExecMode::Streaming, ExecMode::Vectorized] {
+                let serial = plan.eval_with(&d, &serial_cfg(mode)).unwrap_err();
+                let parallel = plan.eval_with(&d, &parallel_cfg(mode)).unwrap_err();
+                prop_assert_eq!(&serial, &oracle, "serial {:?}", mode);
+                prop_assert_eq!(&parallel, &oracle, "parallel {:?}", mode);
+            }
         }
     }
 }

@@ -70,6 +70,7 @@ fn cfg(threads: usize) -> ExecConfig {
         threads,
         parallel_threshold: 1,
         morsel_size: 1024,
+        ..ExecConfig::default()
     }
 }
 
@@ -150,6 +151,7 @@ fn determinism_across_morsel_sizes() {
                     threads: 4,
                     parallel_threshold: 1,
                     morsel_size,
+                    ..ExecConfig::default()
                 },
             )
             .unwrap();
@@ -212,6 +214,7 @@ fn row_level_errors_identical_beyond_first_morsel() {
                 threads: 4,
                 parallel_threshold: 1,
                 morsel_size: 3,
+                ..ExecConfig::default()
             },
         )
         .unwrap_err();

@@ -1,0 +1,467 @@
+//! Differential tests for the vectorized (columnar-kernel) executor
+//! mode: every plan here must produce byte-identical tables *and errors*
+//! across the materializing oracle, the row-streaming path, and the
+//! vectorized path, serial and morsel-parallel alike (DESIGN.md §10–§11).
+//!
+//! The cases target the spots where the columnar lowering could plausibly
+//! diverge from row-at-a-time semantics: null masks, rows that error
+//! under a filter, error ordering across fused stages, NaN comparisons,
+//! lossless lane fallbacks, lazy expressions, and exact 64-bit integer
+//! equality beyond f64 precision.
+
+use guava::relational::prelude::*;
+
+/// The four streaming executor lanes checked against the oracle. The
+/// parallel lanes use a tiny morsel size so even small tables split
+/// across workers.
+fn lanes() -> Vec<(&'static str, Executor)> {
+    let parallel = Executor::new()
+        .threads(3)
+        .parallel_threshold(1)
+        .morsel_size(7);
+    vec![
+        (
+            "serial-streaming",
+            Executor::new().threads(1).mode(ExecMode::Streaming),
+        ),
+        (
+            "serial-vectorized",
+            Executor::new().threads(1).mode(ExecMode::Vectorized),
+        ),
+        ("parallel-streaming", parallel.mode(ExecMode::Streaming)),
+        ("parallel-vectorized", parallel.mode(ExecMode::Vectorized)),
+    ]
+}
+
+/// Evaluate `plan` under every lane and assert each agrees exactly with
+/// the materializing interpreter — including which error is reported.
+/// Returns the oracle's result for additional assertions.
+fn assert_all_modes(plan: &Plan, db: &Database) -> RelResult<Table> {
+    let oracle = Executor::new()
+        .mode(ExecMode::Materialized)
+        .execute(plan, db);
+    for (name, exec) in lanes() {
+        let got = exec.execute(plan, db);
+        match (&got, &oracle) {
+            (Ok(g), Ok(o)) => assert_eq!(g, o, "{name} disagrees for {plan:?}"),
+            (Err(g), Err(o)) => assert_eq!(g, o, "{name} error differs for {plan:?}"),
+            _ => panic!("{name} disagrees for {plan:?}: {got:?} vs {oracle:?}"),
+        }
+    }
+    oracle
+}
+
+/// A table mixing every lane-eligible type, with nulls in each nullable
+/// column and enough rows to cross the 7-row test morsel boundary.
+fn mixed_db() -> Database {
+    let schema = Schema::new(
+        "m",
+        vec![
+            Column::required("id", DataType::Int),
+            Column::new("a", DataType::Int),
+            Column::new("f", DataType::Float),
+            Column::new("b", DataType::Bool),
+            Column::new("s", DataType::Text),
+        ],
+    )
+    .unwrap()
+    .with_primary_key(&["id"])
+    .unwrap();
+    let rows: Vec<Row> = (0..40i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                if i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 11)
+                },
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(i as f64 / 4.0)
+                },
+                match i % 3 {
+                    0 => Value::Null,
+                    1 => Value::Bool(true),
+                    _ => Value::Bool(false),
+                },
+                if i % 4 == 0 {
+                    Value::Null
+                } else {
+                    Value::text(format!("s{}", i % 6))
+                },
+            ]
+        })
+        .collect();
+    let mut db = Database::new("d");
+    db.create_table(Table::from_rows(schema, rows).unwrap())
+        .unwrap();
+    db
+}
+
+#[test]
+fn null_masks_flow_through_kernels() {
+    let db = mixed_db();
+    // Arithmetic over nullable lanes: NULL propagates, never errors.
+    assert_all_modes(
+        &Plan::scan("m").project(vec![
+            ("id".to_owned(), Expr::col("id")),
+            ("q".to_owned(), Expr::col("a").add(Expr::col("f"))),
+            (
+                "r".to_owned(),
+                Expr::col("a").mul(Expr::lit(3i64)).sub(Expr::col("id")),
+            ),
+        ]),
+        &db,
+    )
+    .unwrap();
+    // IS NULL / IS NOT NULL read the mask directly.
+    assert_all_modes(&Plan::scan("m").select(Expr::col("a").is_null()), &db).unwrap();
+    assert_all_modes(
+        &Plan::scan("m").select(Expr::col("f").is_not_null().and(Expr::col("b").is_null())),
+        &db,
+    )
+    .unwrap();
+    // Comparisons and IN against NULL are NULL → the filter drops the row.
+    assert_all_modes(
+        &Plan::scan("m").select(Expr::col("a").lt(Expr::lit(5i64))),
+        &db,
+    )
+    .unwrap();
+    assert_all_modes(
+        &Plan::scan("m").select(Expr::col("a").in_list(vec![Value::Int(1), Value::Null])),
+        &db,
+    )
+    .unwrap();
+    // Three-valued AND/OR over a nullable bool lane.
+    assert_all_modes(
+        &Plan::scan("m").select(Expr::col("b").or(Expr::col("a").ge(Expr::lit(8i64)))),
+        &db,
+    )
+    .unwrap();
+    // NOT over nulls, and negation through a null float lane.
+    assert_all_modes(&Plan::scan("m").select(Expr::col("b").not()), &db).unwrap();
+    assert_all_modes(
+        &Plan::scan("m").project(vec![("nf".to_owned(), Expr::Neg(Box::new(Expr::col("f"))))]),
+        &db,
+    )
+    .unwrap();
+}
+
+#[test]
+fn division_by_zero_parity() {
+    let db = mixed_db();
+    // a == 0 on several rows: the kernel must report the same
+    // "division by zero" the row path reports, from the same row.
+    let plan = Plan::scan("m").select(Expr::lit(100i64).div(Expr::col("a")).gt(Expr::lit(4i64)));
+    assert!(assert_all_modes(&plan, &db).is_err());
+    // Same through a projection kernel.
+    let plan = Plan::scan("m").project(vec![("q".to_owned(), Expr::col("id").div(Expr::col("a")))]);
+    assert!(assert_all_modes(&plan, &db).is_err());
+    // Float zero divisor errors too (f == 0.25 at id 1).
+    let plan = Plan::scan("m").select(
+        Expr::lit(1.0f64)
+            .div(Expr::col("f").sub(Expr::lit(0.25f64)))
+            .le(Expr::lit(10i64)),
+    );
+    assert!(assert_all_modes(&plan, &db).is_err());
+}
+
+#[test]
+fn type_errors_survive_the_filter() {
+    let db = mixed_db();
+    // The failing rows produce a non-selecting placeholder under the
+    // comparison; their error must still surface (not be filtered away).
+    let plan = Plan::scan("m").select(Expr::lit(100i64).div(Expr::col("s")).gt(Expr::lit(4i64)));
+    let err = assert_all_modes(&plan, &db).unwrap_err();
+    assert!(err.to_string().contains("non-numeric"), "got {err}");
+    // Non-boolean predicate error.
+    let plan = Plan::scan("m").select(Expr::col("s"));
+    assert!(assert_all_modes(&plan, &db).is_err());
+    // AND over a non-boolean side errors even when the other side is FALSE.
+    let plan = Plan::scan("m").select(
+        Expr::lit(false).and(
+            Expr::col("s")
+                .is_null()
+                .or(Expr::col("s").eq(Expr::lit("s1"))),
+        ),
+    );
+    assert_all_modes(&plan, &db).unwrap();
+}
+
+#[test]
+fn first_failing_row_in_row_order_wins() {
+    // Row 0 fails only in the *second* fused stage; row 1 fails in the
+    // first. The streaming row path runs each row through the whole
+    // pipeline before the next row, so row 0's error wins — and the
+    // vectorized kernels, which evaluate stage-at-a-time over the batch,
+    // must translate their per-stage errors back into that row order
+    // (DESIGN.md §10). The materializing oracle is deliberately excluded
+    // here: it evaluates operator-at-a-time and reports row 1's stage-1
+    // error for this crafted crossing pattern, a divergence that exists
+    // only when two different rows fault in two different fused stages.
+    let schema = Schema::new(
+        "t",
+        vec![
+            Column::required("id", DataType::Int),
+            Column::new("a", DataType::Int),
+            Column::new("s", DataType::Text),
+        ],
+    )
+    .unwrap();
+    let rows = vec![
+        vec![Value::Int(0), Value::Int(1), Value::text("x")],
+        vec![Value::Int(1), Value::Int(0), Value::text("y")],
+    ];
+    let mut db = Database::new("d");
+    db.create_table(Table::from_rows(schema, rows).unwrap())
+        .unwrap();
+    let plan = Plan::scan("t")
+        .select(Expr::lit(10i64).div(Expr::col("a")).gt(Expr::lit(0i64)))
+        .select(Expr::col("s").add(Expr::lit(1i64)).gt(Expr::lit(0i64)));
+    for (name, exec) in lanes() {
+        let err = exec.execute(&plan, &db).unwrap_err();
+        assert!(
+            err.to_string().contains("non-numeric"),
+            "{name}: expected row 0's stage-2 error, got {err}"
+        );
+    }
+}
+
+#[test]
+fn nan_comparison_parity() {
+    let schema = Schema::new(
+        "t",
+        vec![
+            Column::required("id", DataType::Int),
+            Column::new("f", DataType::Float),
+        ],
+    )
+    .unwrap();
+    let rows = vec![
+        vec![Value::Int(0), Value::Float(1.5)],
+        vec![Value::Int(1), Value::Float(f64::NAN)],
+        vec![Value::Int(2), Value::Float(-0.0)],
+    ];
+    let mut db = Database::new("d");
+    db.create_table(Table::from_rows(schema, rows).unwrap())
+        .unwrap();
+    // Ordering against NaN is an error in the scalar semantics; the
+    // vectorized loop must reproduce the exact message.
+    let err = assert_all_modes(
+        &Plan::scan("t").select(Expr::col("f").lt(Expr::lit(5.0f64))),
+        &db,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("cannot compare"), "got {err}");
+    // Equality is total: NaN == NaN holds, -0.0 == 0.0 does not.
+    let t = assert_all_modes(
+        &Plan::scan("t").select(Expr::col("f").eq(Expr::lit(f64::NAN))),
+        &db,
+    )
+    .unwrap();
+    assert_eq!(t.len(), 1);
+    let t = assert_all_modes(
+        &Plan::scan("t").select(Expr::col("f").eq(Expr::lit(0.0f64))),
+        &db,
+    )
+    .unwrap();
+    assert_eq!(t.len(), 0);
+}
+
+#[test]
+fn int_values_in_float_column_fall_back_losslessly() {
+    // FLOAT accepts INT, so a FLOAT-declared column may physically hold
+    // Value::Int — the builder must refuse the float lane (no silent
+    // widening) and fall back to row values.
+    let schema = Schema::new(
+        "t",
+        vec![
+            Column::required("id", DataType::Int),
+            Column::new("f", DataType::Float),
+        ],
+    )
+    .unwrap();
+    let big = (1i64 << 53) + 1; // not representable in f64
+    let rows = vec![
+        vec![Value::Int(0), Value::Int(big)],
+        vec![Value::Int(1), Value::Float(2.5)],
+        vec![Value::Int(2), Value::Null],
+    ];
+    let mut db = Database::new("d");
+    db.create_table(Table::from_rows(schema, rows).unwrap())
+        .unwrap();
+    let t = assert_all_modes(
+        &Plan::scan("t").select(Expr::col("f").eq(Expr::lit(big))),
+        &db,
+    )
+    .unwrap();
+    assert_eq!(
+        t.len(),
+        1,
+        "Int stored in a FLOAT column must compare exactly"
+    );
+    assert_all_modes(
+        &Plan::scan("t").project(vec![("d".to_owned(), Expr::col("f").add(Expr::lit(1i64)))]),
+        &db,
+    )
+    .unwrap();
+}
+
+#[test]
+fn large_int_equality_is_exact() {
+    let schema = Schema::new(
+        "t",
+        vec![
+            Column::required("id", DataType::Int),
+            Column::new("a", DataType::Int),
+        ],
+    )
+    .unwrap();
+    let base = 1i64 << 53; // 2^53: base and base+1 collide in f64
+    let rows = vec![
+        vec![Value::Int(0), Value::Int(base)],
+        vec![Value::Int(1), Value::Int(base + 1)],
+    ];
+    let mut db = Database::new("d");
+    db.create_table(Table::from_rows(schema, rows).unwrap())
+        .unwrap();
+    let t = assert_all_modes(
+        &Plan::scan("t").select(Expr::col("a").eq(Expr::lit(base + 1))),
+        &db,
+    )
+    .unwrap();
+    assert_eq!(t.len(), 1, "integer equality must not round through f64");
+    // Ordering deliberately goes through f64 in the scalar path; the
+    // kernels must agree with that (lossy or not), not "improve" on it.
+    assert_all_modes(
+        &Plan::scan("t").select(Expr::col("a").gt(Expr::lit(base))),
+        &db,
+    )
+    .unwrap();
+}
+
+#[test]
+fn lazy_expressions_take_the_row_fallback() {
+    let db = mixed_db();
+    // COALESCE and CASE compile to the row fallback lane; mixing them
+    // with kernel-eligible expressions in one projection exercises both
+    // lanes over the same selection vector.
+    let plan = Plan::scan("m").project(vec![
+        ("id".to_owned(), Expr::col("id")),
+        (
+            "av".to_owned(),
+            Expr::Coalesce(vec![Expr::col("a"), Expr::lit(-1i64)]),
+        ),
+        ("k".to_owned(), Expr::col("id").mul(Expr::lit(2i64))),
+        (
+            "bucket".to_owned(),
+            Expr::Case {
+                arms: vec![
+                    (Expr::col("a").is_null(), Expr::lit("missing")),
+                    (Expr::col("a").lt(Expr::lit(4i64)), Expr::lit("low")),
+                ],
+                default: Box::new(Expr::lit("high")),
+            },
+        ),
+    ]);
+    assert_all_modes(&plan, &db).unwrap();
+    // CASE whose taken arm errors, but only for later rows: laziness
+    // means early rows succeed and the error row is still reported
+    // identically.
+    let plan = Plan::scan("m").select(Expr::Case {
+        arms: vec![(
+            Expr::col("a").is_not_null(),
+            Expr::lit(10i64).div(Expr::col("a")).gt(Expr::lit(1i64)),
+        )],
+        default: Box::new(Expr::lit(false)),
+    });
+    assert!(assert_all_modes(&plan, &db).is_err());
+}
+
+#[test]
+fn fallback_and_kernel_filters_interleave() {
+    let db = mixed_db();
+    // kernel filter → fallback filter → kernel filter in one fused tower.
+    let plan = Plan::scan("m")
+        .select(Expr::col("id").ge(Expr::lit(2i64)))
+        .select(Expr::Coalesce(vec![Expr::col("b"), Expr::lit(true)]))
+        .select(Expr::col("a").is_not_null())
+        .project(vec![
+            ("id".to_owned(), Expr::col("id")),
+            ("an".to_owned(), Expr::col("a").add(Expr::lit(1i64))),
+        ])
+        .select(Expr::col("an").le(Expr::lit(9i64)));
+    assert_all_modes(&plan, &db).unwrap();
+}
+
+#[test]
+fn empty_input_skips_row_errors() {
+    let db = mixed_db();
+    // An unknown column inside a predicate only fails when a row is
+    // evaluated; over an empty selection every mode succeeds.
+    let plan = Plan::scan("m")
+        .select(Expr::lit(false))
+        .select(Expr::col("ghost").is_null());
+    let t = assert_all_modes(&plan, &db).unwrap();
+    assert!(t.is_empty());
+}
+
+#[test]
+fn etl_workflows_run_under_a_shared_executor() {
+    use guava::etl::prelude::*;
+
+    let mut catalog = Catalog::new();
+    let mut db = Database::new("src");
+    let schema = Schema::new(
+        "obs",
+        vec![
+            Column::required("id", DataType::Int),
+            Column::new("v", DataType::Int),
+        ],
+    )
+    .unwrap();
+    let rows: Vec<Row> = (0..30i64)
+        .map(|i| vec![Value::Int(i), Value::Int(i % 9)])
+        .collect();
+    db.create_table(Table::from_rows(schema, rows).unwrap())
+        .unwrap();
+    catalog.insert(db);
+
+    let wf = EtlWorkflow {
+        name: "w".into(),
+        stages: vec![EtlStage {
+            name: "s1".into(),
+            components: vec![EtlComponent {
+                name: "keep-small".into(),
+                source_db: "src".into(),
+                plan: Plan::scan("obs").select(Expr::col("v").lt(Expr::lit(5i64))),
+                target_db: "out".into(),
+                target_table: "kept".into(),
+            }],
+        }],
+    };
+    let mut expected_catalog = catalog.clone();
+    let base = wf
+        .run_with(&mut expected_catalog, &ExecConfig::serial())
+        .unwrap();
+    for mode in [
+        ExecMode::Streaming,
+        ExecMode::Vectorized,
+        ExecMode::Materialized,
+    ] {
+        let mut c = catalog.clone();
+        let runs = wf.run_on(&mut c, &Executor::new().mode(mode)).unwrap();
+        assert_eq!(runs.len(), base.len());
+        assert_eq!(
+            c.database("out").unwrap().table("kept").unwrap(),
+            expected_catalog
+                .database("out")
+                .unwrap()
+                .table("kept")
+                .unwrap(),
+            "{mode:?}"
+        );
+    }
+}
