@@ -11,7 +11,7 @@
 //!   tables --hypothesis 3       # one hypothesis experiment (1..3)
 
 use guava::clinical::prelude::*;
-use guava::clinical::{classifiers, paper_artifacts};
+use guava::clinical::{classifiers, cori, paper_artifacts};
 use guava::etl::prelude::*;
 use guava::prelude::*;
 use guava_bench::Fixture;
@@ -553,6 +553,10 @@ struct BenchReport {
     /// `std::thread::available_parallelism()` on the machine that produced
     /// this snapshot — the ceiling for any speedup_vs_serial_streaming.
     host_threads: usize,
+    /// `false` when the host exposes a single hardware thread: the
+    /// `parallel` section's speedups then measure scheduling overhead,
+    /// not scaling, and must not be quoted as such.
+    scaling_valid: bool,
     benches: Vec<BenchEntry>,
     parallel: Vec<ParallelBenchEntry>,
     vectorized: Vec<VectorizedBenchEntry>,
@@ -1159,6 +1163,15 @@ fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
     );
     let mut vectorized = Vec::new();
     bench_vectorized_section(&mut vectorized, PARALLEL_ROWS);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scaling_valid = host_threads > 1;
+    if !scaling_valid {
+        println!(
+            "\n  WARNING: host exposes a single hardware thread; the parallel \
+             section's speedups measure scheduling overhead, not scaling \
+             (scaling_valid: false)."
+        );
+    }
     let report = BenchReport {
         description: "Streaming batch executor (Plan::eval) vs the materializing \
                       interpreter it replaced (Plan::eval_materialized). Median wall \
@@ -1174,10 +1187,445 @@ fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
         parallel_rows: PARALLEL_ROWS,
         fixture_size,
         samples_per_measurement: BENCH_SAMPLES,
-        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_threads,
+        scaling_valid,
         benches: entries,
         parallel,
         vectorized,
+    };
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write(out_path, json + "\n").unwrap();
+    println!("\nwrote {out_path}");
+}
+
+// ---------------------------------------------------------------------------
+// Refresh benchmark: incremental delta refresh vs full rebuild
+// ---------------------------------------------------------------------------
+//
+// `tables --bench-refresh` times the differential refresh machinery
+// (DESIGN.md §12) against from-scratch recomputation, at every layer:
+// `DeltaPlan::refresh` vs `Executor::execute`, the differential
+// `EtlWorkflow::run_incremental` vs `run_on`, and `StudyStore::refresh`
+// vs `StudyStore::build`. Each measurement first asserts the refreshed
+// state equals the rebuild byte for byte; results go to
+// `BENCH_refresh.json`.
+
+#[derive(serde::Serialize)]
+struct RefreshBenchEntry {
+    group: &'static str,
+    name: String,
+    base_rows: usize,
+    /// Row-level delta operations (deletes + inserts) applied between the
+    /// warmed state and the refreshed state.
+    delta_rows: usize,
+    delta_fraction: f64,
+    full_rebuild_ms: f64,
+    incremental_ms: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct RefreshReport {
+    description: &'static str,
+    fixture_size: usize,
+    refresh_rows: usize,
+    samples_per_measurement: usize,
+    host_threads: usize,
+    /// Recorded for context, same flag as `BENCH_executor.json`. The
+    /// refresh comparisons themselves are serial-vs-serial, so they stay
+    /// meaningful on single-threaded hosts.
+    scaling_valid: bool,
+    benches: Vec<RefreshBenchEntry>,
+}
+
+/// Median-of-N wall clock where each sample starts from a freshly
+/// prepared (untimed) state — refresh mutates the differential caches, so
+/// every timed run must begin from the same warmed snapshot, and the
+/// snapshot clone must not pollute the measurement. `run` returns
+/// `(out_rows, residue)`: the residue (consumed state, produced tables)
+/// is dropped **after** the clock stops, so neither side of the
+/// full-vs-incremental comparison is billed for deallocating
+/// harness-owned clones.
+fn median_secs_prepared<T, D>(
+    mut prepare: impl FnMut() -> T,
+    mut run: impl FnMut(T) -> (usize, D),
+) -> (f64, usize) {
+    let (out_rows, _residue) = run(prepare()); // warm-up
+    let mut samples: Vec<f64> = (0..BENCH_SAMPLES)
+        .map(|_| {
+            let state = prepare();
+            let t = std::time::Instant::now();
+            let (n, residue) = run(state);
+            std::hint::black_box(n);
+            let secs = t.elapsed().as_secs_f64();
+            drop(residue);
+            secs
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    (samples[samples.len() / 2], out_rows)
+}
+
+fn refresh_entry(
+    group: &'static str,
+    name: impl Into<String>,
+    base_rows: usize,
+    delta_rows: usize,
+    full_secs: f64,
+    inc_secs: f64,
+) -> RefreshBenchEntry {
+    let entry = RefreshBenchEntry {
+        group,
+        name: name.into(),
+        base_rows,
+        delta_rows,
+        delta_fraction: delta_rows as f64 / base_rows as f64,
+        full_rebuild_ms: full_secs * 1e3,
+        incremental_ms: inc_secs * 1e3,
+        speedup: full_secs / inc_secs,
+    };
+    println!(
+        "  {:<14} {:<26} {:>9} {:>7} {:>10.3} {:>10.3} {:>8.2}x",
+        entry.group,
+        entry.name,
+        entry.base_rows,
+        entry.delta_rows,
+        entry.full_rebuild_ms,
+        entry.incremental_ms,
+        entry.speedup
+    );
+    entry
+}
+
+/// Operator-level refresh: warmed `DeltaPlan`s over a CORI-scale table,
+/// refreshed after a ~1% update batch captured through a `DeltaCatalog`.
+fn bench_refresh_delta_plan(entries: &mut Vec<RefreshBenchEntry>, rows: usize) {
+    let exec = Executor::new();
+    let mut cat = Catalog::new();
+    let mut db = bench_naive_db(rows);
+    // Small dimension table joined on `count` — the differential hash join
+    // keeps this build side's index and re-probes only delta rows.
+    let codes: Vec<Row> = (0..100i64)
+        .map(|c| vec![Value::Int(c), Value::text(format!("code-{c:03}"))])
+        .collect();
+    db.create_table(
+        Table::from_rows(
+            Schema::new(
+                "codes",
+                vec![
+                    Column::required("code", DataType::Int),
+                    Column::new("label", DataType::Text),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["code"])
+            .unwrap(),
+            codes,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    cat.insert(db);
+    let plans: Vec<(&str, Plan)> = vec![
+        (
+            "audit_filter_funnel",
+            Plan::scan("form")
+                .select(Expr::col("count").ge(Expr::lit(25i64)))
+                .project_cols(&["instance_id", "flag", "count"])
+                .select(Expr::col("flag").eq(Expr::lit(true))),
+        ),
+        (
+            "hash_join_reprobe",
+            Plan::scan("form")
+                .join(
+                    Plan::scan("codes"),
+                    vec![("count", "code")],
+                    JoinKind::Inner,
+                )
+                .select(Expr::col("flag").eq(Expr::lit(true))),
+        ),
+        (
+            "group_by_agg",
+            Plan::scan("form").aggregate(
+                &["flag"],
+                vec![
+                    Aggregate {
+                        func: AggFunc::CountAll,
+                        alias: "n".into(),
+                    },
+                    Aggregate {
+                        func: AggFunc::Sum("count".into()),
+                        alias: "total".into(),
+                    },
+                ],
+            ),
+        ),
+    ];
+    let warmed: Vec<DeltaPlan> = plans
+        .iter()
+        .map(|(_, p)| DeltaPlan::init(p, cat.database("naive").unwrap(), &exec).unwrap())
+        .collect();
+    // Update every 200th report (0.5% of rows → 1% of rows as delete +
+    // re-insert delta operations).
+    let mut dc = DeltaCatalog::new(cat);
+    dc.update_where(
+        "naive",
+        "form",
+        |r| r[0].as_i64().is_some_and(|id| id % 200 == 0),
+        |r| r[2] = Value::Int(7),
+    )
+    .unwrap();
+    let deltas = dc.take_deltas();
+    let d = deltas.get("naive", "form").unwrap();
+    let delta_rows = d.rows_changed();
+    let mut changes = TableChanges::new();
+    changes.set("form", d.to_change());
+    let cat = dc.into_inner();
+    let db = cat.database("naive").unwrap();
+    for ((name, plan), warm) in plans.iter().zip(&warmed) {
+        let mut check = warm.clone();
+        check.refresh(db, &changes, &exec).unwrap();
+        let rebuilt = exec.execute(plan, db).unwrap();
+        assert_eq!(
+            check.output().unwrap(),
+            rebuilt,
+            "refresh/{name}: refresh != rebuild"
+        );
+        let (full_secs, _) = median_secs_prepared(
+            || (),
+            |()| {
+                let t = exec.execute(plan, db).unwrap();
+                (t.len(), t)
+            },
+        );
+        let (inc_secs, _) = median_secs_prepared(
+            || warm.clone(),
+            |mut dp| {
+                dp.refresh(db, &changes, &exec).unwrap();
+                (dp.len(), dp)
+            },
+        );
+        entries.push(refresh_entry(
+            "delta_plan",
+            *name,
+            rows,
+            delta_rows,
+            full_secs,
+            inc_secs,
+        ));
+    }
+}
+
+/// Workflow-level refresh: the compiled Study-1 ETL re-run after ~1% of
+/// CORI's live reports are amended through the audit pattern, with the
+/// per-component caches warm — against a full `run_on` rebuild.
+fn bench_refresh_etl(entries: &mut Vec<RefreshBenchEntry>, fixture: &Fixture) {
+    let exec = Executor::new();
+    let study = study1_definition(&fixture.contributors);
+    let compiled = compile(&study, &study_schema(), &registry(), &fixture.bindings()).unwrap();
+    let input_rows: usize = fixture
+        .contributors
+        .iter()
+        .map(|c| c.physical.total_rows())
+        .sum();
+    // Cold incremental run warms the per-component caches.
+    let mut cat = fixture.catalog();
+    let mut cache = WorkflowCache::new();
+    compiled
+        .workflow
+        .run_incremental(&mut cat, &DeltaSet::new(), &mut cache, &exec)
+        .unwrap();
+    // Amend ~1% of CORI's reports (tombstone + amended re-insert each).
+    let t = cat
+        .database("cori")
+        .unwrap()
+        .table(cori::PHYSICAL_TABLE)
+        .unwrap();
+    let id_idx = t.schema().index_of("instance_id").unwrap();
+    let ids: Vec<i64> = t
+        .rows()
+        .iter()
+        .filter_map(|r| r[id_idx].as_i64())
+        .filter(|id| id % 97 == 0)
+        .collect();
+    let mut dc = DeltaCatalog::new(cat);
+    cori_amend_reports(&mut dc, "cori", &ids, "benchmark follow-up note").unwrap();
+    let deltas = dc.take_deltas();
+    let delta_rows = deltas
+        .get("cori", cori::PHYSICAL_TABLE)
+        .map_or(0, |d| d.rows_changed());
+    let post = dc.into_inner();
+    // Refreshed catalog must equal the rebuilt one on every target table.
+    let mut check_cat = post.clone();
+    let mut check_cache = cache.clone();
+    compiled
+        .workflow
+        .run_incremental(&mut check_cat, &deltas, &mut check_cache, &exec)
+        .unwrap();
+    let mut full_cat = post.clone();
+    compiled.workflow.run_on(&mut full_cat, &exec).unwrap();
+    for comp in compiled.workflow.stages.iter().flat_map(|s| &s.components) {
+        assert_eq!(
+            check_cat
+                .database(&comp.target_db)
+                .unwrap()
+                .table(&comp.target_table)
+                .unwrap(),
+            full_cat
+                .database(&comp.target_db)
+                .unwrap()
+                .table(&comp.target_table)
+                .unwrap(),
+            "refresh/etl: `{}` diverged from rebuild",
+            comp.target_table
+        );
+    }
+    let (full_secs, _) = median_secs_prepared(
+        || post.clone(),
+        |mut c| {
+            let runs = compiled.workflow.run_on(&mut c, &exec).unwrap();
+            (runs.iter().map(|r| r.rows_out).sum(), c)
+        },
+    );
+    let (inc_secs, _) = median_secs_prepared(
+        || (post.clone(), cache.clone()),
+        |(mut c, mut ch)| {
+            let runs = compiled
+                .workflow
+                .run_incremental(&mut c, &deltas, &mut ch, &exec)
+                .unwrap();
+            (runs.iter().map(|r| r.rows_out).sum(), (c, ch))
+        },
+    );
+    entries.push(refresh_entry(
+        "etl_workflow",
+        "study1_incremental",
+        input_rows,
+        delta_rows,
+        full_secs,
+        inc_secs,
+    ));
+}
+
+/// Warehouse-level refresh: a fully-materialized CORI study store patched
+/// in place after 1% of its naïve rows are retired — against rebuilding
+/// the store (re-running every classifier on every row).
+fn bench_refresh_store(entries: &mut Vec<RefreshBenchEntry>, fixture: &Fixture) {
+    let c = fixture.cori();
+    let naive_form = c
+        .stack
+        .query(&c.physical, &Plan::scan("procedure"))
+        .unwrap();
+    let schema = study_schema();
+    let all_cls = classifiers::cori();
+    let bound: Vec<BoundClassifier> = all_cls
+        .iter()
+        .filter(|cl| matches!(cl.target, Target::Domain { .. }))
+        .take(5)
+        .map(|cl| cl.bind(&c.tree, &schema).unwrap())
+        .collect();
+    let entity = all_cls
+        .iter()
+        .find(|cl| matches!(cl.target, Target::Entity { .. }))
+        .unwrap()
+        .bind(&c.tree, &schema)
+        .unwrap();
+    let refs: Vec<&BoundClassifier> = bound.iter().collect();
+    let store = StudyStore::build(
+        "cori",
+        naive_form.clone(),
+        &entity,
+        &refs,
+        MaterializationPolicy::Full,
+    )
+    .unwrap();
+    // Retire every 100th instance, captured as a delta over the naïve form.
+    let tname = naive_form.schema().name.clone();
+    let id_idx = naive_form.schema().index_of("instance_id").unwrap();
+    let mut scratch = Catalog::new();
+    let mut db = Database::new("w");
+    db.create_table(naive_form.clone()).unwrap();
+    scratch.insert(db);
+    let mut dc = DeltaCatalog::new(scratch);
+    dc.delete_where("w", &tname, |r| {
+        r[id_idx].as_i64().is_some_and(|id| id % 100 == 0)
+    })
+    .unwrap();
+    let deltas = dc.take_deltas();
+    let d = deltas.get("w", &tname).unwrap();
+    let post_naive = dc
+        .catalog()
+        .database("w")
+        .unwrap()
+        .table(&tname)
+        .unwrap()
+        .clone();
+    let mut check = store.clone();
+    check.refresh(d, &entity, &refs).unwrap();
+    let rebuilt = StudyStore::build(
+        "cori",
+        post_naive.clone(),
+        &entity,
+        &refs,
+        MaterializationPolicy::Full,
+    )
+    .unwrap();
+    assert_eq!(check, rebuilt, "refresh/store: refresh != rebuild");
+    let (full_secs, _) = median_secs_prepared(
+        || post_naive.clone(),
+        |t| {
+            let s =
+                StudyStore::build("cori", t, &entity, &refs, MaterializationPolicy::Full).unwrap();
+            (s.naive_form.len(), s)
+        },
+    );
+    let (inc_secs, _) = median_secs_prepared(
+        || store.clone(),
+        |mut s| {
+            s.refresh(d, &entity, &refs).unwrap();
+            (s.naive_form.len(), s)
+        },
+    );
+    entries.push(refresh_entry(
+        "study_store",
+        "cori_full_policy",
+        naive_form.len(),
+        d.rows_changed(),
+        full_secs,
+        inc_secs,
+    ));
+}
+
+fn bench_refresh(fixture_size: usize, out_path: &str) {
+    heading("Refresh benchmark — incremental delta refresh vs full rebuild");
+    const REFRESH_ROWS: usize = 100_000;
+    let fixture = &Fixture::new(fixture_size);
+    println!(
+        "  {:<14} {:<26} {:>9} {:>7} {:>10} {:>10} {:>9}",
+        "group", "bench", "base", "delta", "full (ms)", "incr (ms)", "speedup"
+    );
+    let mut entries = Vec::new();
+    bench_refresh_delta_plan(&mut entries, REFRESH_ROWS);
+    bench_refresh_etl(&mut entries, fixture);
+    bench_refresh_store(&mut entries, fixture);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = RefreshReport {
+        description: "Incremental warehouse refresh (DESIGN.md §12) vs full rebuild, \
+                      median wall time per run from a warmed differential state. \
+                      `delta_plan` refreshes cached operator state through \
+                      DeltaPlan::refresh against Executor::execute on the post-delta \
+                      database; `etl_workflow` re-runs the compiled Study-1 pipeline \
+                      through EtlWorkflow::run_incremental (warm per-component \
+                      caches) against run_on; `study_store` patches a fully \
+                      materialized StudyStore in place via StudyStore::refresh \
+                      against StudyStore::build. Every measurement asserts the \
+                      refreshed state is byte-identical to the rebuild first.",
+        fixture_size,
+        refresh_rows: REFRESH_ROWS,
+        samples_per_measurement: BENCH_SAMPLES,
+        host_threads,
+        scaling_valid: host_threads > 1,
+        benches: entries,
     };
     let json = serde_json::to_string_pretty(&report).unwrap();
     std::fs::write(out_path, json + "\n").unwrap();
@@ -1200,20 +1648,34 @@ fn main() {
     let study = pick("--study");
     let hypothesis = pick("--hypothesis");
     let bench_exec = args.iter().any(|a| a == "--bench-executor");
+    let bench_refresh_flag = args.iter().any(|a| a == "--bench-refresh");
     let all = figure.is_none()
         && table.is_none()
         && study.is_none()
         && hypothesis.is_none()
-        && !bench_exec;
+        && !bench_exec
+        && !bench_refresh_flag;
 
-    if bench_exec {
-        let out = args
-            .iter()
+    let out_arg = |default: &'static str| -> String {
+        args.iter()
             .position(|a| a == "--out")
             .and_then(|i| args.get(i + 1))
-            .map(String::as_str)
-            .unwrap_or("BENCH_executor.json");
-        bench_executor(&fixture, n, out);
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+
+    if bench_exec {
+        bench_executor(&fixture, n, &out_arg("BENCH_executor.json"));
+        return;
+    }
+
+    if bench_refresh_flag {
+        // CORI-scale by default: 4000 procedures per contributor, an order
+        // of magnitude above the artifact-regeneration fixture.
+        bench_refresh(
+            pick("--size").unwrap_or(4000),
+            &out_arg("BENCH_refresh.json"),
+        );
         return;
     }
 

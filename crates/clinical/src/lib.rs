@@ -27,6 +27,7 @@ pub mod gastrolink;
 pub mod gold;
 pub mod paper_artifacts;
 pub mod profile;
+pub mod revisions;
 pub mod schema_def;
 pub mod studies;
 
@@ -35,6 +36,7 @@ pub mod prelude {
     pub use crate::contributors::{bindings, build_all, naive_map, physical_catalog, Contributor};
     pub use crate::gold::{extraction_from_table, gold_ex_smokers, gold_study1_eligible};
     pub use crate::profile::{generate, GeneratorConfig, ProcedureKind, Profile, Smoking};
+    pub use crate::revisions::{audit_revise, cori_amend_reports};
     pub use crate::schema_def::study_schema;
     pub use crate::studies::{
         cross_check, run_study, study1_definition, study2_definition, ExSmokerMeaning,

@@ -26,7 +26,7 @@ pub mod prelude {
         EntityPlan, INSTANCE_COLUMN, SOURCE_COLUMN,
     };
     pub use crate::datalog::{DatalogProgram, DatalogRule, HeadArg};
-    pub use crate::workflow::{ComponentRun, EtlComponent, EtlStage, EtlWorkflow};
+    pub use crate::workflow::{ComponentRun, EtlComponent, EtlStage, EtlWorkflow, WorkflowCache};
 }
 
 pub use prelude::*;

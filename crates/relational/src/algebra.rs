@@ -634,7 +634,7 @@ pub(crate) fn aggregate_output_schema(
 /// wrapping addition; min/max keep the first-seen extremum), **except**
 /// the `f64` sum used for FLOAT columns — which is why the executor falls
 /// back to the serial kernel for SUM/AVG over FLOAT (see `exec`).
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub(crate) struct AggAcc {
     count: i64,
     sum: f64,
@@ -648,7 +648,7 @@ pub(crate) struct AggAcc {
 impl AggAcc {
     /// Fold one row into the accumulator. `idx` is the aggregate's source
     /// column (`None` for `COUNT(*)`).
-    fn update(&mut self, idx: Option<usize>, row: &[Value]) {
+    pub(crate) fn update(&mut self, idx: Option<usize>, row: &[Value]) {
         self.count += 1;
         if let Some(i) = idx {
             let v = &row[i];
@@ -673,10 +673,34 @@ impl AggAcc {
         }
     }
 
+    /// Un-fold one previously-folded row (the differential evaluator's
+    /// *retract* operation, see [`crate::delta`]). Only sound for the
+    /// retractable accumulator states — COUNT(*), COUNT(col), and SUM/AVG
+    /// over INT-typed columns, whose exact `sum_int` path inverts under
+    /// wrapping subtraction. Min/max extrema and the non-associative `f64`
+    /// running sum cannot be un-folded; callers must fall back to
+    /// recomputing the group before reading those through `finish`.
+    pub(crate) fn retract(&mut self, idx: Option<usize>, row: &[Value]) {
+        self.count -= 1;
+        if let Some(i) = idx {
+            let v = &row[i];
+            if v.is_null() {
+                return;
+            }
+            self.non_null -= 1;
+            if let Some(f) = v.as_f64() {
+                self.sum -= f;
+                if let Value::Int(n) = v {
+                    self.sum_int = self.sum_int.wrapping_sub(*n);
+                }
+            }
+        }
+    }
+
     /// Combine with an accumulator over a *later* row range. Ties in
     /// min/max keep `self`'s value, matching the serial kernel's
     /// first-occurrence-wins behaviour.
-    fn merge(&mut self, other: AggAcc) {
+    pub(crate) fn merge(&mut self, other: AggAcc) {
         self.count += other.count;
         self.non_null += other.non_null;
         self.sum += other.sum;
@@ -695,7 +719,7 @@ impl AggAcc {
     }
 
     /// Final value of one aggregate function over this accumulator.
-    fn finish(self, func: &AggFunc) -> Value {
+    pub(crate) fn finish(self, func: &AggFunc) -> Value {
         match func {
             AggFunc::CountAll => Value::Int(self.count),
             AggFunc::Count(_) => Value::Int(self.non_null),

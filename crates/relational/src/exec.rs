@@ -596,15 +596,21 @@ fn compile<'p>(plan: &'p Plan, db: &Database, cfg: ExecConfig) -> RelResult<(Sch
                         }
                         _ => true,
                     });
+            let out_schema = schema.clone();
             let op = BlockingOp::new(RowsIn::from_exec(child, cfg), move |rows| {
                 let input = rows.as_slice();
-                if associative && cfg.parallel_for(input.len()) {
-                    Ok(morsel::par_aggregate(
-                        input, &g_idx, &agg_idx, aggregates, cfg,
-                    ))
+                let out = if associative && cfg.parallel_for(input.len()) {
+                    morsel::par_aggregate(input, &g_idx, &agg_idx, aggregates, cfg)
                 } else {
-                    Ok(aggregate_rows(input, &g_idx, &agg_idx, aggregates))
+                    aggregate_rows(input, &g_idx, &agg_idx, aggregates)
+                };
+                // Validate emitted rows exactly where the materializing
+                // interpreter's `from_rows` does — e.g. SUM over a TEXT
+                // column emits INT into a TEXT-typed output column.
+                for r in &out {
+                    out_schema.check_row(r)?;
                 }
+                Ok(out)
             });
             (schema, Exec::Op(Box::new(op)))
         }

@@ -48,6 +48,7 @@
 pub mod algebra;
 pub mod csv;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -60,6 +61,10 @@ pub mod value;
 pub mod prelude {
     pub use crate::algebra::{AggFunc, Aggregate, JoinKind, Plan};
     pub use crate::database::{Catalog, Database};
+    pub use crate::delta::{
+        table_fingerprint, Change, DeltaCatalog, DeltaPlan, DeltaSet, Patch, TableChanges,
+        TableDelta,
+    };
     pub use crate::error::{RelError, RelResult};
     pub use crate::exec::{ExecConfig, ExecMode, Executor};
     pub use crate::expr::{BinOp, Expr};

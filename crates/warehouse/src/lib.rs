@@ -7,12 +7,15 @@
 //!   entity classifier, one column per classifier), plus the paper's two
 //!   alternatives: on-demand evaluation and selective materialization with
 //!   algebraically derived classifiers.
+//! * [`mod@refresh`] — incremental refresh: patch a [`StudyStore`] in
+//!   place from a captured naïve-form delta, byte-identical to a rebuild.
 //! * [`eval_harness`] — precision/recall measurement of classifier-based
 //!   extraction against a generator-known gold standard ("analysts should
 //!   be able to extract only and all relevant data").
 
 pub mod eval_harness;
 pub mod materialize;
+pub mod refresh;
 
 pub mod prelude {
     pub use crate::eval_harness::{Item, PrecisionRecall};

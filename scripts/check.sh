@@ -17,6 +17,14 @@ if ! grep -q '"vectorized"' BENCH_executor.json; then
   exit 1
 fi
 
+# The refresh snapshot (DESIGN.md §12) must exist and carry per-entry
+# speedups; it gates the incremental-refresh claim in EXPERIMENTS.md.
+if ! grep -q '"speedup"' BENCH_refresh.json 2>/dev/null; then
+  echo "check.sh: BENCH_refresh.json missing or lacks 'speedup' entries — regenerate with" >&2
+  echo "  cargo run --release -p guava-bench --bin tables -- --bench-refresh" >&2
+  exit 1
+fi
+
 # Property tests run with a pinned RNG stream so failures reproduce across
 # machines; bump the seed deliberately to explore a new stream. This
 # includes the vectorized-vs-row-vs-oracle equivalence suite

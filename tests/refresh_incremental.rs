@@ -1,0 +1,720 @@
+//! Property suite for the incremental-refresh subsystem (DESIGN.md §12):
+//! change capture through `DeltaCatalog`, differential plan maintenance
+//! through `DeltaPlan`, cached ETL re-execution through
+//! `EtlWorkflow::run_incremental`, and warehouse patching through
+//! `StudyStore::refresh`.
+//!
+//! The correctness bar everywhere is **byte identity with a from-scratch
+//! rebuild**: same rows, same order (after the documented canonical
+//! merge — retained rows first, updated/inserted rows at the end), and
+//! the same first error, under randomized plans and randomized update
+//! sequences, across all four executor lanes plus the materializing
+//! oracle. A refresh that errors must poison itself and recover by
+//! re-initializing on the next round — also byte-identically.
+
+use guava::prelude::*;
+use guava_relational::algebra::{AggFunc, Aggregate};
+use guava_relational::value::DataType;
+use proptest::prelude::*;
+
+/// The four streaming lanes plus the materializing interpreter. The
+/// parallel lanes use a tiny morsel size so even these small fixtures
+/// split across workers; `DeltaPlan` routes its internal delta batches
+/// through the same executor, so each lane exercises its own kernels.
+fn lanes() -> Vec<(&'static str, Executor)> {
+    let parallel = Executor::new()
+        .threads(3)
+        .parallel_threshold(1)
+        .morsel_size(7);
+    vec![
+        (
+            "serial-streaming",
+            Executor::new().threads(1).mode(ExecMode::Streaming),
+        ),
+        (
+            "serial-vectorized",
+            Executor::new().threads(1).mode(ExecMode::Vectorized),
+        ),
+        ("parallel-streaming", parallel.mode(ExecMode::Streaming)),
+        ("parallel-vectorized", parallel.mode(ExecMode::Vectorized)),
+        ("materialized", Executor::new().mode(ExecMode::Materialized)),
+    ]
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        "t",
+        vec![
+            Column::required("id", DataType::Int),
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Bool),
+            Column::new("s", DataType::Text),
+        ],
+    )
+    .unwrap()
+    .with_primary_key(&["id"])
+    .unwrap()
+}
+
+prop_compose! {
+    fn arb_rows(max: usize)(
+        rows in proptest::collection::vec(
+            (
+                proptest::option::of(0i64..12),
+                proptest::option::of(any::<bool>()),
+                proptest::option::of("[a-c]{1,2}"),
+            ),
+            0..max,
+        )
+    ) -> Vec<Row> {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (a, b, s))| {
+                vec![
+                    Value::Int(i as i64),
+                    a.map(Value::Int).unwrap_or(Value::Null),
+                    b.map(Value::Bool).unwrap_or(Value::Null),
+                    s.map(Value::text).unwrap_or(Value::Null),
+                ]
+            })
+            .collect()
+    }
+}
+
+fn catalog(rows: Vec<Row>) -> Catalog {
+    let mut db = Database::new("d");
+    db.create_table(Table::from_rows(schema(), rows).unwrap())
+        .unwrap();
+    let mut cat = Catalog::new();
+    cat.insert(db);
+    cat
+}
+
+// ---------------------------------------------------------------------------
+// Random update sequences
+// ---------------------------------------------------------------------------
+
+/// One mutation against the tracked fixture table. Inserted rows pick the
+/// next free id (primary-key safe); `a` values near zero are deliberately
+/// common so predicates containing `100 / a` gain and lose faulty rows as
+/// the sequence plays out.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Option<i64>, Option<bool>),
+    /// Delete rows with `id % m == r`.
+    Delete(i64, i64),
+    /// Set `a` for rows with `id % m == r` (an update: delete + re-insert
+    /// at the end under the canonical merge).
+    SetA(i64, i64, Option<i64>),
+    /// Flip `b` for rows with `id % m == r` — the classifier-guard flip
+    /// shape: a boolean the downstream predicate/classifier branches on.
+    FlipB(i64, i64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (proptest::option::of(0i64..6), proptest::option::of(any::<bool>()))
+            .prop_map(|(a, b)| Op::Insert(a, b)),
+        2 => (2i64..5, 0i64..5).prop_map(|(m, r)| Op::Delete(m, r % m)),
+        2 => (2i64..5, 0i64..5, proptest::option::of(0i64..6))
+            .prop_map(|(m, r, a)| Op::SetA(m, r % m, a)),
+        1 => (2i64..5, 0i64..5).prop_map(|(m, r)| Op::FlipB(m, r % m)),
+    ]
+}
+
+fn apply_op(dc: &mut DeltaCatalog, op: &Op) {
+    let modmatch =
+        |m: i64, r: i64| move |row: &Row| row[0].as_i64().is_some_and(|id| id.rem_euclid(m) == r);
+    match op {
+        Op::Insert(a, b) => {
+            let next = dc
+                .catalog()
+                .database("d")
+                .unwrap()
+                .table("t")
+                .unwrap()
+                .rows()
+                .iter()
+                .filter_map(|r| r[0].as_i64())
+                .max()
+                .unwrap_or(-1)
+                + 1;
+            dc.insert(
+                "d",
+                "t",
+                vec![
+                    Value::Int(next),
+                    a.map(Value::Int).unwrap_or(Value::Null),
+                    b.map(Value::Bool).unwrap_or(Value::Null),
+                    Value::text("new"),
+                ],
+            )
+            .unwrap();
+        }
+        Op::Delete(m, r) => {
+            dc.delete_where("d", "t", modmatch(*m, *r)).unwrap();
+        }
+        Op::SetA(m, r, a) => {
+            let v = a.map(Value::Int).unwrap_or(Value::Null);
+            dc.update_where("d", "t", modmatch(*m, *r), |row| row[1] = v.clone())
+                .unwrap();
+        }
+        Op::FlipB(m, r) => {
+            dc.update_where("d", "t", modmatch(*m, *r), |row| {
+                row[2] = match row[2] {
+                    Value::Bool(x) => Value::Bool(!x),
+                    _ => Value::Bool(true),
+                }
+            })
+            .unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random plans
+// ---------------------------------------------------------------------------
+
+fn arb_col() -> impl Strategy<Value = String> {
+    (0usize..5).prop_map(|i| ["id", "a", "b", "s", "ghost"][i].to_string())
+}
+
+/// Predicates spanning the differential Select rule's failure modes:
+/// plain comparisons, `100 / a` (rows with `a = 0` fault — and deltas
+/// can introduce or remove exactly such rows), boolean guards (the
+/// classifier-flip column), and unknown columns.
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        4 => (arb_col(), 0i64..12, any::<bool>()).prop_map(|(c, k, ge)| if ge {
+            Expr::col(&c).ge(Expr::lit(k))
+        } else {
+            Expr::col(&c).lt(Expr::lit(k))
+        }),
+        2 => Just(Expr::col("b").eq(Expr::lit(true))),
+        1 => (0i64..4).prop_map(|k| Expr::lit(100i64).div(Expr::col("a")).gt(Expr::lit(k))),
+        1 => arb_col().prop_map(|c| Expr::col(&c).is_null()),
+    ]
+}
+
+/// Random plans over the fixture, covering every differential rule:
+/// element-wise Select/Project/Rename/Union, delta re-probing Join,
+/// accumulator-maintaining Aggregate (global and grouped, retractable
+/// CountAll/Sum-shapes and recompute-fallback Min), order-sensitive
+/// Pivot over Unpivot, and the Recompute nodes (Distinct/Sort/Limit).
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    let leaf = prop_oneof![
+        9 => Just(Plan::scan("t")),
+        1 => Just(Plan::scan("missing")),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), arb_pred()).prop_map(|(p, e)| p.select(e)),
+            2 => (inner.clone(), arb_col(), 0i64..6).prop_map(|(p, c, k)| {
+                p.project(vec![
+                    ("id".to_owned(), Expr::col("id")),
+                    ("v".to_owned(), Expr::col(&c).add(Expr::lit(k))),
+                ])
+            }),
+            1 => inner.clone().prop_map(|p| {
+                p.rename_columns(vec![("a".to_owned(), "a2".to_owned())])
+            }),
+            1 => inner.clone().prop_map(|p| p.distinct()),
+            1 => (inner.clone(), arb_col()).prop_map(|(p, c)| p.sort_by(&[c.as_str()])),
+            1 => (inner.clone(), 0usize..20).prop_map(|(p, n)| p.limit(n)),
+            1 => (inner.clone(), inner.clone()).prop_map(|(l, r)| Plan::union(vec![l, r])),
+            1 => (inner.clone(), any::<bool>()).prop_map(|(l, left)| {
+                let kind = if left { JoinKind::Left } else { JoinKind::Inner };
+                l.join(
+                    Plan::scan("t").rename_columns(vec![
+                        ("id".to_owned(), "rid".to_owned()),
+                        ("a".to_owned(), "ra".to_owned()),
+                        ("b".to_owned(), "rb".to_owned()),
+                        ("s".to_owned(), "rs".to_owned()),
+                    ]),
+                    vec![("id", "rid")],
+                    kind,
+                )
+            }),
+            1 => inner.clone().prop_map(|p| Plan::Unpivot {
+                input: Box::new(p),
+                keys: vec!["id".into()],
+                attr_col: "attr".into(),
+                val_col: "val".into(),
+            }),
+            1 => inner.clone().prop_map(|p| Plan::Pivot {
+                input: Box::new(Plan::Unpivot {
+                    input: Box::new(p),
+                    keys: vec!["id".into()],
+                    attr_col: "attr".into(),
+                    val_col: "val".into(),
+                }),
+                keys: vec!["id".into()],
+                attr_col: "attr".into(),
+                val_col: "val".into(),
+                attrs: vec![
+                    ("a".into(), DataType::Int),
+                    ("b".into(), DataType::Bool),
+                ],
+            }),
+            2 => (inner, arb_col(), any::<bool>()).prop_map(|(p, c, grouped)| {
+                let by: &[&str] = if grouped { &["b"] } else { &[] };
+                p.aggregate(
+                    by,
+                    vec![
+                        Aggregate { func: AggFunc::CountAll, alias: "n".into() },
+                        Aggregate { func: AggFunc::Sum(c.clone()), alias: "sm".into() },
+                        Aggregate { func: AggFunc::Min(c), alias: "lo".into() },
+                    ],
+                )
+            }),
+        ]
+    })
+}
+
+// ---------------------------------------------------------------------------
+// DeltaPlan ≡ rebuild
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, .. ProptestConfig::default() })]
+
+    /// For a random plan and a random multi-round update sequence, an
+    /// incrementally refreshed `DeltaPlan` stays byte-identical to a
+    /// from-scratch execution after every round, in every lane — same
+    /// schema, same rows, same order, and on faulty plans the same error
+    /// string, with poison-recovery re-init behaving identically too.
+    #[test]
+    fn delta_plan_refresh_matches_rebuild(
+        rows in arb_rows(20),
+        plan in arb_plan(),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_op(), 1..4),
+            1..4,
+        ),
+    ) {
+        for (name, exec) in lanes() {
+            let mut dc = DeltaCatalog::new(catalog(rows.clone()));
+            let fresh = exec.execute(&plan, dc.catalog().database("d").unwrap());
+            let init = DeltaPlan::init(&plan, dc.catalog().database("d").unwrap(), &exec);
+            let mut dplan = match (init, fresh) {
+                (Ok(p), Ok(t)) => {
+                    prop_assert_eq!(&p.output().unwrap(), &t, "{}: init != execute", name);
+                    p
+                }
+                (Err(e), Err(f)) => {
+                    prop_assert_eq!(
+                        e.to_string(), f.to_string(),
+                        "{}: init error != execute error", name
+                    );
+                    continue;
+                }
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "{name}: init/execute disagree: {:?} vs {:?}",
+                        a.map(|p| p.len()),
+                        b.map(|t| t.len()),
+                    )));
+                }
+            };
+            for batch in &batches {
+                for op in batch {
+                    apply_op(&mut dc, op);
+                }
+                let deltas = dc.take_deltas();
+                let mut changes = TableChanges::new();
+                if let Some(d) = deltas.get("d", "t") {
+                    changes.set("t", d.to_change());
+                }
+                let db = dc.catalog().database("d").unwrap();
+                let refreshed = dplan.refresh(db, &changes, &exec);
+                let rebuilt = exec.execute(&plan, db);
+                match (refreshed, rebuilt) {
+                    (Ok(_), Ok(t)) => {
+                        prop_assert_eq!(
+                            &dplan.output().unwrap(), &t,
+                            "{}: refresh != rebuild", name
+                        );
+                    }
+                    (Err(e), Err(f)) => {
+                        // Same first error; the plan is now poisoned and
+                        // must recover by re-init on the next round.
+                        prop_assert_eq!(
+                            e.to_string(), f.to_string(),
+                            "{}: refresh error != rebuild error", name
+                        );
+                        prop_assert!(dplan.is_poisoned());
+                    }
+                    (a, b) => {
+                        return Err(TestCaseError::fail(format!(
+                            "{name}: refresh/rebuild disagree: {a:?} vs {b:?}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A refresh with no changes returns `Change::Unchanged` and leaves
+    /// the output bit-for-bit alone.
+    #[test]
+    fn unchanged_refresh_reports_unchanged(rows in arb_rows(20), plan in arb_plan()) {
+        let (_, exec) = lanes().remove(1);
+        let cat = catalog(rows);
+        let db = cat.database("d").unwrap();
+        if let Ok(mut dplan) = DeltaPlan::init(&plan, db, &exec) {
+            let before = dplan.output().unwrap();
+            let change = dplan.refresh(db, &TableChanges::new(), &exec).unwrap();
+            prop_assert!(change.is_unchanged());
+            prop_assert_eq!(dplan.output().unwrap(), before);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EtlWorkflow::run_incremental ≡ run_on
+// ---------------------------------------------------------------------------
+
+/// A three-stage workflow over the fixture: a filter and a computed
+/// projection fan out concurrently, then a grouped aggregate and a second
+/// filter consume the intermediates — so changes thread through both a
+/// cached replay path and stage-to-stage `Change` propagation.
+fn pipeline(k: i64) -> EtlWorkflow {
+    EtlWorkflow {
+        name: "inc".into(),
+        stages: vec![
+            EtlStage {
+                name: "extract".into(),
+                components: vec![
+                    EtlComponent {
+                        name: "filter".into(),
+                        source_db: "d".into(),
+                        plan: Plan::scan("t").select(Expr::col("a").ge(Expr::lit(k))),
+                        target_db: "tmp".into(),
+                        target_table: "f".into(),
+                    },
+                    EtlComponent {
+                        name: "compute".into(),
+                        source_db: "d".into(),
+                        plan: Plan::scan("t").project(vec![
+                            ("id".to_owned(), Expr::col("id")),
+                            ("v".to_owned(), Expr::col("a").add(Expr::lit(1i64))),
+                        ]),
+                        target_db: "tmp".into(),
+                        target_table: "p".into(),
+                    },
+                ],
+            },
+            EtlStage {
+                name: "aggregate".into(),
+                components: vec![EtlComponent {
+                    name: "stats".into(),
+                    source_db: "tmp".into(),
+                    plan: Plan::scan("f").aggregate(
+                        &["b"],
+                        vec![
+                            Aggregate {
+                                func: AggFunc::CountAll,
+                                alias: "n".into(),
+                            },
+                            Aggregate {
+                                func: AggFunc::Sum("a".into()),
+                                alias: "sm".into(),
+                            },
+                        ],
+                    ),
+                    target_db: "out".into(),
+                    target_table: "stats".into(),
+                }],
+            },
+            EtlStage {
+                name: "load".into(),
+                components: vec![EtlComponent {
+                    name: "big_v".into(),
+                    source_db: "tmp".into(),
+                    plan: Plan::scan("p").select(Expr::col("v").ge(Expr::lit(k))),
+                    target_db: "out".into(),
+                    target_table: "pv".into(),
+                }],
+            },
+        ],
+    }
+}
+
+/// Deterministic snapshot of every table in every database.
+fn all_tables(cat: &Catalog) -> Vec<(String, Vec<Table>)> {
+    let mut names: Vec<String> = cat.names().map(str::to_owned).collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|n| {
+            let db = cat.database(&n).unwrap();
+            (n, db.tables().cloned().collect())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// After every random delta round, `run_incremental` leaves the
+    /// catalog byte-identical to what a full `run_on` produces from the
+    /// same source state — per-component row counts included — in every
+    /// lane.
+    #[test]
+    fn workflow_incremental_matches_full_run(
+        rows in arb_rows(20),
+        k in 0i64..6,
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_op(), 1..4),
+            1..3,
+        ),
+    ) {
+        let wf = pipeline(k);
+        for (name, exec) in lanes() {
+            let mut inc_cat = catalog(rows.clone());
+            let mut cache = WorkflowCache::new();
+            let first = wf
+                .run_incremental(&mut inc_cat, &DeltaSet::new(), &mut cache, &exec)
+                .unwrap();
+            let mut oracle_cat = catalog(rows.clone());
+            let oracle = wf.run_on(&mut oracle_cat, &exec).unwrap();
+            prop_assert_eq!(&first, &oracle, "{}: cold run != run_on", name);
+            prop_assert_eq!(
+                all_tables(&inc_cat), all_tables(&oracle_cat),
+                "{}: cold catalogs differ", name
+            );
+
+            for batch in &batches {
+                let mut dc = DeltaCatalog::new(inc_cat);
+                for op in batch {
+                    apply_op(&mut dc, op);
+                }
+                let deltas = dc.take_deltas();
+                inc_cat = dc.into_inner();
+                let inc_runs = wf
+                    .run_incremental(&mut inc_cat, &deltas, &mut cache, &exec)
+                    .unwrap();
+
+                let mut oracle_cat = Catalog::new();
+                oracle_cat.insert(inc_cat.database("d").unwrap().clone());
+                let oracle_runs = wf.run_on(&mut oracle_cat, &exec).unwrap();
+                prop_assert_eq!(&inc_runs, &oracle_runs, "{}: runs differ", name);
+                prop_assert_eq!(
+                    all_tables(&inc_cat), all_tables(&oracle_cat),
+                    "{}: refreshed catalogs differ", name
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StudyStore::refresh ≡ rebuild (randomized, classifier-guard flips)
+// ---------------------------------------------------------------------------
+
+mod store {
+    use super::*;
+    use guava_multiclass::classifier::BoundClassifier;
+
+    fn tool() -> ReportingTool {
+        ReportingTool::new(
+            "cori",
+            "1.0",
+            vec![FormDef::new(
+                "Procedure",
+                "Procedure",
+                vec![
+                    Control::numeric("PacksPerDay", "Packs per day", DataType::Int),
+                    Control::check_box("SurgeryPerformed", "Surgery?"),
+                ],
+            )],
+        )
+    }
+
+    fn fixtures() -> (BoundClassifier, BoundClassifier, Schema) {
+        let t = tool();
+        let tree = GTree::derive(&t).unwrap();
+        let schema = StudySchema::new(
+            "s",
+            EntityDef::new("Procedure").with_attribute(AttributeDef::new(
+                "Smoking",
+                vec![Domain::categorical(
+                    "class",
+                    "classes",
+                    &["None", "Light", "Heavy"],
+                )],
+            )),
+        );
+        let ec = Classifier::parse_rules(
+            "Surgery Only",
+            "cori",
+            "",
+            Target::Entity {
+                entity: "Procedure".into(),
+            },
+            &["Procedure <- Procedure AND SurgeryPerformed = TRUE"],
+        )
+        .unwrap()
+        .bind(&tree, &schema)
+        .unwrap();
+        let c = Classifier::parse_rules(
+            "C_class",
+            "cori",
+            "",
+            Target::Domain {
+                entity: "Procedure".into(),
+                attribute: "Smoking".into(),
+                domain: "class".into(),
+            },
+            &[
+                "'None' <- PacksPerDay = 0",
+                "'Light' <- PacksPerDay < 2",
+                "'Heavy' <- PacksPerDay >= 2",
+            ],
+        )
+        .unwrap()
+        .bind(&tree, &schema)
+        .unwrap();
+        (ec, c, t.forms[0].naive_schema())
+    }
+
+    prop_compose! {
+        fn arb_naive(max: usize)(
+            rows in proptest::collection::vec(
+                (proptest::option::of(0i64..6), any::<bool>()),
+                1..max,
+            )
+        ) -> Vec<Row> {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (packs, surgery))| {
+                    vec![
+                        Value::Int(i as i64 + 1),
+                        packs.map(Value::Int).unwrap_or(Value::Null),
+                        Value::Bool(surgery),
+                    ]
+                })
+                .collect()
+        }
+    }
+
+    /// Naive-form mutations: insert a report, retract one, reclassify
+    /// (packs change) and — crucially — flip `SurgeryPerformed`, the
+    /// entity-classifier guard, so instances enter and leave the study.
+    #[derive(Debug, Clone)]
+    enum Edit {
+        Insert(Option<i64>, bool),
+        Delete(i64),
+        SetPacks(i64, Option<i64>),
+        FlipSurgery(i64),
+    }
+
+    fn arb_edit() -> impl Strategy<Value = Edit> {
+        prop_oneof![
+            2 => (proptest::option::of(0i64..6), any::<bool>())
+                .prop_map(|(p, s)| Edit::Insert(p, s)),
+            2 => (0i64..30).prop_map(Edit::Delete),
+            2 => (0i64..30, proptest::option::of(0i64..6))
+                .prop_map(|(id, p)| Edit::SetPacks(id, p)),
+            3 => (0i64..30).prop_map(Edit::FlipSurgery),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+        /// Randomized update sequences over the naïve form — including
+        /// classifier-guard flips — leave a refreshed `StudyStore` equal
+        /// to a from-scratch rebuild under every materialization policy,
+        /// and the delta round-trips the naïve table exactly.
+        #[test]
+        fn study_store_refresh_matches_rebuild(
+            rows in arb_naive(16),
+            edits in proptest::collection::vec(arb_edit(), 1..6),
+        ) {
+            let (ec, c, naive_schema) = fixtures();
+            let classifiers: Vec<&BoundClassifier> = vec![&c];
+            let naive = Table::from_rows(naive_schema, rows).unwrap();
+
+            let mut db = Database::new("naive");
+            db.create_table(naive.clone()).unwrap();
+            let mut cat = Catalog::new();
+            cat.insert(db);
+            let mut dc = DeltaCatalog::new(cat);
+            for e in &edits {
+                match e {
+                    Edit::Insert(p, s) => {
+                        let next = dc
+                            .catalog()
+                            .database("naive").unwrap()
+                            .table("Procedure").unwrap()
+                            .rows()
+                            .iter()
+                            .filter_map(|r| r[0].as_i64())
+                            .max()
+                            .unwrap_or(0)
+                            + 1;
+                        dc.insert("naive", "Procedure", vec![
+                            Value::Int(next),
+                            p.map(Value::Int).unwrap_or(Value::Null),
+                            Value::Bool(*s),
+                        ]).unwrap();
+                    }
+                    Edit::Delete(id) => {
+                        dc.delete_where("naive", "Procedure", |r| r[0] == Value::Int(*id))
+                            .unwrap();
+                    }
+                    Edit::SetPacks(id, p) => {
+                        let v = p.map(Value::Int).unwrap_or(Value::Null);
+                        dc.update_where(
+                            "naive",
+                            "Procedure",
+                            |r| r[0] == Value::Int(*id),
+                            |r| r[1] = v.clone(),
+                        ).unwrap();
+                    }
+                    Edit::FlipSurgery(id) => {
+                        dc.update_where(
+                            "naive",
+                            "Procedure",
+                            |r| r[0] == Value::Int(*id),
+                            |r| {
+                                r[2] = match r[2] {
+                                    Value::Bool(b) => Value::Bool(!b),
+                                    _ => Value::Bool(true),
+                                }
+                            },
+                        ).unwrap();
+                    }
+                }
+            }
+            let deltas = dc.take_deltas();
+            let post_naive = dc
+                .catalog()
+                .database("naive").unwrap()
+                .table("Procedure").unwrap()
+                .clone();
+
+            for policy in [
+                MaterializationPolicy::Full,
+                MaterializationPolicy::OnDemand,
+                MaterializationPolicy::Selective(vec!["C_class".into()]),
+            ] {
+                let mut store = StudyStore::build(
+                    "cori", naive.clone(), &ec, &classifiers, policy.clone(),
+                ).unwrap();
+                match deltas.get("naive", "Procedure") {
+                    Some(d) => {
+                        prop_assert_eq!(&d.apply(naive.rows()), &post_naive.rows().to_vec());
+                        store.refresh(d, &ec, &classifiers).unwrap();
+                    }
+                    None => prop_assert_eq!(&naive, &post_naive),
+                }
+                let rebuilt = StudyStore::build(
+                    "cori", post_naive.clone(), &ec, &classifiers, policy.clone(),
+                ).unwrap();
+                prop_assert_eq!(&store, &rebuilt, "policy {:?}", policy);
+            }
+        }
+    }
+}
