@@ -548,6 +548,7 @@ struct BenchReport {
     decode_rows: usize,
     join_rows: usize,
     parallel_rows: usize,
+    blocking_rows: usize,
     fixture_size: usize,
     samples_per_measurement: usize,
     /// `std::thread::available_parallelism()` on the machine that produced
@@ -560,6 +561,12 @@ struct BenchReport {
     benches: Vec<BenchEntry>,
     parallel: Vec<ParallelBenchEntry>,
     vectorized: Vec<VectorizedBenchEntry>,
+    /// The blocking-operator axis: the same entry shape as `vectorized`,
+    /// but over plans dominated by a single blocking operator (hash-join
+    /// probe, grouped aggregation, pivot, sort), so the ratios isolate the
+    /// lane-aware kernels from the pipeline fusion the `vectorized`
+    /// section measures.
+    blocking: Vec<VectorizedBenchEntry>,
 }
 
 const BENCH_SAMPLES: usize = 9;
@@ -1138,6 +1145,138 @@ fn bench_vectorized_section(entries: &mut Vec<VectorizedBenchEntry>, rows: usize
     }
 }
 
+/// The blocking-operator axis: row-streaming vs vectorized evaluation at
+/// one thread over plans whose cost sits in one blocking operator — a
+/// hash-join probe, a grouped aggregation, an EAV pivot, and a sort. The
+/// streaming mode runs these operators row-at-a-time (`Vec<Value>` keys,
+/// `Value` comparators); the vectorized mode hashes, accumulates, and
+/// compares typed key lanes directly. Every mode must produce the same
+/// row count (asserted; full-table equality is covered by the test
+/// suites).
+fn bench_blocking_section(entries: &mut Vec<VectorizedBenchEntry>, rows: usize) {
+    use guava::relational::exec::{ExecMode, Executor};
+
+    let dim_rows = (rows / 20).max(1);
+    let mut db = bench_naive_db(rows);
+    db.create_table(
+        Table::from_rows(
+            Schema::new(
+                "dim",
+                vec![
+                    Column::required("id", DataType::Int),
+                    Column::new("label", DataType::Text),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["id"])
+            .unwrap(),
+            (0..dim_rows as i64)
+                .map(|i| vec![Value::Int(i), Value::text(format!("d{i}"))])
+                .collect::<Vec<Row>>(),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    // EAV triples for the pivot: four attributes per entity, values
+    // rendered as text exactly as the Generic pattern stores them.
+    let entities = rows / 4;
+    let eav: Vec<Row> = (0..entities as i64)
+        .flat_map(|e| {
+            [("a", e % 50), ("b", e % 7), ("c", e % 2), ("d", e % 13)]
+                .into_iter()
+                .map(move |(attr, v)| {
+                    vec![Value::Int(e), Value::text(attr), Value::text(v.to_string())]
+                })
+        })
+        .collect();
+    db.create_table(
+        Table::from_rows(
+            Schema::new(
+                "eav",
+                vec![
+                    Column::required("entity_id", DataType::Int),
+                    Column::required("attribute", DataType::Text),
+                    Column::new("value", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            eav,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+
+    // Probe-dominated join: every fact row probes a 5%-sized build side.
+    let join_probe =
+        Plan::scan("form").join(Plan::scan("dim"), vec![("count", "id")], JoinKind::Inner);
+    // Grouped aggregation over integer key and input lanes.
+    let group_by = Plan::scan("form").aggregate(
+        &["count"],
+        vec![
+            Aggregate {
+                func: AggFunc::CountAll,
+                alias: "n".into(),
+            },
+            Aggregate {
+                func: AggFunc::Sum("instance_id".into()),
+                alias: "sum".into(),
+            },
+        ],
+    );
+    // The Generic pattern's decode direction: fold EAV triples into wide
+    // rows keyed by entity.
+    let pivot = Plan::Pivot {
+        input: Box::new(Plan::scan("eav")),
+        keys: vec!["entity_id".into()],
+        attr_col: "attribute".into(),
+        val_col: "value".into(),
+        attrs: vec![
+            ("a".into(), DataType::Int),
+            ("b".into(), DataType::Int),
+            ("c".into(), DataType::Int),
+            ("d".into(), DataType::Int),
+        ],
+    };
+    // Multi-key sort over typed lanes (count carries NULLs).
+    let sort = Plan::scan("form").sort_by(&["count", "instance_id"]);
+    let plans = vec![
+        ("join_probe", join_probe),
+        ("group_by", group_by),
+        ("pivot", pivot),
+        ("sort", sort),
+    ];
+    let row_exec = Executor::new().threads(1).mode(ExecMode::Streaming);
+    let vec_exec = Executor::new().threads(1).mode(ExecMode::Vectorized);
+    for (name, plan) in plans {
+        let (mat_secs, mat_rows) = median_secs(|| plan.eval_materialized(&db).unwrap().len());
+        let (row_secs, row_rows) = median_secs(|| row_exec.execute(&plan, &db).unwrap().len());
+        let (vec_secs, vec_rows) = median_secs(|| vec_exec.execute(&plan, &db).unwrap().len());
+        assert_eq!(mat_rows, row_rows, "blocking/{name}: oracle disagrees");
+        assert_eq!(row_rows, vec_rows, "blocking/{name}: modes disagree");
+        let entry = VectorizedBenchEntry {
+            group: "blocking",
+            name: name.to_string(),
+            input_rows: rows,
+            output_rows: vec_rows,
+            materialized_ms: mat_secs * 1e3,
+            row_streaming_ms: row_secs * 1e3,
+            vectorized_ms: vec_secs * 1e3,
+            speedup_vs_row_streaming: row_secs / vec_secs,
+            speedup_vs_materialized: mat_secs / vec_secs,
+        };
+        println!(
+            "  {:<16} {:<21} {:>9.3} {:>10.3} {:>10.3} {:>7.2}x",
+            entry.group,
+            entry.name,
+            entry.materialized_ms,
+            entry.row_streaming_ms,
+            entry.vectorized_ms,
+            entry.speedup_vs_row_streaming,
+        );
+        entries.push(entry);
+    }
+}
+
 fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
     heading("Executor benchmark — streaming `eval` vs materializing `eval_materialized`");
     const DECODE_ROWS: usize = 4_000;
@@ -1163,6 +1302,13 @@ fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
     );
     let mut vectorized = Vec::new();
     bench_vectorized_section(&mut vectorized, PARALLEL_ROWS);
+    const BLOCKING_ROWS: usize = 200_000;
+    println!(
+        "\n  {:<16} {:<21} {:>9} {:>10} {:>10} {:>8}",
+        "group", "bench", "mat (ms)", "row (ms)", "vec (ms)", "vs row"
+    );
+    let mut blocking = Vec::new();
+    bench_blocking_section(&mut blocking, BLOCKING_ROWS);
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let scaling_valid = host_threads > 1;
     if !scaling_valid {
@@ -1181,10 +1327,15 @@ fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
                       workers against serial-streaming and materializing baselines. \
                       The `vectorized` section is the evaluation-mode axis \
                       (GUAVA_EXEC_MODE equivalent): columnar batch kernels vs the \
-                      row-at-a-time streaming loop at one thread.",
+                      row-at-a-time streaming loop at one thread. The `blocking` \
+                      section applies the same mode axis to plans dominated by one \
+                      blocking operator (hash-join probe, grouped aggregation, \
+                      pivot, sort), isolating the lane-aware kernels from pipeline \
+                      fusion.",
         decode_rows: DECODE_ROWS,
         join_rows: JOIN_ROWS,
         parallel_rows: PARALLEL_ROWS,
+        blocking_rows: BLOCKING_ROWS,
         fixture_size,
         samples_per_measurement: BENCH_SAMPLES,
         host_threads,
@@ -1192,6 +1343,7 @@ fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
         benches: entries,
         parallel,
         vectorized,
+        blocking,
     };
     let json = serde_json::to_string_pretty(&report).unwrap();
     std::fs::write(out_path, json + "\n").unwrap();

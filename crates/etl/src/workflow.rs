@@ -64,7 +64,7 @@ impl EtlWorkflow {
     /// aborts the run, so the observable outcome is identical to sequential
     /// execution regardless of thread completion order.
     pub fn run(&self, catalog: &mut Catalog) -> RelResult<Vec<ComponentRun>> {
-        self.run_on(catalog, &Executor::from_env())
+        self.run_on(catalog, &Executor::from_env()?)
     }
 
     /// [`run`](Self::run) with an explicit executor configuration —

@@ -246,7 +246,7 @@ impl Plan {
     /// [`Plan::eval_materialized`] and serves as the oracle the executor is
     /// property-tested against.
     pub fn eval(&self, db: &Database) -> RelResult<Table> {
-        crate::exec::Executor::from_env().execute(self, db)
+        crate::exec::Executor::from_env()?.execute(self, db)
     }
 
     /// Evaluate with an explicit [`ExecConfig`](crate::exec::ExecConfig)
@@ -671,6 +671,47 @@ impl AggAcc {
                 self.max = Some(v.clone());
             }
         }
+    }
+
+    /// Fold one non-null INT input off a typed lane — [`Self::update`]
+    /// specialized to `Value::Int(n)` so the vectorized aggregation kernel
+    /// (`exec::blocking`) skips the per-row `Value` fetch.
+    pub(crate) fn update_int(&mut self, n: i64) {
+        self.count += 1;
+        self.non_null += 1;
+        self.sum += n as f64;
+        self.sum_int = self.sum_int.wrapping_add(n);
+        let v = Value::Int(n);
+        if self.min.as_ref().is_none_or(|m| &v < m) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| &v > m) {
+            self.max = Some(v);
+        }
+    }
+
+    /// Fold one non-null FLOAT input off a typed lane — [`Self::update`]
+    /// specialized to `Value::Float(f)`. The `f64` running sum adds in
+    /// call order, so serial lane aggregation stays bit-identical to the
+    /// row kernel.
+    pub(crate) fn update_float(&mut self, f: f64) {
+        self.count += 1;
+        self.non_null += 1;
+        self.sum += f;
+        self.sum_is_float = true;
+        let v = Value::Float(f);
+        if self.min.as_ref().is_none_or(|m| &v < m) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| &v > m) {
+            self.max = Some(v);
+        }
+    }
+
+    /// Fold one NULL input: only the raw row count moves, exactly as
+    /// [`Self::update`] behaves when the source value is NULL.
+    pub(crate) fn update_null(&mut self) {
+        self.count += 1;
     }
 
     /// Un-fold one previously-folded row (the differential evaluator's

@@ -1,85 +1,100 @@
-//! Streaming batch executor: the physical execution layer behind
+//! Push-based batch executor: the physical execution layer behind
 //! [`Plan::eval`].
 //!
 //! The logical algebra in [`crate::algebra`] can be interpreted
 //! operator-at-a-time by [`Plan::eval_materialized`], which builds a full
 //! [`Table`] at every node — simple and obviously correct, but each
 //! operator re-validates and re-allocates every intermediate row. This
-//! module compiles the same plans into a tree of batch-at-a-time physical
-//! operators (`next_batch() -> RelResult<Option<Batch>>`):
+//! module compiles the same plans into a tree of **push-based physical
+//! operators** (see `exec::ops`): one `PhysicalOperator` trait with
+//! `open` / `push_batch` / `finish`, one columnar `Batch` currency
+//! flowing between all operators, and one driver that walks the tree
+//! bottom-up, exhausting each child in order before finishing the parent.
 //!
-//! * **Scans are zero-copy.** A scan holds the table's `Arc`-shared row
-//!   storage (see [`Table::shared_rows`]) and clones only the rows that
-//!   survive to an output batch.
-//! * **Select / Project / Rename chains fuse** into a single
-//!   `PipelineOp` pass: a row flows through every predicate and
-//!   projection before the next row is touched, with no intermediate
-//!   tables. Rename is free — it only rewrites the schema at compile time.
-//! * **Union streams** child after child; **Join** builds its hash index
-//!   over the build side once and probes batch-by-batch; **Distinct**
-//!   streams behind a seen-set.
-//! * Only the inherently blocking operators — Pivot, AggregateBy, Sort —
-//!   gather their full input, and they reuse the row kernels shared with
-//!   the materializing interpreter (`pivot_rows`, `aggregate_rows`,
-//!   `sort_rows`).
+//! * **Scans are zero-copy.** A scan compiles to a leaf holding the
+//!   table's `Arc`-shared row storage (see [`Table::shared_rows`]); it
+//!   enters the tree as a single shared-window batch, and rows are cloned
+//!   only when they survive to an owned output batch.
+//! * **Select / Project / Rename chains fuse** into a single pipeline
+//!   operator: a row flows through every predicate and projection before
+//!   the next row is touched, with no intermediate tables. Rename is free
+//!   — it only rewrites the schema at compile time.
+//! * **Union forwards** batches in child order; **Join** builds a hash
+//!   index over its build side (driven first) and probes batch-by-batch;
+//!   **Distinct** forwards first occurrences as input arrives.
+//! * The inherently blocking operators — Pivot, AggregateBy, Sort —
+//!   buffer their input batches (still zero-copy for a bare scan) and run
+//!   their kernel in `finish`.
+//!
+//! Mode and parallelism selection is **per operator**: each operator holds
+//! the session [`ExecConfig`] and dispatches each batch to its
+//! row-streaming kernel, its columnar lane kernel (`exec::vector` for
+//! fused pipelines, `exec::blocking` for join/aggregate/pivot/sort), or
+//! the morsel-parallel variant (`exec::morsel`). There is exactly one
+//! operator tree shape regardless of mode — the old per-mode executors
+//! collapsed into this layer.
 //!
 //! Compilation ("binding") resolves every schema and column position up
 //! front, so schema-level errors — unknown tables or columns, incompatible
 //! unions, duplicate output columns — surface before any data flows.
-//! Data-dependent errors (expression evaluation, EAV cast failures) surface
-//! in row order as batches stream. For plans with a single fault this
-//! reproduces the materializing interpreter's error exactly; when a plan
-//! contains several independent faults the two evaluators may report
-//! different ones (both still fail). `tests/algebra_properties.rs`
-//! cross-validates the two evaluators on random plans.
+//! Data-dependent errors (expression evaluation, EAV cast failures)
+//! surface in row order as batches are pushed. For plans with a single
+//! fault this reproduces the materializing interpreter's error exactly;
+//! when a plan contains several independent faults the two evaluators may
+//! report different ones (both still fail). `tests/algebra_properties.rs`
+//! cross-validates the evaluators on random plans.
 //!
 //! # Parallel execution
 //!
 //! Large inputs take a **morsel-parallel** path (see [`morsel`]): shared
 //! scan storage is split into fixed-size row ranges and a small
 //! work-stealing scheduler runs the fused pipeline — or a join build /
-//! probe, aggregation, or pivot kernel — over the morsels on scoped
-//! threads, merging per-morsel results strictly in morsel-index order.
-//! That merge rule, together with thread-count-independent morsel
-//! boundaries, makes parallel output **byte-identical** to serial output
-//! at any thread count; errors keep row order because the lowest-index
-//! failing morsel wins. The choice between the serial and parallel path is
-//! made per operator by [`ExecConfig`]: inputs below
-//! [`ExecConfig::parallel_threshold`] stay serial, and the
-//! [`GUAVA_EXEC_THREADS`](THREADS_ENV) environment variable (or an
-//! explicit config passed to [`execute_with`] / `Plan::eval_with`)
-//! overrides the thread count — `1` forces the serial path everywhere.
-//! SUM/AVG over FLOAT columns always run serially: `f64` addition is not
-//! associative, and bit-for-bit agreement with the serial kernel matters
-//! more than parallel speedup there.
+//! probe, aggregation, pivot, sort, or union-check kernel — over the
+//! morsels on scoped threads, merging per-morsel results strictly in
+//! morsel-index order. That merge rule, together with
+//! thread-count-independent morsel boundaries, makes parallel output
+//! **byte-identical** to serial output at any thread count; errors keep
+//! row order because the lowest-index failing morsel wins. The choice
+//! between the serial and parallel path is made per operator by
+//! [`ExecConfig`]: inputs below [`ExecConfig::parallel_threshold`] stay
+//! serial, and the [`GUAVA_EXEC_THREADS`](THREADS_ENV) environment
+//! variable (or an explicit config passed to [`execute_with`] /
+//! `Plan::eval_with`) overrides the thread count — `1` forces the serial
+//! path everywhere. SUM/AVG over FLOAT columns always run serially: `f64`
+//! addition is not associative, and bit-for-bit agreement with the serial
+//! kernel matters more than parallel speedup there.
 //!
 //! # Execution modes and the `Executor` session API
 //!
 //! [`Executor`] is the single entry point tying the knobs together: a
 //! builder over [`ExecConfig`] whose [`ExecMode`] picks the evaluation
-//! strategy. [`ExecMode::Vectorized`] (the default) runs fused
-//! Select/Project chains over shared scan storage through the columnar
-//! kernels in `exec::vector`: each 1024-row batch (or morsel) is shredded into
-//! typed per-column arrays with null masks, predicates produce selection
-//! masks, and projections produce output columns — amortizing expression
-//! dispatch and column-name resolution across the whole batch.
+//! strategy. [`ExecMode::Vectorized`] (the default) shreds batches into
+//! typed per-column lanes with null masks (see `exec::batch`): fused
+//! Select/Project chains run the columnar expression kernels of
+//! `exec::vector` — threading computed output lanes into the next epoch —
+//! and the blocking operators run the lane kernels of `exec::blocking`
+//! (hashed key lanes for join build/probe, distinct, and grouping; typed
+//! accumulator lanes for aggregation; lane-driven slot filling for pivot;
+//! columnar sort keys with a parallel merge-path kernel for sort).
 //! Expressions outside the kernel catalog (`CASE`, `COALESCE`, unknown
-//! columns) and non-scan pipeline inputs fall back to row-at-a-time
-//! `Expr::eval` with byte-identical results and error parity (see
-//! `exec::vector` and DESIGN.md §11). [`ExecMode::Streaming`] forces the
-//! row-at-a-time pipeline everywhere; [`ExecMode::Materialized`] routes to
-//! the operator-at-a-time reference interpreter. All three modes produce
-//! identical tables and errors; `tests/algebra_properties.rs` holds them
-//! to that on random plans.
+//! columns) and non-conforming storage fall back to row-at-a-time
+//! evaluation with byte-identical results and error parity (see
+//! `exec::vector` and DESIGN.md §11–13). [`ExecMode::Streaming`] forces
+//! the row-at-a-time kernels everywhere; [`ExecMode::Materialized`]
+//! routes to the operator-at-a-time reference interpreter. All three
+//! modes produce identical tables and errors; `tests/algebra_properties.rs`
+//! holds them to that on random plans.
 
+mod batch;
+mod blocking;
 pub mod morsel;
+mod ops;
 mod vector;
 
 use crate::algebra::{
-    aggregate_output_schema, aggregate_rows, check_union_compatible, join_output_schema, keyless,
-    pivot_output_schema, pivot_rows, project_output_schema, rename_output_schema,
-    resolve_aggregate_columns, resolve_column, resolve_columns, sort_rows, unpivot_output_schema,
-    unpivot_rows, AggFunc, JoinKind, Plan,
+    aggregate_output_schema, check_union_compatible, join_output_schema, keyless,
+    pivot_output_schema, project_output_schema, rename_output_schema, resolve_aggregate_columns,
+    resolve_column, resolve_columns, unpivot_output_schema, AggFunc, Plan,
 };
 use crate::database::Database;
 use crate::error::{RelError, RelResult};
@@ -87,34 +102,22 @@ use crate::expr::Expr;
 use crate::schema::Schema;
 use crate::table::{Row, Table};
 use crate::value::{DataType, Value};
-use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
 
 /// Target number of rows per batch. Large enough to amortize per-batch
 /// dispatch, small enough that a pipeline's working set stays cache-sized.
 pub const BATCH_SIZE: usize = 1024;
 
-/// One unit of streamed data: a chunk of rows, all matching the operator's
-/// output schema.
-pub type Batch = Vec<Row>;
-
-/// A physical operator. Pull-based: each call produces the next non-empty
-/// batch of output rows, or `None` once the stream is exhausted.
-pub trait Operator {
-    fn next_batch(&mut self) -> RelResult<Option<Batch>>;
-}
-
-type BoxedOp<'p> = Box<dyn Operator + 'p>;
-
 /// Environment variable overriding the executor's thread count.
 ///
 /// `GUAVA_EXEC_THREADS=1` forces the serial path everywhere; any larger
 /// value enables the morsel-parallel path with that many workers for
-/// inputs above the cardinality threshold. Unset, `0`, or unparsable
-/// values fall back to the host's available parallelism. The variable is
-/// re-read on every [`execute`] call, so tests can flip it at run time;
-/// code that needs a fixed configuration should call [`execute_with`]
-/// (or `Plan::eval_with`) instead of mutating the process environment.
+/// inputs above the cardinality threshold. Unset, empty, or `0` fall back
+/// to the host's available parallelism; anything else that does not parse
+/// as a thread count is a hard [`RelError::Plan`] error — a typo here
+/// should not silently change how plans execute. The variable is re-read
+/// on every [`execute`] call, so tests can flip it at run time; code that
+/// needs a fixed configuration should call [`execute_with`] (or
+/// `Plan::eval_with`) instead of mutating the process environment.
 ///
 /// [`ExecConfig::from_env`] is the one place this variable (and
 /// [`MODE_ENV`]) is read.
@@ -123,8 +126,9 @@ pub const THREADS_ENV: &str = "GUAVA_EXEC_THREADS";
 /// Environment variable overriding the executor's [`ExecMode`].
 ///
 /// Accepts `streaming`, `vectorized`, or `materialized`
-/// (case-insensitive); unset or unrecognized values keep the default
-/// ([`ExecMode::Vectorized`]). Read only by [`ExecConfig::from_env`],
+/// (case-insensitive); unset or empty keeps the default
+/// ([`ExecMode::Vectorized`]), and any other value is a hard
+/// [`RelError::Plan`] error. Read only by [`ExecConfig::from_env`],
 /// alongside [`THREADS_ENV`].
 pub const MODE_ENV: &str = "GUAVA_EXEC_MODE";
 
@@ -136,18 +140,20 @@ pub const PARALLEL_THRESHOLD: usize = 4096;
 /// tables and errors; they differ only in the physical inner loops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
-    /// Streaming batch executor with row-at-a-time expression evaluation
-    /// — the pre-vectorization pipeline, kept as the fallback lane and the
+    /// Push-based executor with row-at-a-time kernels everywhere — the
+    /// pre-vectorization inner loops, kept as the fallback lane and the
     /// baseline axis of `--bench-executor`.
     Streaming,
-    /// Streaming batch executor with columnar expression kernels (see
-    /// `exec::vector`) over fused Select/Project chains; expressions or inputs
-    /// the kernels cannot handle fall back to the row path per expression.
+    /// Push-based executor with columnar kernels: lane expression programs
+    /// over fused Select/Project chains (see `exec::vector`) and
+    /// lane-aware blocking operators (see `exec::blocking`). Expressions
+    /// or storage the lanes cannot represent fall back to the row path
+    /// with identical results.
     #[default]
     Vectorized,
     /// The operator-at-a-time reference interpreter
     /// (`Plan::eval_materialized`): a full table at every node. The oracle
-    /// the streaming modes are property-tested against.
+    /// the push-based modes are property-tested against.
     Materialized,
 }
 
@@ -205,11 +211,14 @@ impl ExecConfig {
 
     /// Read the configuration from the environment. This is the single
     /// entry point for executor env handling: [`THREADS_ENV`] sets the
-    /// worker count and [`MODE_ENV`] sets the [`ExecMode`]; anything
-    /// unset or unparsable keeps the default. Both variables are
+    /// worker count and [`MODE_ENV`] sets the [`ExecMode`]. Unset or
+    /// empty variables keep the defaults (as does `GUAVA_EXEC_THREADS=0`,
+    /// the documented "auto" spelling), but any other unparsable value is
+    /// a hard error — a typo in an env override must not silently fall
+    /// back to a different execution strategy. Both variables are
     /// re-evaluated on every call (and thus on every [`execute`] /
     /// `Plan::eval`), so tests can flip them at run time.
-    pub fn from_env() -> ExecConfig {
+    pub fn from_env() -> RelResult<ExecConfig> {
         Self::from_env_value(
             std::env::var(THREADS_ENV).ok().as_deref(),
             std::env::var(MODE_ENV).ok().as_deref(),
@@ -217,18 +226,31 @@ impl ExecConfig {
     }
 
     /// Pure core of [`Self::from_env`], split out for unit testing.
-    fn from_env_value(threads: Option<&str>, mode: Option<&str>) -> ExecConfig {
-        let mut cfg = match threads.and_then(|s| s.trim().parse::<usize>().ok()) {
-            Some(n) if n >= 1 => ExecConfig::with_threads(n),
-            _ => ExecConfig::default(),
+    fn from_env_value(threads: Option<&str>, mode: Option<&str>) -> RelResult<ExecConfig> {
+        let mut cfg = match threads.map(str::trim).filter(|s| !s.is_empty()) {
+            None => ExecConfig::default(),
+            Some(s) => match s.parse::<usize>() {
+                Ok(0) => ExecConfig::default(), // documented "auto" spelling
+                Ok(n) => ExecConfig::with_threads(n),
+                Err(_) => {
+                    return Err(RelError::Plan(format!(
+                        "invalid {THREADS_ENV} value `{s}`: expected a thread count (0 = auto)"
+                    )))
+                }
+            },
         };
         cfg.mode = match mode.map(|s| s.trim().to_ascii_lowercase()).as_deref() {
+            None | Some("") => ExecMode::default(),
             Some("streaming") => ExecMode::Streaming,
             Some("vectorized") => ExecMode::Vectorized,
             Some("materialized") => ExecMode::Materialized,
-            _ => ExecMode::default(),
+            Some(other) => {
+                return Err(RelError::Plan(format!(
+                    "invalid {MODE_ENV} value `{other}`: expected streaming, vectorized, or materialized"
+                )))
+            }
         };
-        cfg
+        Ok(cfg)
     }
 
     /// Should an operator over `rows` input rows take the parallel path?
@@ -277,11 +299,11 @@ impl Executor {
     }
 
     /// An executor configured from the environment
-    /// ([`ExecConfig::from_env`]).
-    pub fn from_env() -> Executor {
-        Executor {
-            cfg: ExecConfig::from_env(),
-        }
+    /// ([`ExecConfig::from_env`]); fails on unparsable env overrides.
+    pub fn from_env() -> RelResult<Executor> {
+        Ok(Executor {
+            cfg: ExecConfig::from_env()?,
+        })
     }
 
     /// An executor over an existing configuration.
@@ -328,7 +350,7 @@ impl Executor {
 /// environment ([`ExecConfig::from_env`]). This is what [`Plan::eval`]
 /// calls.
 pub fn execute(plan: &Plan, db: &Database) -> RelResult<Table> {
-    execute_with(plan, db, &ExecConfig::from_env())
+    execute_with(plan, db, &ExecConfig::from_env()?)
 }
 
 /// Evaluate `plan` against `db` with an explicit [`ExecConfig`]. Results
@@ -337,7 +359,7 @@ pub fn execute(plan: &Plan, db: &Database) -> RelResult<Table> {
 /// the process environment.
 pub fn execute_with(plan: &Plan, db: &Database, cfg: &ExecConfig) -> RelResult<Table> {
     // The materializing interpreter is its own self-contained recursion;
-    // the streaming machinery below is never built for it.
+    // the push-based machinery below is never built for it.
     if cfg.mode == ExecMode::Materialized {
         return plan.interpret(db);
     }
@@ -350,10 +372,10 @@ pub fn execute_with(plan: &Plan, db: &Database, cfg: &ExecConfig) -> RelResult<T
         _ => {}
     }
     let (schema, exec) = compile(plan, db, *cfg)?;
-    let mut op = exec.into_op(*cfg);
-    let mut rows: Vec<Row> = Vec::new();
-    while let Some(batch) = op.next_batch()? {
-        rows.extend(batch);
+    let batches = ops::drive(exec.into_tree(*cfg))?;
+    let mut rows: Vec<Row> = Vec::with_capacity(batches.iter().map(batch::Batch::len).sum());
+    for b in batches {
+        rows.extend(b.into_rows());
     }
     // Every operator validated its own output wherever validation can fail
     // at all, so assembling the result does not re-check rows.
@@ -361,62 +383,37 @@ pub fn execute_with(plan: &Plan, db: &Database, cfg: &ExecConfig) -> RelResult<T
 }
 
 /// A compiled subtree: either a fusable pipeline (so a parent
-/// Select/Project can append itself as a stage) or an opaque operator.
+/// Select/Project can append itself as a stage) or a sealed operator tree.
 enum Exec<'p> {
-    Pipe(PipelineOp<'p>),
-    Op(BoxedOp<'p>),
+    Pipe {
+        source: ops::OpTree<'p>,
+        stages: Vec<Stage<'p>>,
+    },
+    Tree(ops::OpTree<'p>),
 }
 
 impl<'p> Exec<'p> {
-    /// View this subtree as a pipeline to fuse more stages onto. Opaque
-    /// operators become the pipeline's source.
-    fn into_pipeline(self) -> PipelineOp<'p> {
+    /// View this subtree as a pipeline to fuse more stages onto. Sealed
+    /// trees become the pipeline's source.
+    fn into_pipeline(self) -> (ops::OpTree<'p>, Vec<Stage<'p>>) {
         match self {
-            Exec::Pipe(p) => p,
-            Exec::Op(op) => PipelineOp {
-                source: Source::Child(op),
-                stages: Vec::new(),
-                programs: None,
-                done: false,
-            },
+            Exec::Pipe { source, stages } => (source, stages),
+            Exec::Tree(t) => (t, Vec::new()),
         }
     }
 
-    /// Seal this subtree into an operator. A fused pipeline over shared
-    /// scan storage that is still at row 0 — i.e. a Select/Project chain
-    /// directly over a table — upgrades to the morsel-parallel variant
-    /// when the configuration allows it for the scan's cardinality; in
-    /// [`ExecMode::Vectorized`] its stages are also compiled into columnar
-    /// programs here, once per plan, for both the serial and parallel
-    /// variants.
-    fn into_op(self, cfg: ExecConfig) -> BoxedOp<'p> {
-        let p = match self {
-            Exec::Op(op) => return op,
-            Exec::Pipe(p) => p,
-        };
-        let vectorize = |stages: &[Stage<'_>]| {
-            (cfg.mode == ExecMode::Vectorized).then(|| vector::compile_stages(stages))
-        };
-        match p {
-            PipelineOp {
-                source: Source::Shared { rows, pos: 0 },
-                stages,
-                ..
-            } if !stages.is_empty() && cfg.parallel_for(rows.len()) => {
-                Box::new(ParallelPipelineOp {
-                    programs: vectorize(&stages),
-                    rows,
-                    stages,
-                    cfg,
-                    out: None,
-                })
-            }
-            mut p => {
-                if !p.stages.is_empty() {
-                    p.programs = vectorize(&p.stages);
-                }
-                Box::new(p)
-            }
+    /// Seal this subtree into an operator tree. A pipeline with no stages
+    /// is its source; otherwise a `PipelineOp` node wraps it (the operator
+    /// itself decides per batch between the row path, the columnar
+    /// programs, and the morsel-parallel variant).
+    fn into_tree(self, cfg: ExecConfig) -> ops::OpTree<'p> {
+        match self {
+            Exec::Pipe { source, stages } if stages.is_empty() => source,
+            Exec::Pipe { source, stages } => ops::OpTree::Node {
+                op: Box::new(ops::PipelineOp::new(stages, cfg)),
+                children: vec![source],
+            },
+            Exec::Tree(t) => t,
         }
     }
 }
@@ -430,7 +427,10 @@ fn compile<'p>(plan: &'p Plan, db: &Database, cfg: ExecConfig) -> RelResult<(Sch
             let t = db.table(name)?;
             (
                 t.schema().clone(),
-                Exec::Pipe(PipelineOp::over(t.shared_rows())),
+                Exec::Pipe {
+                    source: ops::OpTree::Leaf(t.shared_rows()),
+                    stages: Vec::new(),
+                },
             )
         }
         Plan::Values { schema, rows } => {
@@ -439,29 +439,32 @@ fn compile<'p>(plan: &'p Plan, db: &Database, cfg: ExecConfig) -> RelResult<(Sch
             let t = Table::from_rows(schema.clone(), rows.clone())?;
             (
                 t.schema().clone(),
-                Exec::Pipe(PipelineOp::over(t.shared_rows())),
+                Exec::Pipe {
+                    source: ops::OpTree::Leaf(t.shared_rows()),
+                    stages: Vec::new(),
+                },
             )
         }
         Plan::Select { input, predicate } => {
             let (in_schema, child) = compile(input, db, cfg)?;
             let out = keyless(in_schema.clone());
-            let mut pipe = child.into_pipeline();
-            pipe.stages.push(Stage::Filter {
+            let (source, mut stages) = child.into_pipeline();
+            stages.push(Stage::Filter {
                 predicate,
                 schema: in_schema,
             });
-            (out, Exec::Pipe(pipe))
+            (out, Exec::Pipe { source, stages })
         }
         Plan::Project { input, columns } => {
             let (in_schema, child) = compile(input, db, cfg)?;
             let out = project_output_schema(&in_schema, columns)?;
-            let mut pipe = child.into_pipeline();
-            pipe.stages.push(Stage::Map {
+            let (source, mut stages) = child.into_pipeline();
+            stages.push(Stage::Map {
                 exprs: columns,
                 in_schema,
                 out_schema: out.clone(),
             });
-            (out, Exec::Pipe(pipe))
+            (out, Exec::Pipe { source, stages })
         }
         Plan::Rename {
             input,
@@ -485,21 +488,17 @@ fn compile<'p>(plan: &'p Plan, db: &Database, cfg: ExecConfig) -> RelResult<(Sch
             let l_idx = resolve_columns(&ls, on.iter().map(|(l, _)| l))?;
             let r_idx = resolve_columns(&rs, on.iter().map(|(_, r)| r))?;
             let schema = join_output_schema(&ls, &rs, *kind)?;
-            let op = JoinOp {
-                left: RowsIn::from_exec(lchild, cfg),
-                build: Some(RowsIn::from_exec(rchild, cfg)),
-                l_idx,
-                r_idx,
-                kind: *kind,
-                l_arity: ls.arity(),
-                r_arity: rs.arity(),
-                right: Gathered::Owned(Vec::new()),
-                index: HashMap::new(),
-                cfg,
-                par_out: None,
-                done: false,
-            };
-            (schema, Exec::Op(Box::new(op)))
+            let op = ops::JoinOp::new(ls, rs, l_idx, r_idx, *kind, cfg);
+            // The build (right) side is input 0: the driver exhausts it
+            // before the probe child produces a row, preserving the
+            // executor's historical build-first runtime order.
+            (
+                schema,
+                Exec::Tree(ops::OpTree::Node {
+                    op: Box::new(op),
+                    children: vec![rchild.into_tree(cfg), lchild.into_tree(cfg)],
+                }),
+            )
         }
         Plan::Union { inputs } => {
             let mut iter = inputs.iter();
@@ -508,31 +507,35 @@ fn compile<'p>(plan: &'p Plan, db: &Database, cfg: ExecConfig) -> RelResult<(Sch
                 .ok_or_else(|| RelError::Plan("union of zero inputs".into()))?;
             let (first_schema, first_child) = compile(first, db, cfg)?;
             let schema = keyless(first_schema);
-            let mut children = vec![first_child.into_op(cfg)];
+            let mut children = vec![first_child.into_tree(cfg)];
             for p in iter {
                 let (s, c) = compile(p, db, cfg)?;
                 check_union_compatible(&schema, &s)?;
-                children.push(c.into_op(cfg));
+                children.push(c.into_tree(cfg));
             }
             // Later inputs may be nullable where the leading schema says
             // NOT NULL; re-check rows only when that can actually reject.
             let check_rows = schema.columns().iter().any(|c| !c.nullable);
-            let op = UnionOp {
-                children,
-                at: 0,
-                schema: schema.clone(),
-                check_rows,
-            };
-            (schema, Exec::Op(Box::new(op)))
+            let op = ops::UnionOp::new(schema.clone(), check_rows, cfg);
+            (
+                schema,
+                Exec::Tree(ops::OpTree::Node {
+                    op: Box::new(op),
+                    children,
+                }),
+            )
         }
         Plan::Distinct { input } => {
             let (in_schema, child) = compile(input, db, cfg)?;
             let schema = keyless(in_schema);
-            let op = DistinctOp {
-                child: child.into_op(cfg),
-                seen: HashSet::new(),
-            };
-            (schema, Exec::Op(Box::new(op)))
+            let op = ops::DistinctOp::new(schema.clone(), cfg);
+            (
+                schema,
+                Exec::Tree(ops::OpTree::Node {
+                    op: Box::new(op),
+                    children: vec![child.into_tree(cfg)],
+                }),
+            )
         }
         Plan::Unpivot {
             input,
@@ -544,13 +547,14 @@ fn compile<'p>(plan: &'p Plan, db: &Database, cfg: ExecConfig) -> RelResult<(Sch
             let key_idx = resolve_columns(&s, keys)?;
             let data_idx: Vec<usize> = (0..s.arity()).filter(|i| !key_idx.contains(i)).collect();
             let schema = unpivot_output_schema(&s, &key_idx, attr_col, val_col)?;
-            let op = UnpivotOp {
-                child: RowsIn::from_exec(child, cfg),
-                in_schema: s,
-                key_idx,
-                data_idx,
-            };
-            (schema, Exec::Op(Box::new(op)))
+            let op = ops::UnpivotOp::new(s, key_idx, data_idx);
+            (
+                schema,
+                Exec::Tree(ops::OpTree::Node {
+                    op: Box::new(op),
+                    children: vec![child.into_tree(cfg)],
+                }),
+            )
         }
         Plan::Pivot {
             input,
@@ -564,15 +568,14 @@ fn compile<'p>(plan: &'p Plan, db: &Database, cfg: ExecConfig) -> RelResult<(Sch
             let attr_idx = resolve_column(&s, attr_col)?;
             let val_idx = resolve_column(&s, val_col)?;
             let schema = pivot_output_schema(&s, &key_idx, attrs)?;
-            let op = BlockingOp::new(RowsIn::from_exec(child, cfg), move |rows| {
-                let input = rows.as_slice();
-                if cfg.parallel_for(input.len()) {
-                    morsel::par_pivot(input, &key_idx, attr_idx, val_idx, attrs, cfg)
-                } else {
-                    pivot_rows(input, &key_idx, attr_idx, val_idx, attrs)
-                }
-            });
-            (schema, Exec::Op(Box::new(op)))
+            let op = ops::PivotOp::new(s, key_idx, attr_idx, val_idx, attrs, cfg);
+            (
+                schema,
+                Exec::Tree(ops::OpTree::Node {
+                    op: Box::new(op),
+                    children: vec![child.into_tree(cfg)],
+                }),
+            )
         }
         Plan::AggregateBy {
             input,
@@ -596,117 +599,49 @@ fn compile<'p>(plan: &'p Plan, db: &Database, cfg: ExecConfig) -> RelResult<(Sch
                         }
                         _ => true,
                     });
-            let out_schema = schema.clone();
-            let op = BlockingOp::new(RowsIn::from_exec(child, cfg), move |rows| {
-                let input = rows.as_slice();
-                let out = if associative && cfg.parallel_for(input.len()) {
-                    morsel::par_aggregate(input, &g_idx, &agg_idx, aggregates, cfg)
-                } else {
-                    aggregate_rows(input, &g_idx, &agg_idx, aggregates)
-                };
-                // Validate emitted rows exactly where the materializing
-                // interpreter's `from_rows` does — e.g. SUM over a TEXT
-                // column emits INT into a TEXT-typed output column.
-                for r in &out {
-                    out_schema.check_row(r)?;
-                }
-                Ok(out)
-            });
-            (schema, Exec::Op(Box::new(op)))
+            let op = ops::AggregateOp::new(
+                s,
+                schema.clone(),
+                g_idx,
+                agg_idx,
+                aggregates,
+                associative,
+                cfg,
+            );
+            (
+                schema,
+                Exec::Tree(ops::OpTree::Node {
+                    op: Box::new(op),
+                    children: vec![child.into_tree(cfg)],
+                }),
+            )
         }
         Plan::Sort { input, by } => {
             let (in_schema, child) = compile(input, db, cfg)?;
             let schema = keyless(in_schema);
             let idxs = resolve_columns(&schema, by)?;
-            let op = BlockingOp::new(RowsIn::from_exec(child, cfg), move |rows| {
-                let mut rows = rows.into_rows();
-                sort_rows(&mut rows, &idxs);
-                Ok(rows)
-            });
-            (schema, Exec::Op(Box::new(op)))
+            let op = ops::SortOp::new(schema.clone(), idxs, cfg);
+            (
+                schema,
+                Exec::Tree(ops::OpTree::Node {
+                    op: Box::new(op),
+                    children: vec![child.into_tree(cfg)],
+                }),
+            )
         }
         Plan::Limit { input, n } => {
             let (in_schema, child) = compile(input, db, cfg)?;
             let schema = keyless(in_schema);
-            let op = LimitOp {
-                child: child.into_op(cfg),
-                remaining: *n,
-                done: false,
-            };
-            (schema, Exec::Op(Box::new(op)))
+            let op = ops::LimitOp::new(*n);
+            (
+                schema,
+                Exec::Tree(ops::OpTree::Node {
+                    op: Box::new(op),
+                    children: vec![child.into_tree(cfg)],
+                }),
+            )
         }
     })
-}
-
-/// Where a pipeline's rows come from.
-enum Source<'p> {
-    /// Zero-copy view over a table's shared row storage.
-    Shared { rows: Arc<Vec<Row>>, pos: usize },
-    /// Any upstream operator that is not fusable.
-    Child(BoxedOp<'p>),
-}
-
-/// Rows feeding a non-fused operator (join side, blocking input, unpivot).
-/// A bare scan stays a zero-copy handle on the table's shared storage —
-/// the consumer reads borrowed rows and never pays for copying its input,
-/// matching what the interpreter gets from `Table::rows()`.
-enum RowsIn<'p> {
-    Shared { rows: Arc<Vec<Row>>, pos: usize },
-    Child(BoxedOp<'p>),
-}
-
-impl<'p> RowsIn<'p> {
-    fn from_exec(e: Exec<'p>, cfg: ExecConfig) -> RowsIn<'p> {
-        match e {
-            Exec::Pipe(PipelineOp {
-                source: Source::Shared { rows, pos },
-                stages,
-                ..
-            }) if stages.is_empty() => RowsIn::Shared { rows, pos },
-            other => RowsIn::Child(other.into_op(cfg)),
-        }
-    }
-
-    /// Gather the entire input at once (blocking kernels, join build side).
-    fn gather(self) -> RelResult<Gathered> {
-        match self {
-            RowsIn::Shared { rows, .. } => Ok(Gathered::Shared(rows)),
-            RowsIn::Child(mut op) => {
-                let mut rows = Vec::new();
-                while let Some(batch) = op.next_batch()? {
-                    rows.extend(batch);
-                }
-                Ok(Gathered::Owned(rows))
-            }
-        }
-    }
-}
-
-/// A fully-gathered input: still zero-copy when it came straight off a
-/// scan. Kernels that only read borrow the slice; kernels that need
-/// ownership (sort) unwrap the `Arc`, cloning only when the storage is
-/// shared — the same cost `Table::into_rows` pays in the interpreter.
-enum Gathered {
-    Shared(Arc<Vec<Row>>),
-    Owned(Vec<Row>),
-}
-
-impl Gathered {
-    fn as_slice(&self) -> &[Row] {
-        match self {
-            Gathered::Shared(rows) => rows,
-            Gathered::Owned(rows) => rows,
-        }
-    }
-
-    fn into_rows(self) -> Vec<Row> {
-        match self {
-            Gathered::Shared(rows) => {
-                Arc::try_unwrap(rows).unwrap_or_else(|shared| (*shared).clone())
-            }
-            Gathered::Owned(rows) => rows,
-        }
-    }
 }
 
 /// One fused per-row transform.
@@ -773,509 +708,13 @@ fn apply_stages(stages: &[Stage], mut row: Flow<'_>) -> RelResult<Option<Row>> {
     Ok(Some(row.into_row()))
 }
 
-/// Fused Select/Project chain over a scan or an opaque child: one pass per
-/// row (or one columnar pass per batch, when `programs` is compiled), no
-/// intermediate tables.
-struct PipelineOp<'p> {
-    source: Source<'p>,
-    stages: Vec<Stage<'p>>,
-    /// Columnar stage programs, compiled by [`Exec::into_op`] in
-    /// [`ExecMode::Vectorized`]. Only shared-storage batches run them:
-    /// a `Source::Child` feeds batches whose rows the row path can move
-    /// rather than clone, so the fallback rule (DESIGN.md §11) keeps
-    /// child-fed pipelines on `apply_stages`.
-    programs: Option<Vec<vector::StageProg>>,
-    done: bool,
-}
-
-impl<'p> PipelineOp<'p> {
-    fn over(rows: Arc<Vec<Row>>) -> PipelineOp<'p> {
-        PipelineOp {
-            source: Source::Shared { rows, pos: 0 },
-            stages: Vec::new(),
-            programs: None,
-            done: false,
-        }
-    }
-}
-
-impl Operator for PipelineOp<'_> {
-    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
-        if self.done {
-            return Ok(None);
-        }
-        let PipelineOp {
-            source,
-            stages,
-            programs,
-            done,
-        } = self;
-        loop {
-            match source {
-                Source::Shared { rows, pos } => {
-                    if *pos >= rows.len() {
-                        *done = true;
-                        return Ok(None);
-                    }
-                    let end = usize::min(*pos + BATCH_SIZE, rows.len());
-                    let slice = &rows[*pos..end];
-                    *pos = end;
-                    if stages.is_empty() {
-                        // Bare scan feeding a parent that consumes owned
-                        // batches (union, distinct, limit): rows leave
-                        // shared storage here. Joins, blocking operators,
-                        // and unpivot take a `RowsIn` instead and read the
-                        // storage in place.
-                        return Ok(Some(slice.to_vec()));
-                    }
-                    if let Some(progs) = programs {
-                        let out = vector::run_batch(stages, progs, slice)?;
-                        if !out.is_empty() {
-                            return Ok(Some(out));
-                        }
-                        continue;
-                    }
-                    let mut out = Vec::with_capacity(slice.len());
-                    for row in slice {
-                        if let Some(r) = apply_stages(stages, Flow::Borrowed(row))? {
-                            out.push(r);
-                        }
-                    }
-                    if !out.is_empty() {
-                        return Ok(Some(out));
-                    }
-                }
-                Source::Child(child) => match child.next_batch()? {
-                    None => {
-                        *done = true;
-                        return Ok(None);
-                    }
-                    Some(batch) => {
-                        if stages.is_empty() {
-                            return Ok(Some(batch));
-                        }
-                        let mut out = Vec::with_capacity(batch.len());
-                        for row in batch {
-                            if let Some(r) = apply_stages(stages, Flow::Owned(row))? {
-                                out.push(r);
-                            }
-                        }
-                        if !out.is_empty() {
-                            return Ok(Some(out));
-                        }
-                    }
-                },
-            }
-        }
-    }
-}
-
-/// Morsel-parallel variant of `PipelineOp`: runs the fused stages over
-/// shared scan storage on the work-stealing scheduler at first poll, then
-/// re-emits the deterministically merged result in `BATCH_SIZE` chunks.
-/// Only built by [`Exec::into_op`] when [`ExecConfig::parallel_for`] says
-/// the scan is large enough.
-struct ParallelPipelineOp<'p> {
-    rows: Arc<Vec<Row>>,
-    stages: Vec<Stage<'p>>,
-    /// Columnar stage programs (see [`PipelineOp::programs`]); each morsel
-    /// runs them as one batch, so the morsel-order merge rules are
-    /// untouched.
-    programs: Option<Vec<vector::StageProg>>,
-    cfg: ExecConfig,
-    out: Option<std::vec::IntoIter<Row>>,
-}
-
-impl Operator for ParallelPipelineOp<'_> {
-    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
-        if self.out.is_none() {
-            self.out = Some(
-                morsel::par_pipeline(&self.rows, &self.stages, self.programs.as_deref(), self.cfg)?
-                    .into_iter(),
-            );
-        }
-        let out = self.out.as_mut().expect("pipeline ran above");
-        let batch: Batch = out.by_ref().take(BATCH_SIZE).collect();
-        if batch.is_empty() {
-            Ok(None)
-        } else {
-            Ok(Some(batch))
-        }
-    }
-}
-
-/// Hash join: gathers the build (right) side into an index on first poll
-/// — zero-copy when it is a bare scan — then probes the left side batch by
-/// batch, reading probe rows in place when they too come off a scan.
-/// Large inputs parallelize both phases: the index merges morsel-local
-/// maps built concurrently, and a shared-storage probe side is probed
-/// morsel-parallel with results merged in morsel order.
-struct JoinOp<'p> {
-    left: RowsIn<'p>,
-    /// Build-side input; consumed into `right`/`index` on first poll.
-    build: Option<RowsIn<'p>>,
-    l_idx: Vec<usize>,
-    r_idx: Vec<usize>,
-    kind: JoinKind,
-    l_arity: usize,
-    r_arity: usize,
-    right: Gathered,
-    /// Join key → positions in `right`. NULL keys are absent (SQL: NULL
-    /// never matches).
-    index: HashMap<Vec<Value>, Vec<usize>>,
-    cfg: ExecConfig,
-    /// Pre-computed output when the probe phase ran morsel-parallel.
-    par_out: Option<std::vec::IntoIter<Row>>,
-    done: bool,
-}
-
-/// Probe one chunk of left rows against the build index.
-#[allow(clippy::too_many_arguments)]
-fn probe_rows(
-    lrows: &[Row],
-    index: &HashMap<Vec<Value>, Vec<usize>>,
-    right: &[Row],
-    l_idx: &[usize],
-    kind: JoinKind,
-    l_arity: usize,
-    r_arity: usize,
-) -> Batch {
-    let mut out: Batch = Vec::with_capacity(lrows.len());
-    for lrow in lrows {
-        let key: Vec<Value> = l_idx.iter().map(|&i| lrow[i].clone()).collect();
-        let hit = if key.iter().any(|v| v.is_null()) {
-            None
-        } else {
-            index.get(&key)
-        };
-        match hit {
-            Some(positions) => {
-                for &ri in positions {
-                    let rrow = &right[ri];
-                    let mut row = Vec::with_capacity(l_arity + r_arity);
-                    row.extend(lrow.iter().cloned());
-                    row.extend(rrow.iter().cloned());
-                    out.push(row);
-                }
-            }
-            None if kind == JoinKind::Left => {
-                let mut row = Vec::with_capacity(l_arity + r_arity);
-                row.extend(lrow.iter().cloned());
-                row.extend(std::iter::repeat_n(Value::Null, r_arity));
-                out.push(row);
-            }
-            None => {}
-        }
-    }
-    out
-}
-
-impl Operator for JoinOp<'_> {
-    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
-        if self.done {
-            return Ok(None);
-        }
-        if let Some(build) = self.build.take() {
-            self.right = build.gather()?;
-            let rrows = self.right.as_slice();
-            if self.cfg.parallel_for(rrows.len()) {
-                self.index = morsel::par_build_index(rrows, &self.r_idx, self.cfg);
-            } else {
-                for (at, row) in rrows.iter().enumerate() {
-                    let key: Vec<Value> = self.r_idx.iter().map(|&i| row[i].clone()).collect();
-                    if !key.iter().any(|v| v.is_null()) {
-                        self.index.entry(key).or_default().push(at);
-                    }
-                }
-            }
-            // A large shared-storage probe side is probed whole, morsel-
-            // parallel; the merged output then streams out in batches.
-            if let RowsIn::Shared { rows, pos } = &mut self.left {
-                if *pos == 0 && self.cfg.parallel_for(rows.len()) {
-                    let out = morsel::par_probe(
-                        rows,
-                        &self.index,
-                        self.right.as_slice(),
-                        &self.l_idx,
-                        self.kind,
-                        self.l_arity,
-                        self.r_arity,
-                        self.cfg,
-                    );
-                    *pos = rows.len();
-                    self.par_out = Some(out.into_iter());
-                }
-            }
-        }
-        if let Some(out) = &mut self.par_out {
-            let batch: Batch = out.by_ref().take(BATCH_SIZE).collect();
-            if batch.is_empty() {
-                self.done = true;
-                return Ok(None);
-            }
-            return Ok(Some(batch));
-        }
-        let JoinOp {
-            left,
-            l_idx,
-            kind,
-            l_arity,
-            r_arity,
-            right,
-            index,
-            done,
-            ..
-        } = self;
-        loop {
-            let out = match left {
-                RowsIn::Shared { rows, pos } => {
-                    if *pos >= rows.len() {
-                        *done = true;
-                        return Ok(None);
-                    }
-                    let end = usize::min(*pos + BATCH_SIZE, rows.len());
-                    let slice = &rows[*pos..end];
-                    *pos = end;
-                    probe_rows(
-                        slice,
-                        index,
-                        right.as_slice(),
-                        l_idx,
-                        *kind,
-                        *l_arity,
-                        *r_arity,
-                    )
-                }
-                RowsIn::Child(op) => {
-                    let Some(batch) = op.next_batch()? else {
-                        *done = true;
-                        return Ok(None);
-                    };
-                    // Owned probe rows can be moved into the output when
-                    // they produce exactly one row (single match, or the
-                    // NULL pad of a left join).
-                    let mut out: Batch = Vec::with_capacity(batch.len());
-                    for lrow in batch {
-                        let key: Vec<Value> = l_idx.iter().map(|&i| lrow[i].clone()).collect();
-                        let hit = if key.iter().any(|v| v.is_null()) {
-                            None
-                        } else {
-                            index.get(&key)
-                        };
-                        match hit {
-                            Some(positions) if positions.len() == 1 => {
-                                let rrow = &right.as_slice()[positions[0]];
-                                let mut row = lrow;
-                                row.reserve(*r_arity);
-                                row.extend(rrow.iter().cloned());
-                                out.push(row);
-                            }
-                            Some(positions) => {
-                                for &ri in positions {
-                                    let rrow = &right.as_slice()[ri];
-                                    let mut row = Vec::with_capacity(*l_arity + *r_arity);
-                                    row.extend(lrow.iter().cloned());
-                                    row.extend(rrow.iter().cloned());
-                                    out.push(row);
-                                }
-                            }
-                            None if *kind == JoinKind::Left => {
-                                let mut row = lrow;
-                                row.reserve(*r_arity);
-                                row.extend(std::iter::repeat_n(Value::Null, *r_arity));
-                                out.push(row);
-                            }
-                            None => {}
-                        }
-                    }
-                    out
-                }
-            };
-            if !out.is_empty() {
-                return Ok(Some(out));
-            }
-        }
-    }
-}
-
-/// Streaming bag union: children drain in order, batches pass straight
-/// through. Rows from non-leading inputs are re-checked against the output
-/// schema only when some column is NOT NULL (the one way union rows can be
-/// rejected, since union compatibility already fixed the types).
-struct UnionOp<'p> {
-    children: Vec<BoxedOp<'p>>,
-    at: usize,
-    schema: Schema,
-    check_rows: bool,
-}
-
-impl Operator for UnionOp<'_> {
-    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
-        while self.at < self.children.len() {
-            match self.children[self.at].next_batch()? {
-                Some(batch) => {
-                    if self.check_rows && self.at > 0 {
-                        for row in &batch {
-                            self.schema.check_row(row)?;
-                        }
-                    }
-                    return Ok(Some(batch));
-                }
-                None => self.at += 1,
-            }
-        }
-        Ok(None)
-    }
-}
-
-/// Streaming δ: forwards first occurrences, keeping a seen-set across
-/// batches.
-struct DistinctOp<'p> {
-    child: BoxedOp<'p>,
-    seen: HashSet<Row>,
-}
-
-impl Operator for DistinctOp<'_> {
-    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
-        loop {
-            let Some(batch) = self.child.next_batch()? else {
-                return Ok(None);
-            };
-            let mut out = Vec::new();
-            for row in batch {
-                if self.seen.insert(row.clone()) {
-                    out.push(row);
-                }
-            }
-            if !out.is_empty() {
-                return Ok(Some(out));
-            }
-        }
-    }
-}
-
-/// Streaming un-pivot: each input chunk expands independently into EAV
-/// triples, read in place when the input is a bare scan.
-struct UnpivotOp<'p> {
-    child: RowsIn<'p>,
-    in_schema: Schema,
-    key_idx: Vec<usize>,
-    data_idx: Vec<usize>,
-}
-
-impl Operator for UnpivotOp<'_> {
-    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
-        let UnpivotOp {
-            child,
-            in_schema,
-            key_idx,
-            data_idx,
-        } = self;
-        loop {
-            let out = match child {
-                RowsIn::Shared { rows, pos } => {
-                    if *pos >= rows.len() {
-                        return Ok(None);
-                    }
-                    let end = usize::min(*pos + BATCH_SIZE, rows.len());
-                    let slice = &rows[*pos..end];
-                    *pos = end;
-                    unpivot_rows(in_schema, slice, key_idx, data_idx)
-                }
-                RowsIn::Child(op) => {
-                    let Some(batch) = op.next_batch()? else {
-                        return Ok(None);
-                    };
-                    unpivot_rows(in_schema, &batch, key_idx, data_idx)
-                }
-            };
-            if !out.is_empty() {
-                return Ok(Some(out));
-            }
-        }
-    }
-}
-
-/// A one-shot row kernel shared with the interpreter (pivot, aggregate,
-/// sort), consuming the gathered child output.
-type RowKernel<'p> = Box<dyn FnOnce(Gathered) -> RelResult<Vec<Row>> + 'p>;
-
-/// Pivot, aggregation, and sort cannot stream: this operator gathers the
-/// child's full output — without copying it when the child is a bare scan
-/// — runs the row kernel shared with the interpreter, and re-emits the
-/// result in batches.
-struct BlockingOp<'p> {
-    input: Option<RowsIn<'p>>,
-    kernel: Option<RowKernel<'p>>,
-    output: std::vec::IntoIter<Row>,
-}
-
-impl<'p> BlockingOp<'p> {
-    fn new(
-        input: RowsIn<'p>,
-        kernel: impl FnOnce(Gathered) -> RelResult<Vec<Row>> + 'p,
-    ) -> BlockingOp<'p> {
-        BlockingOp {
-            input: Some(input),
-            kernel: Some(Box::new(kernel)),
-            output: Vec::new().into_iter(),
-        }
-    }
-}
-
-impl Operator for BlockingOp<'_> {
-    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
-        if let Some(input) = self.input.take() {
-            let gathered = input.gather()?;
-            let kernel = self.kernel.take().expect("kernel runs once");
-            self.output = kernel(gathered)?.into_iter();
-        }
-        let batch: Batch = self.output.by_ref().take(BATCH_SIZE).collect();
-        if batch.is_empty() {
-            Ok(None)
-        } else {
-            Ok(Some(batch))
-        }
-    }
-}
-
-/// Emits at most `n` rows — but still drains its child. The materializing
-/// interpreter evaluates the full input before truncating, so errors past
-/// the cutoff must surface here too.
-struct LimitOp<'p> {
-    child: BoxedOp<'p>,
-    remaining: usize,
-    done: bool,
-}
-
-impl Operator for LimitOp<'_> {
-    fn next_batch(&mut self) -> RelResult<Option<Batch>> {
-        if self.done {
-            return Ok(None);
-        }
-        loop {
-            let Some(mut batch) = self.child.next_batch()? else {
-                self.done = true;
-                return Ok(None);
-            };
-            if self.remaining == 0 {
-                continue; // draining for error parity; nothing left to emit
-            }
-            if batch.len() > self.remaining {
-                batch.truncate(self.remaining);
-            }
-            self.remaining -= batch.len();
-            return Ok(Some(batch));
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algebra::{AggFunc, Aggregate};
+    use crate::algebra::{AggFunc, Aggregate, JoinKind};
     use crate::schema::Column;
     use crate::value::DataType;
+    use std::sync::Arc;
 
     fn wide_db(n: i64) -> Database {
         let schema = Schema::new(
@@ -1345,11 +784,11 @@ mod tests {
         let db = wide_db(2500);
         let plan = Plan::scan("t").select(Expr::lit(true));
         let (_, exec) = compile(&plan, &db, ExecConfig::serial()).unwrap();
-        let mut op = exec.into_op(ExecConfig::serial());
+        let batches = ops::drive(exec.into_tree(ExecConfig::serial())).unwrap();
         let mut total = 0;
-        while let Some(batch) = op.next_batch().unwrap() {
-            assert!(!batch.is_empty() && batch.len() <= BATCH_SIZE);
-            total += batch.len();
+        for b in &batches {
+            assert!(b.len() > 0 && b.len() <= BATCH_SIZE);
+            total += b.len();
         }
         assert_eq!(total, 2500);
     }
@@ -1506,25 +945,53 @@ mod tests {
 
     #[test]
     fn env_config_parses_threads_and_mode() {
-        let cfg = ExecConfig::from_env_value(Some("3"), Some("materialized"));
+        let cfg = ExecConfig::from_env_value(Some("3"), Some("materialized")).unwrap();
         assert_eq!(cfg.threads, 3);
         assert_eq!(cfg.mode, ExecMode::Materialized);
         // Mode matching trims whitespace and ignores case.
-        let cfg = ExecConfig::from_env_value(None, Some("  Streaming "));
+        let cfg = ExecConfig::from_env_value(None, Some("  Streaming ")).unwrap();
         assert_eq!(cfg.mode, ExecMode::Streaming);
         assert_eq!(
-            ExecConfig::from_env_value(None, Some("vectorized")).mode,
+            ExecConfig::from_env_value(None, Some("vectorized"))
+                .unwrap()
+                .mode,
             ExecMode::Vectorized
         );
-        // Unset or unparsable values keep the defaults.
+        // Unset and empty keep the defaults, as does the documented
+        // `0 = auto` thread spelling.
         let dflt = ExecConfig::default();
-        for bad in [None, Some("0"), Some("fast"), Some("")] {
-            assert_eq!(ExecConfig::from_env_value(bad, None).threads, dflt.threads);
-        }
-        for bad in [None, Some("rowwise"), Some("")] {
+        for auto in [None, Some(""), Some("0"), Some(" 0 ")] {
             assert_eq!(
-                ExecConfig::from_env_value(None, bad).mode,
+                ExecConfig::from_env_value(auto, None).unwrap().threads,
+                dflt.threads
+            );
+        }
+        for dflt_mode in [None, Some("")] {
+            assert_eq!(
+                ExecConfig::from_env_value(None, dflt_mode).unwrap().mode,
                 ExecMode::Vectorized
+            );
+        }
+    }
+
+    #[test]
+    fn env_config_rejects_bad_threads() {
+        for bad in ["fast", "-2", "1.5", "3x"] {
+            let err = ExecConfig::from_env_value(Some(bad), None).unwrap_err();
+            assert!(
+                matches!(err, RelError::Plan(ref m) if m.contains(THREADS_ENV)),
+                "unexpected error for {bad:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn env_config_rejects_bad_mode() {
+        for bad in ["rowwise", "Vector", "streaming!"] {
+            let err = ExecConfig::from_env_value(None, Some(bad)).unwrap_err();
+            assert!(
+                matches!(err, RelError::Plan(ref m) if m.contains(MODE_ENV)),
+                "unexpected error for {bad:?}: {err:?}"
             );
         }
     }

@@ -1,0 +1,596 @@
+//! The executor's batch currency: row chunks, typed column lanes, and the
+//! lane-level key kernels shared by every physical operator.
+//!
+//! [`Batch`] is the single unit of data flowing between
+//! [`PhysicalOperator`](super::ops::PhysicalOperator)s: a contiguous chunk
+//! of rows that is either a zero-copy window over a table's `Arc`-shared
+//! storage or an owned vector produced by an upstream operator. Blocking
+//! operators collect their batches into a [`Gathered`] input, which stays
+//! zero-copy when the whole input is one shared window (a bare scan).
+//!
+//! [`Lane`] / [`ColumnBatch`] are the columnar decomposition used by the
+//! vectorized kernels (`exec::vector`) *and* by the lane-aware blocking
+//! kernels (`exec::blocking`): each referenced column is shredded once
+//! into a typed array plus a null mask, with [`Lane::Rows`] as the
+//! fallback for columns whose stored values are not uniformly of the
+//! declared type (e.g. INT values widened into a FLOAT column, which must
+//! round-trip losslessly).
+//!
+//! # Key hashing
+//!
+//! [`key_hashes`] computes one 64-bit hash per row over a set of key
+//! columns, columnar where lanes permit. The per-value contribution mixes
+//! the same `(tag, payload)` pairs as `Value`'s `Hash` impl — in
+//! particular `Int(i)` hashes through `(i as f64).to_bits()` with the
+//! same tag as `Float`, so values equal under `Value::total_cmp`
+//! (`Int(2) == Float(2.0)`) always hash equally, whether the hash was
+//! computed from a typed lane or from the row fallback. Hash-equal
+//! candidates are verified with [`keys_eq`] (plain `Value` equality, i.e.
+//! `total_cmp`), so collisions cost a comparison, never correctness.
+
+use crate::schema::Schema;
+use crate::table::Row;
+use crate::value::{DataType, Value};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Batches
+// ---------------------------------------------------------------------------
+
+/// One unit of data flowing between physical operators: a chunk of rows,
+/// all matching the producing operator's output schema. `Shared` batches
+/// are zero-copy windows over a table's `Arc`-shared storage; `Owned`
+/// batches carry rows built by an upstream operator.
+pub(super) enum Batch {
+    /// Rows `lo..hi` of shared table storage.
+    Shared {
+        rows: Arc<Vec<Row>>,
+        lo: usize,
+        hi: usize,
+    },
+    Owned(Vec<Row>),
+}
+
+impl Batch {
+    /// A zero-copy batch over a table's entire shared storage.
+    pub(super) fn shared(rows: Arc<Vec<Row>>) -> Batch {
+        let hi = rows.len();
+        Batch::Shared { rows, lo: 0, hi }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        match self {
+            Batch::Shared { lo, hi, .. } => hi - lo,
+            Batch::Owned(rows) => rows.len(),
+        }
+    }
+
+    pub(super) fn as_slice(&self) -> &[Row] {
+        match self {
+            Batch::Shared { rows, lo, hi } => &rows[*lo..*hi],
+            Batch::Owned(rows) => rows,
+        }
+    }
+
+    /// Does this batch cover its shared storage end to end? Whole-table
+    /// windows are what the morsel-parallel kernels partition.
+    pub(super) fn is_full_shared(&self) -> bool {
+        matches!(self, Batch::Shared { rows, lo: 0, hi } if *hi == rows.len())
+    }
+
+    /// The first `n` rows (for `Limit`); shared windows just shrink.
+    pub(super) fn take_prefix(self, n: usize) -> Batch {
+        match self {
+            Batch::Shared { rows, lo, hi } => {
+                let hi = usize::min(hi, lo + n);
+                Batch::Shared { rows, lo, hi }
+            }
+            Batch::Owned(mut rows) => {
+                rows.truncate(n);
+                Batch::Owned(rows)
+            }
+        }
+    }
+
+    /// Take ownership of the rows, cloning only shared storage that is
+    /// still referenced elsewhere (the same cost `Table::into_rows` pays).
+    pub(super) fn into_rows(self) -> Vec<Row> {
+        match self {
+            Batch::Shared { rows, lo, hi } => {
+                if lo == 0 && hi == rows.len() {
+                    Arc::try_unwrap(rows).unwrap_or_else(|shared| (*shared).clone())
+                } else {
+                    rows[lo..hi].to_vec()
+                }
+            }
+            Batch::Owned(rows) => rows,
+        }
+    }
+}
+
+/// A blocking operator's fully-gathered input: still zero-copy when the
+/// whole input was one shared window (a bare scan). Kernels that only read
+/// borrow the slice; kernels that need ownership (sort) unwrap the `Arc`,
+/// cloning only when the storage is shared.
+pub(super) enum Gathered {
+    Shared(Arc<Vec<Row>>),
+    Owned(Vec<Row>),
+}
+
+impl Gathered {
+    /// Collapse buffered batches into one input.
+    pub(super) fn from_batches(mut batches: Vec<Batch>) -> Gathered {
+        if batches.len() == 1 && batches[0].is_full_shared() {
+            let Some(Batch::Shared { rows, .. }) = batches.pop() else {
+                unreachable!("checked full shared above");
+            };
+            return Gathered::Shared(rows);
+        }
+        let mut rows = Vec::with_capacity(batches.iter().map(Batch::len).sum());
+        for b in batches {
+            rows.extend(b.into_rows());
+        }
+        Gathered::Owned(rows)
+    }
+
+    pub(super) fn as_slice(&self) -> &[Row] {
+        match self {
+            Gathered::Shared(rows) => rows,
+            Gathered::Owned(rows) => rows,
+        }
+    }
+
+    pub(super) fn into_rows(self) -> Vec<Row> {
+        match self {
+            Gathered::Shared(rows) => {
+                Arc::try_unwrap(rows).unwrap_or_else(|shared| (*shared).clone())
+            }
+            Gathered::Owned(rows) => rows,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Column lanes
+// ---------------------------------------------------------------------------
+
+/// One column of a batch, shredded out of the row-major `Value`s. The
+/// typed variants carry a parallel null mask; [`Lane::Rows`] is the
+/// fallback lane for columns whose values are not uniformly of the lane
+/// type (e.g. INT values stored in a FLOAT column), read back row-major.
+pub(super) enum Lane<'a> {
+    Int {
+        vals: Vec<i64>,
+        nulls: Vec<bool>,
+    },
+    Float {
+        vals: Vec<f64>,
+        nulls: Vec<bool>,
+    },
+    Bool {
+        vals: Vec<bool>,
+        nulls: Vec<bool>,
+    },
+    Str {
+        vals: Vec<&'a str>,
+        nulls: Vec<bool>,
+    },
+    Date {
+        vals: Vec<i64>,
+        nulls: Vec<bool>,
+    },
+    /// Mixed/non-conforming storage: fetch `Value`s from the rows.
+    Rows,
+}
+
+macro_rules! build_lane {
+    ($rows:expr, $col:expr, $variant:ident, $pat:pat => $val:expr, $default:expr) => {{
+        let mut vals = Vec::with_capacity($rows.len());
+        let mut nulls = Vec::with_capacity($rows.len());
+        for row in $rows {
+            match &row[$col] {
+                Value::Null => {
+                    vals.push($default);
+                    nulls.push(true);
+                }
+                $pat => {
+                    vals.push($val);
+                    nulls.push(false);
+                }
+                _ => return Lane::Rows,
+            }
+        }
+        Lane::$variant { vals, nulls }
+    }};
+}
+
+/// Shred one column into a typed lane, guided by the declared type; any
+/// value outside the declared type demotes the column to the row fallback
+/// lane (this is how FLOAT columns holding widened INTs stay lossless).
+pub(super) fn build_lane(rows: &[Row], col: usize, decl: DataType) -> Lane<'_> {
+    match decl {
+        DataType::Int => build_lane!(rows, col, Int, Value::Int(i) => *i, 0),
+        DataType::Float => build_lane!(rows, col, Float, Value::Float(f) => *f, 0.0),
+        DataType::Bool => build_lane!(rows, col, Bool, Value::Bool(b) => *b, false),
+        DataType::Text => build_lane!(rows, col, Str, Value::Text(s) => s.as_str(), ""),
+        DataType::Date => build_lane!(rows, col, Date, Value::Date(d) => *d, 0),
+    }
+}
+
+/// A batch with lanes built for every column the consuming kernels touch.
+pub(super) struct ColumnBatch<'a> {
+    pub(super) rows: &'a [Row],
+    /// Lane per input column; `None` for columns no kernel references.
+    pub(super) lanes: Vec<Option<Lane<'a>>>,
+}
+
+impl<'a> ColumnBatch<'a> {
+    /// Shred exactly the columns in `cols` (positions into `schema`),
+    /// starting from lanes carried over from the producing stage (see
+    /// `exec::vector`'s epoch threading; pass an empty seed to shred from
+    /// scratch): a seeded column skips the shredding pass entirely. Seeded
+    /// lanes describe the *values* (a projection that computed an INT lane
+    /// stays an INT lane even if the column is declared FLOAT), which
+    /// matches the row path because scalar semantics follow value types.
+    pub(super) fn build_seeded(
+        rows: &'a [Row],
+        schema: &Schema,
+        cols: &[usize],
+        seed: Vec<Option<Lane<'a>>>,
+    ) -> ColumnBatch<'a> {
+        let mut lanes = seed;
+        lanes.resize_with(schema.arity(), || None);
+        for &c in cols {
+            if lanes[c].is_none() {
+                lanes[c] = Some(build_lane(rows, c, schema.columns()[c].data_type));
+            }
+        }
+        ColumnBatch { rows, lanes }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane key hashing
+// ---------------------------------------------------------------------------
+
+/// Seed for the columnar key hash (an arbitrary odd constant). Also the
+/// hash of an *empty* key, which is how global (group-less) aggregation
+/// pre-seeds its single group.
+pub(super) const HASH_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Hasher for bucket maps keyed by lane hashes: [`mix`]'s splitmix64
+/// finalizer already diffused the key bits, so the map passes the `u64`
+/// through instead of re-hashing it with SipHash. Only sound for keys
+/// that went through `mix` — never use this for raw values.
+#[derive(Default)]
+pub(super) struct PremixedHasher(u64);
+
+impl std::hash::Hasher for PremixedHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("bucket maps are keyed by pre-mixed u64 hashes");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// `u64 lane hash → V` with pass-through hashing.
+pub(super) type HashBuckets<V> =
+    std::collections::HashMap<u64, V, std::hash::BuildHasherDefault<PremixedHasher>>;
+
+/// Mix one `(tag, payload)` pair into a running hash (splitmix64-style
+/// finalizer). The tags mirror `Value`'s `Hash` impl: 0 NULL, 1 BOOL,
+/// 2 numeric (Int *and* Float, payload `f64::to_bits`), 3 TEXT, 4 DATE.
+#[inline]
+fn mix(h: u64, tag: u8, payload: u64) -> u64 {
+    let mut x = h ^ payload
+        .wrapping_add(u64::from(tag))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the string bytes, as the TEXT payload.
+#[inline]
+fn str_payload(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Mix one `Value` into a running key hash. The canonical `(tag, payload)`
+/// pairs guarantee `a == b` (under `total_cmp`) implies equal hashes:
+/// `Int` goes through its `f64` widening exactly like `Value`'s `Hash`.
+pub(super) fn value_hash(h: u64, v: &Value) -> u64 {
+    match v {
+        Value::Null => mix(h, 0, 0),
+        Value::Bool(b) => mix(h, 1, u64::from(*b)),
+        Value::Int(i) => mix(h, 2, (*i as f64).to_bits()),
+        Value::Float(f) => mix(h, 2, f.to_bits()),
+        Value::Text(s) => mix(h, 3, str_payload(s)),
+        Value::Date(d) => mix(h, 4, *d as u64),
+    }
+}
+
+/// Per-row key hashes over `idx` columns, computed columnar where lanes
+/// permit. Returns `(hashes, has_null)`: NULLs *do* contribute to the hash
+/// (grouping treats NULL as an ordinary key value), and `has_null[i]`
+/// flags rows whose key contains a NULL so joins can skip them (SQL: NULL
+/// never matches).
+pub(super) fn key_hashes(rows: &[Row], schema: &Schema, idx: &[usize]) -> (Vec<u64>, Vec<bool>) {
+    let n = rows.len();
+    let mut hashes = vec![HASH_SEED; n];
+    let mut has_null = vec![false; n];
+    for &c in idx {
+        match build_lane(rows, c, schema.columns()[c].data_type) {
+            Lane::Int { vals, nulls } => {
+                for i in 0..n {
+                    hashes[i] = if nulls[i] {
+                        has_null[i] = true;
+                        mix(hashes[i], 0, 0)
+                    } else {
+                        mix(hashes[i], 2, (vals[i] as f64).to_bits())
+                    };
+                }
+            }
+            Lane::Float { vals, nulls } => {
+                for i in 0..n {
+                    hashes[i] = if nulls[i] {
+                        has_null[i] = true;
+                        mix(hashes[i], 0, 0)
+                    } else {
+                        mix(hashes[i], 2, vals[i].to_bits())
+                    };
+                }
+            }
+            Lane::Bool { vals, nulls } => {
+                for i in 0..n {
+                    hashes[i] = if nulls[i] {
+                        has_null[i] = true;
+                        mix(hashes[i], 0, 0)
+                    } else {
+                        mix(hashes[i], 1, u64::from(vals[i]))
+                    };
+                }
+            }
+            Lane::Str { vals, nulls } => {
+                for i in 0..n {
+                    hashes[i] = if nulls[i] {
+                        has_null[i] = true;
+                        mix(hashes[i], 0, 0)
+                    } else {
+                        mix(hashes[i], 3, str_payload(vals[i]))
+                    };
+                }
+            }
+            Lane::Date { vals, nulls } => {
+                for i in 0..n {
+                    hashes[i] = if nulls[i] {
+                        has_null[i] = true;
+                        mix(hashes[i], 0, 0)
+                    } else {
+                        mix(hashes[i], 4, vals[i] as u64)
+                    };
+                }
+            }
+            Lane::Rows => {
+                for (i, row) in rows.iter().enumerate() {
+                    let v = &row[c];
+                    has_null[i] |= v.is_null();
+                    hashes[i] = value_hash(hashes[i], v);
+                }
+            }
+        }
+    }
+    (hashes, has_null)
+}
+
+/// Verify a hash-equal key candidate: positional `Value` equality (i.e.
+/// `total_cmp`, so `Int(2)` matches `Float(2.0)` and NULL matches NULL —
+/// join callers have already excluded NULL keys via `has_null`).
+#[inline]
+pub(super) fn keys_eq(a: &[Value], a_idx: &[usize], b: &[Value], b_idx: &[usize]) -> bool {
+    a_idx.iter().zip(b_idx).all(|(&ai, &bi)| a[ai] == b[bi])
+}
+
+// ---------------------------------------------------------------------------
+// Lane sort keys
+// ---------------------------------------------------------------------------
+
+/// Pre-shredded sort-key columns: compares two row positions with the same
+/// lexicographic `Value::total_cmp` order as `algebra::sort_rows`, but
+/// against typed lanes (NULLs first; Int lanes compare exactly; Float
+/// lanes by `f64::total_cmp`). Non-conforming columns fall back to the
+/// row-major compare.
+pub(super) struct SortKeys<'a> {
+    rows: &'a [Row],
+    keys: Vec<(usize, Lane<'a>)>,
+}
+
+impl<'a> SortKeys<'a> {
+    pub(super) fn build(rows: &'a [Row], schema: &Schema, idxs: &[usize]) -> SortKeys<'a> {
+        let keys = idxs
+            .iter()
+            .map(|&c| (c, build_lane(rows, c, schema.columns()[c].data_type)))
+            .collect();
+        SortKeys { rows, keys }
+    }
+
+    /// Compare rows `a` and `b` by every sort column in order.
+    pub(super) fn cmp(&self, a: usize, b: usize) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        for (c, lane) in &self.keys {
+            let o = match lane {
+                Lane::Int { vals, nulls } => {
+                    cmp_masked(nulls[a], nulls[b], || vals[a].cmp(&vals[b]))
+                }
+                Lane::Float { vals, nulls } => {
+                    cmp_masked(nulls[a], nulls[b], || vals[a].total_cmp(&vals[b]))
+                }
+                Lane::Bool { vals, nulls } => {
+                    cmp_masked(nulls[a], nulls[b], || vals[a].cmp(&vals[b]))
+                }
+                Lane::Str { vals, nulls } => {
+                    cmp_masked(nulls[a], nulls[b], || vals[a].cmp(vals[b]))
+                }
+                Lane::Date { vals, nulls } => {
+                    cmp_masked(nulls[a], nulls[b], || vals[a].cmp(&vals[b]))
+                }
+                Lane::Rows => self.rows[a][*c].total_cmp(&self.rows[b][*c]),
+            };
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+/// NULLs-first comparison over a null-masked lane pair, matching
+/// `Value::total_cmp`'s rank rule (NULL ranks below every value, and
+/// `NULL == NULL`).
+#[inline]
+fn cmp_masked(
+    a_null: bool,
+    b_null: bool,
+    cmp: impl FnOnce() -> std::cmp::Ordering,
+) -> std::cmp::Ordering {
+    match (a_null, b_null) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => cmp(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn mixed_schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                Column::new("i", DataType::Int),
+                Column::new("f", DataType::Float),
+                Column::new("s", DataType::Text),
+                Column::new("b", DataType::Bool),
+                Column::new("d", DataType::Date),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn mixed_rows() -> Vec<Row> {
+        vec![
+            vec![
+                Value::Int(2),
+                Value::Float(2.0),
+                Value::text("x"),
+                Value::Bool(true),
+                Value::Date(10),
+            ],
+            vec![
+                Value::Null,
+                Value::Float(-0.0),
+                Value::Null,
+                Value::Bool(false),
+                Value::Null,
+            ],
+            vec![
+                Value::Int(-7),
+                Value::Float(f64::NAN),
+                Value::text(""),
+                Value::Null,
+                Value::Date(-3),
+            ],
+        ]
+    }
+
+    #[test]
+    fn lane_hashes_match_row_fallback_hashes() {
+        let schema = mixed_schema();
+        let rows = mixed_rows();
+        let idx: Vec<usize> = (0..schema.arity()).collect();
+        let (lane_hashes, lane_nulls) = key_hashes(&rows, &schema, &idx);
+        for (i, row) in rows.iter().enumerate() {
+            let mut h = HASH_SEED;
+            let mut any_null = false;
+            for &c in &idx {
+                h = value_hash(h, &row[c]);
+                any_null |= row[c].is_null();
+            }
+            assert_eq!(lane_hashes[i], h, "row {i}");
+            assert_eq!(lane_nulls[i], any_null, "row {i}");
+        }
+    }
+
+    #[test]
+    fn equal_values_hash_equal_across_types() {
+        // Int(2) == Float(2.0) under total_cmp, so they must hash equal —
+        // including through an INT lane vs a FLOAT lane.
+        let h_int = value_hash(HASH_SEED, &Value::Int(2));
+        let h_float = value_hash(HASH_SEED, &Value::Float(2.0));
+        assert_eq!(h_int, h_float);
+        // And a FLOAT column storing a widened INT takes the Rows fallback
+        // in key_hashes, which must agree with the typed INT lane.
+        let schema = Schema::new("a", vec![Column::new("k", DataType::Float)]).unwrap();
+        let rows = vec![vec![Value::Int(2)]];
+        let (h, _) = key_hashes(&rows, &schema, &[0]);
+        assert_eq!(h[0], h_float);
+    }
+
+    #[test]
+    fn sort_keys_mirror_total_cmp() {
+        let schema = mixed_schema();
+        let rows = mixed_rows();
+        let idx: Vec<usize> = (0..schema.arity()).collect();
+        let keys = SortKeys::build(&rows, &schema, &idx);
+        for a in 0..rows.len() {
+            for b in 0..rows.len() {
+                let want = idx
+                    .iter()
+                    .map(|&c| rows[a][c].total_cmp(&rows[b][c]))
+                    .find(|o| !o.is_eq())
+                    .unwrap_or(std::cmp::Ordering::Equal);
+                assert_eq!(keys.cmp(a, b), want, "rows {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_prefix_and_ownership() {
+        let rows: Vec<Row> = (0..5).map(|i| vec![Value::Int(i)]).collect();
+        let arc = Arc::new(rows.clone());
+        let b = Batch::shared(Arc::clone(&arc)).take_prefix(3);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_full_shared());
+        assert_eq!(b.into_rows(), rows[..3].to_vec());
+        let g = Gathered::from_batches(vec![Batch::shared(Arc::clone(&arc))]);
+        assert!(matches!(g, Gathered::Shared(_)));
+        let g = Gathered::from_batches(vec![
+            Batch::Owned(rows[..2].to_vec()),
+            Batch::shared(arc).take_prefix(1),
+        ]);
+        assert_eq!(
+            g.into_rows(),
+            vec![rows[0].clone(), rows[1].clone(), rows[0].clone()]
+        );
+    }
+}

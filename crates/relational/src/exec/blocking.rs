@@ -1,0 +1,797 @@
+//! Lane-aware kernels for the blocking operators: hash-join build/probe,
+//! grouped aggregation, pivot, and sort.
+//!
+//! These are the [`ExecMode::Vectorized`](super::ExecMode::Vectorized)
+//! counterparts of the row kernels shared with the materializing
+//! interpreter (`probe_rows` here, `aggregate_rows` / `pivot_rows` /
+//! `sort_rows` in [`crate::algebra`]). Each one consumes typed column
+//! lanes ([`super::batch`]) instead of materializing a `Vec<Value>` key or
+//! fetching `Value`s per row:
+//!
+//! * **Join** builds a `u64-hash → build positions` index from
+//!   [`key_hashes`] and probes with the same hashes; candidates verify
+//!   with [`keys_eq`], so the emitted (probe row × postings) sequence is
+//!   identical to the `HashMap<Vec<Value>, _>` index the row kernel uses.
+//! * **Aggregation** ([`lane_aggregate`]) groups by lane hash and feeds
+//!   INT/FLOAT source columns into [`AggAcc`] through monomorphic
+//!   `update_int` / `update_float` calls; every other source type goes
+//!   through the generic `update`, so accumulator semantics cannot drift.
+//! * **Pivot** ([`pivot_lanes`]) fills its slot map from the key-lane
+//!   hashes and reads attribute names off a string lane, falling back to
+//!   the row kernel wholesale when the attribute column is not uniformly
+//!   text (the fallback reports the exact row-kernel error).
+//! * **Sort** ([`sort_gathered`]) sorts an index permutation against
+//!   pre-shredded [`SortKeys`]; the parallel path stable-sorts each morsel
+//!   run and merges adjacent runs pairwise ("merge path"), with the left
+//!   run winning ties — provably equal to a full stable sort, so the
+//!   output is byte-identical to `sort_rows` at any morsel size or thread
+//!   count.
+//!
+//! Every kernel here is held to the executor's hard bar: rows, order, and
+//! first-error-in-row-order byte-identical to the row path (and thus to
+//! the materializing oracle) — see `tests/exec_vectorized.rs` and the
+//! 4-lane property suite.
+
+use super::batch::{
+    build_lane, key_hashes, keys_eq, Gathered, HashBuckets, Lane, SortKeys, HASH_SEED,
+};
+use super::morsel::{morsel_bounds, n_morsels, run_tasks};
+use super::ExecConfig;
+use crate::algebra::{cast_text, pivot_rows, sort_rows, AggAcc, Aggregate, JoinKind};
+use crate::error::{RelError, RelResult};
+use crate::schema::Schema;
+use crate::table::Row;
+use crate::value::{DataType, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// Probe one chunk of left rows against a `Vec<Value>`-keyed build index —
+/// the row kernel, used by [`ExecMode::Streaming`](super::ExecMode::Streaming)
+/// and shared with the morsel-parallel probe.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn probe_rows(
+    lrows: &[Row],
+    index: &HashMap<Vec<Value>, Vec<usize>>,
+    right: &[Row],
+    l_idx: &[usize],
+    kind: JoinKind,
+    l_arity: usize,
+    r_arity: usize,
+) -> Vec<Row> {
+    let mut out: Vec<Row> = Vec::with_capacity(lrows.len());
+    for lrow in lrows {
+        let key: Vec<Value> = l_idx.iter().map(|&i| lrow[i].clone()).collect();
+        let hit = if key.iter().any(|v| v.is_null()) {
+            None
+        } else {
+            index.get(&key)
+        };
+        match hit {
+            Some(positions) => {
+                for &ri in positions {
+                    let rrow = &right[ri];
+                    let mut row = Vec::with_capacity(l_arity + r_arity);
+                    row.extend(lrow.iter().cloned());
+                    row.extend(rrow.iter().cloned());
+                    out.push(row);
+                }
+            }
+            None if kind == JoinKind::Left => {
+                let mut row = Vec::with_capacity(l_arity + r_arity);
+                row.extend(lrow.iter().cloned());
+                row.extend(std::iter::repeat_n(Value::Null, r_arity));
+                out.push(row);
+            }
+            None => {}
+        }
+    }
+    out
+}
+
+/// Serial `Vec<Value>`-keyed index build (the streaming lane's serial
+/// path; the parallel variant lives in [`super::morsel::par_build_index`]).
+pub(super) fn build_value_index(rows: &[Row], r_idx: &[usize]) -> HashMap<Vec<Value>, Vec<usize>> {
+    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (at, row) in rows.iter().enumerate() {
+        let key: Vec<Value> = r_idx.iter().map(|&i| row[i].clone()).collect();
+        if !key.iter().any(|v| v.is_null()) {
+            index.entry(key).or_default().push(at);
+        }
+    }
+    index
+}
+
+/// Lane-hash join index: `u64 key hash → build-side row positions`, in
+/// build-row order. NULL keys are absent (SQL: NULL never matches). Hash
+/// collisions are resolved at probe time with [`keys_eq`], so the postings
+/// a probe row actually joins against are exactly the `Vec<Value>`-keyed
+/// index's postings, in the same order.
+pub(super) struct HashIndex {
+    buckets: HashBuckets<Vec<u32>>,
+}
+
+pub(super) fn build_hash_index(rows: &[Row], schema: &Schema, idx: &[usize]) -> HashIndex {
+    let (hashes, has_null) = key_hashes(rows, schema, idx);
+    let mut buckets: HashBuckets<Vec<u32>> = HashBuckets::default();
+    for i in 0..rows.len() {
+        if !has_null[i] {
+            buckets.entry(hashes[i]).or_default().push(i as u32);
+        }
+    }
+    HashIndex { buckets }
+}
+
+/// Morsel-parallel lane-hash index build: morsel-local buckets (with
+/// global row positions) merged in morsel order, so every postings list
+/// stays sorted by build-row position exactly like a serial build.
+pub(super) fn par_build_hash_index(
+    rows: &[Row],
+    schema: &Schema,
+    idx: &[usize],
+    cfg: ExecConfig,
+) -> HashIndex {
+    let parts = run_tasks(n_morsels(rows.len(), cfg.morsel_size), cfg.threads, |m| {
+        let (lo, hi) = morsel_bounds(m, rows.len(), cfg.morsel_size);
+        let (hashes, has_null) = key_hashes(&rows[lo..hi], schema, idx);
+        let mut buckets: HashBuckets<Vec<u32>> = HashBuckets::default();
+        for off in 0..hi - lo {
+            if !has_null[off] {
+                buckets
+                    .entry(hashes[off])
+                    .or_default()
+                    .push((lo + off) as u32);
+            }
+        }
+        buckets
+    });
+    let mut parts = parts.into_iter();
+    let mut buckets = parts.next().unwrap_or_default();
+    for part in parts {
+        for (h, mut positions) in part {
+            buckets.entry(h).or_default().append(&mut positions);
+        }
+    }
+    HashIndex { buckets }
+}
+
+/// Probe a chunk of left rows against the lane-hash index. Key hashes come
+/// off the probe side's lanes; candidate postings are verified with
+/// [`keys_eq`] in postings order, so output rows, order, and left-join
+/// NULL padding match [`probe_rows`] byte for byte.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn probe_hash(
+    lrows: &[Row],
+    lschema: &Schema,
+    index: &HashIndex,
+    right: &[Row],
+    l_idx: &[usize],
+    r_idx: &[usize],
+    kind: JoinKind,
+    l_arity: usize,
+    r_arity: usize,
+) -> Vec<Row> {
+    let (hashes, has_null) = key_hashes(lrows, lschema, l_idx);
+    let mut out: Vec<Row> = Vec::with_capacity(lrows.len());
+    for (i, lrow) in lrows.iter().enumerate() {
+        let mut matched = false;
+        if !has_null[i] {
+            if let Some(cands) = index.buckets.get(&hashes[i]) {
+                for &ri in cands {
+                    let rrow = &right[ri as usize];
+                    if keys_eq(lrow, l_idx, rrow, r_idx) {
+                        matched = true;
+                        let mut row = Vec::with_capacity(l_arity + r_arity);
+                        row.extend(lrow.iter().cloned());
+                        row.extend(rrow.iter().cloned());
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        if !matched && kind == JoinKind::Left {
+            let mut row = Vec::with_capacity(l_arity + r_arity);
+            row.extend(lrow.iter().cloned());
+            row.extend(std::iter::repeat_n(Value::Null, r_arity));
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Morsel-parallel lane-hash probe: per-morsel [`probe_hash`] outputs
+/// concatenated in morsel order (the serial row order).
+#[allow(clippy::too_many_arguments)]
+pub(super) fn par_probe_hash(
+    lrows: &[Row],
+    lschema: &Schema,
+    index: &HashIndex,
+    right: &[Row],
+    l_idx: &[usize],
+    r_idx: &[usize],
+    kind: JoinKind,
+    l_arity: usize,
+    r_arity: usize,
+    cfg: ExecConfig,
+) -> Vec<Row> {
+    let parts = run_tasks(n_morsels(lrows.len(), cfg.morsel_size), cfg.threads, |m| {
+        let (lo, hi) = morsel_bounds(m, lrows.len(), cfg.morsel_size);
+        probe_hash(
+            &lrows[lo..hi],
+            lschema,
+            index,
+            right,
+            l_idx,
+            r_idx,
+            kind,
+            l_arity,
+            r_arity,
+        )
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Morsel-parallel [`key_hashes`]: per-morsel hash chunks concatenated in
+/// morsel order (hashing is per-row, so the result is position-identical).
+pub(super) fn par_key_hashes(
+    rows: &[Row],
+    schema: &Schema,
+    idx: &[usize],
+    cfg: ExecConfig,
+) -> (Vec<u64>, Vec<bool>) {
+    let parts = run_tasks(n_morsels(rows.len(), cfg.morsel_size), cfg.threads, |m| {
+        let (lo, hi) = morsel_bounds(m, rows.len(), cfg.morsel_size);
+        key_hashes(&rows[lo..hi], schema, idx)
+    });
+    let mut hashes = Vec::with_capacity(rows.len());
+    let mut has_null = Vec::with_capacity(rows.len());
+    for (h, n) in parts {
+        hashes.extend(h);
+        has_null.extend(n);
+    }
+    (hashes, has_null)
+}
+
+// ---------------------------------------------------------------------------
+// Lane-aware grouped aggregation
+// ---------------------------------------------------------------------------
+
+/// Where one aggregate reads its per-row input from: a typed lane (the
+/// vectorized fast path, feeding `AggAcc::update_int` / `update_float`),
+/// or the generic row fallback (`AggAcc::update`, so Bool/Text/Date and
+/// mixed-storage columns keep identical semantics by construction).
+enum AggSrc {
+    CountAll,
+    Col(usize),
+    Int(Vec<i64>, Vec<bool>),
+    Float(Vec<f64>, Vec<bool>),
+}
+
+struct LaneGroup {
+    hash: u64,
+    /// First input row of this group: supplies the emitted key values
+    /// (the row the serial kernel cloned its key from).
+    rep: u32,
+    accs: Vec<AggAcc>,
+}
+
+/// Grouped aggregation state over lane-hashed keys, mirroring
+/// `algebra::GroupedAggState`: groups in first-seen order, a bucket map
+/// from key hash to group slots, and per-group accumulators. Partial
+/// states over disjoint morsel ranges merge in morsel order.
+pub(super) struct LaneAggState<'a> {
+    rows: &'a [Row],
+    buckets: HashBuckets<Vec<u32>>,
+    groups: Vec<LaneGroup>,
+    n_aggs: usize,
+}
+
+impl<'a> LaneAggState<'a> {
+    fn new(rows: &'a [Row], global: bool, n_aggs: usize) -> LaneAggState<'a> {
+        let mut st = LaneAggState {
+            rows,
+            buckets: HashBuckets::default(),
+            groups: Vec::new(),
+            n_aggs,
+        };
+        if global {
+            // Global aggregation always emits exactly one row, even over
+            // zero input rows; the rep index is never read (no key
+            // columns), so 0 is safe on an empty input.
+            st.buckets.insert(HASH_SEED, vec![0]);
+            st.groups.push(LaneGroup {
+                hash: HASH_SEED,
+                rep: 0,
+                accs: vec![AggAcc::default(); n_aggs],
+            });
+        }
+        st
+    }
+
+    /// Group slot for the key of input row `rep` (hash `h`), or `None`.
+    fn find_group(&self, h: u64, rep: usize, g_idx: &[usize]) -> Option<usize> {
+        self.buckets
+            .get(&h)?
+            .iter()
+            .copied()
+            .find(|&g| {
+                keys_eq(
+                    &self.rows[rep],
+                    g_idx,
+                    &self.rows[self.groups[g as usize].rep as usize],
+                    g_idx,
+                )
+            })
+            .map(|g| g as usize)
+    }
+
+    fn insert_group(&mut self, h: u64, rep: u32, accs: Vec<AggAcc>) -> usize {
+        let g = self.groups.len();
+        self.buckets.entry(h).or_default().push(g as u32);
+        self.groups.push(LaneGroup { hash: h, rep, accs });
+        g
+    }
+
+    /// Fold input rows `lo..hi` into the state, columnar: key hashes and
+    /// INT/FLOAT aggregate sources come off lanes built once per range;
+    /// rows then update their group's accumulators in row order (which is
+    /// what keeps the serial FLOAT running sum bit-identical to the row
+    /// kernel's).
+    fn update_range(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        schema: &Schema,
+        g_idx: &[usize],
+        agg_idx: &[Option<usize>],
+    ) {
+        let rows = self.rows;
+        let slice = &rows[lo..hi];
+        let (hashes, _) = key_hashes(slice, schema, g_idx);
+        let srcs: Vec<AggSrc> = agg_idx
+            .iter()
+            .map(|idx| match idx {
+                None => AggSrc::CountAll,
+                Some(c) => match build_lane(slice, *c, schema.columns()[*c].data_type) {
+                    Lane::Int { vals, nulls } => AggSrc::Int(vals, nulls),
+                    Lane::Float { vals, nulls } => AggSrc::Float(vals, nulls),
+                    _ => AggSrc::Col(*c),
+                },
+            })
+            .collect();
+        for off in 0..slice.len() {
+            let i = lo + off;
+            let slot = match self.find_group(hashes[off], i, g_idx) {
+                Some(g) => g,
+                None => {
+                    self.insert_group(hashes[off], i as u32, vec![AggAcc::default(); self.n_aggs])
+                }
+            };
+            let accs = &mut self.groups[slot].accs;
+            for (src, acc) in srcs.iter().zip(accs.iter_mut()) {
+                match src {
+                    AggSrc::CountAll => acc.update(None, &rows[i]),
+                    AggSrc::Col(c) => acc.update(Some(*c), &rows[i]),
+                    AggSrc::Int(vals, nulls) => {
+                        if nulls[off] {
+                            acc.update_null();
+                        } else {
+                            acc.update_int(vals[off]);
+                        }
+                    }
+                    AggSrc::Float(vals, nulls) => {
+                        if nulls[off] {
+                            acc.update_null();
+                        } else {
+                            acc.update_float(vals[off]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge a partial state over a *later* morsel range, walking the
+    /// other state's groups in its first-seen order — the same rule as
+    /// `GroupedAggState::merge`, so group output order stays first-seen
+    /// across the whole input.
+    fn merge(&mut self, other: LaneAggState<'a>, g_idx: &[usize]) {
+        for g in other.groups {
+            match self.find_group(g.hash, g.rep as usize, g_idx) {
+                Some(slot) => {
+                    let accs = &mut self.groups[slot].accs;
+                    for (acc, inc) in accs.iter_mut().zip(g.accs) {
+                        acc.merge(inc);
+                    }
+                }
+                None => {
+                    self.insert_group(g.hash, g.rep, g.accs);
+                }
+            }
+        }
+    }
+
+    /// Emit one row per group in first-seen order: key values cloned from
+    /// the group's first input row, then each accumulator's final value.
+    fn finish(self, g_idx: &[usize], aggregates: &[Aggregate]) -> Vec<Row> {
+        let rows = self.rows;
+        self.groups
+            .into_iter()
+            .map(|g| {
+                let mut row: Row = g_idx
+                    .iter()
+                    .map(|&c| rows[g.rep as usize][c].clone())
+                    .collect();
+                for (a, acc) in aggregates.iter().zip(g.accs) {
+                    row.push(acc.finish(&a.func));
+                }
+                row
+            })
+            .collect()
+    }
+}
+
+/// Serial lane-aware grouped aggregation; byte-identical to
+/// `aggregate_rows` (group order, key representation, accumulator
+/// semantics — including the order-sensitive FLOAT running sum, which this
+/// serial kernel feeds in row order exactly like the row path).
+pub(super) fn lane_aggregate(
+    rows: &[Row],
+    schema: &Schema,
+    g_idx: &[usize],
+    agg_idx: &[Option<usize>],
+    aggregates: &[Aggregate],
+) -> Vec<Row> {
+    let mut st = LaneAggState::new(rows, g_idx.is_empty(), aggregates.len());
+    st.update_range(0, rows.len(), schema, g_idx, agg_idx);
+    st.finish(g_idx, aggregates)
+}
+
+/// Morsel-parallel lane-aware aggregation: per-morsel partial states
+/// merged in morsel order. Only called when every SUM/AVG input is
+/// non-FLOAT (the same associativity gate as `morsel::par_aggregate`).
+pub(super) fn par_lane_aggregate(
+    rows: &[Row],
+    schema: &Schema,
+    g_idx: &[usize],
+    agg_idx: &[Option<usize>],
+    aggregates: &[Aggregate],
+    cfg: ExecConfig,
+) -> Vec<Row> {
+    let global = g_idx.is_empty();
+    let n_aggs = aggregates.len();
+    let parts = run_tasks(n_morsels(rows.len(), cfg.morsel_size), cfg.threads, |m| {
+        let (lo, hi) = morsel_bounds(m, rows.len(), cfg.morsel_size);
+        let mut st = LaneAggState::new(rows, global, n_aggs);
+        st.update_range(lo, hi, schema, g_idx, agg_idx);
+        st
+    });
+    let mut parts = parts.into_iter();
+    let mut st = parts
+        .next()
+        .unwrap_or_else(|| LaneAggState::new(rows, global, n_aggs));
+    for part in parts {
+        st.merge(part, g_idx);
+    }
+    st.finish(g_idx, aggregates)
+}
+
+// ---------------------------------------------------------------------------
+// Lane-aware pivot
+// ---------------------------------------------------------------------------
+
+/// Pivot EAV rows with the slot map keyed by lane hashes and attribute
+/// names read off a string lane. If the attribute column is not uniformly
+/// text the whole kernel falls back to [`pivot_rows`], which reports the
+/// row kernel's exact non-text error at the first offending row; a NULL
+/// attribute raises the same error here (NULL demotes to the null mask,
+/// not to the fallback). Slot creation, silent skipping of unknown
+/// attributes, NULL-value skipping, and `cast_text` error order all mirror
+/// the row kernel statement for statement.
+pub(super) fn pivot_lanes(
+    rows: &[Row],
+    schema: &Schema,
+    key_idx: &[usize],
+    attr_idx: usize,
+    val_idx: usize,
+    attrs: &[(String, DataType)],
+) -> RelResult<Vec<Row>> {
+    let Lane::Str {
+        vals: attr_vals,
+        nulls: attr_nulls,
+    } = build_lane(rows, attr_idx, DataType::Text)
+    else {
+        return pivot_rows(rows, key_idx, attr_idx, val_idx, attrs);
+    };
+    let (hashes, _) = key_hashes(rows, schema, key_idx);
+    let klen = key_idx.len();
+    // Out rows store the key in positions 0..klen.
+    let out_key_idx: Vec<usize> = (0..klen).collect();
+    let mut out: Vec<Row> = Vec::new();
+    let mut buckets: HashBuckets<Vec<u32>> = HashBuckets::default();
+    // EAV inputs cluster one entity's attribute rows together, so remember
+    // the previous row's slot and skip the bucket probe for key runs. The
+    // cache is verified with the same hash + `keys_eq` test the bucket walk
+    // would apply, so slot assignment is unchanged.
+    let mut last: Option<(u64, usize)> = None;
+    for (i, row) in rows.iter().enumerate() {
+        let cached =
+            last.filter(|&(h, s)| h == hashes[i] && keys_eq(row, key_idx, &out[s], &out_key_idx));
+        let slot = match cached {
+            Some((_, s)) => s,
+            None => {
+                let bucket = buckets.entry(hashes[i]).or_default();
+                match bucket
+                    .iter()
+                    .copied()
+                    .find(|&s| keys_eq(row, key_idx, &out[s as usize], &out_key_idx))
+                {
+                    Some(s) => s as usize,
+                    None => {
+                        let s = out.len();
+                        bucket.push(s as u32);
+                        let mut r: Row = Vec::with_capacity(klen + attrs.len());
+                        r.extend(key_idx.iter().map(|&c| row[c].clone()));
+                        r.extend(std::iter::repeat_n(Value::Null, attrs.len()));
+                        out.push(r);
+                        s
+                    }
+                }
+            }
+        };
+        last = Some((hashes[i], slot));
+        if attr_nulls[i] {
+            return Err(RelError::Eval(format!(
+                "pivot attribute column holds non-text value {}",
+                Value::Null
+            )));
+        }
+        // Attribute lists are short (one entry per output column), so a
+        // linear scan beats hashing the attribute string every row.
+        if let Some(pos) = attrs.iter().position(|(name, _)| name == attr_vals[i]) {
+            let v = match &row[val_idx] {
+                Value::Null => continue,
+                Value::Text(t) => cast_text(t, attrs[pos].1)?,
+                other => cast_text(&other.to_string(), attrs[pos].1)?,
+            };
+            out[slot][klen + pos] = v;
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Sort: lane keys + parallel merge path
+// ---------------------------------------------------------------------------
+
+/// Sort a gathered input. Serial streaming is `sort_rows` unchanged;
+/// serial vectorized stable-sorts an index permutation against
+/// [`SortKeys`] and applies it with O(n) row moves. The parallel path
+/// (both modes) stable-sorts per-morsel index runs and merges adjacent
+/// runs pairwise with left-wins-ties — equivalent to one full stable sort,
+/// so the output is independent of morsel size and thread count and
+/// byte-identical to the serial kernels.
+pub(super) fn sort_gathered(
+    g: Gathered,
+    schema: &Schema,
+    idxs: &[usize],
+    cfg: ExecConfig,
+    vectorized: bool,
+) -> Vec<Row> {
+    let n = g.as_slice().len();
+    if !cfg.parallel_for(n) {
+        if !vectorized {
+            let mut rows = g.into_rows();
+            sort_rows(&mut rows, idxs);
+            return rows;
+        }
+        let rows = g.into_rows();
+        let perm = {
+            let keys = SortKeys::build(&rows, schema, idxs);
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            // Stable sort over ascending initial indices == stable row sort.
+            perm.sort_by(|&a, &b| keys.cmp(a as usize, b as usize));
+            perm
+        };
+        return apply_perm(rows, &perm);
+    }
+    let rows = g.into_rows();
+    let perm = if vectorized {
+        let keys = SortKeys::build(&rows, schema, idxs);
+        par_sort_indices(n, cfg, |a, b| keys.cmp(a, b))
+    } else {
+        par_sort_indices(n, cfg, |a, b| {
+            idxs.iter()
+                .map(|&c| rows[a][c].total_cmp(&rows[b][c]))
+                .find(|o| !o.is_eq())
+                .unwrap_or(Ordering::Equal)
+        })
+    };
+    apply_perm(rows, &perm)
+}
+
+/// Reorder `rows` by the permutation with O(n) moves (no row clones).
+fn apply_perm(rows: Vec<Row>, perm: &[u32]) -> Vec<Row> {
+    let mut src: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
+    perm.iter()
+        .map(|&i| {
+            src[i as usize]
+                .take()
+                .expect("permutation visits each row once")
+        })
+        .collect()
+}
+
+/// Parallel merge-path index sort: stable-sort each morsel's index run,
+/// then repeatedly merge adjacent run pairs (an odd trailing run carries
+/// over) until one run remains. Runs always cover ascending disjoint
+/// position ranges, so left-wins-ties at every merge reproduces global
+/// stable-sort order.
+fn par_sort_indices(
+    n: usize,
+    cfg: ExecConfig,
+    cmp: impl Fn(usize, usize) -> Ordering + Sync,
+) -> Vec<u32> {
+    let mut runs: Vec<Vec<u32>> = run_tasks(n_morsels(n, cfg.morsel_size), cfg.threads, |m| {
+        let (lo, hi) = morsel_bounds(m, n, cfg.morsel_size);
+        let mut run: Vec<u32> = (lo as u32..hi as u32).collect();
+        run.sort_by(|&a, &b| cmp(a as usize, b as usize));
+        run
+    });
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    while runs.len() > 1 {
+        let pairs = runs.len() / 2;
+        let mut merged = run_tasks(pairs, cfg.threads, |p| {
+            merge_runs(&runs[2 * p], &runs[2 * p + 1], &cmp)
+        });
+        if runs.len() % 2 == 1 {
+            merged.push(runs.pop().expect("odd run checked non-empty"));
+        }
+        runs = merged;
+    }
+    runs.pop().expect("one run remains")
+}
+
+/// Two-pointer merge of sorted index runs; the left run wins ties (its
+/// positions precede the right run's, which is what stability demands).
+fn merge_runs<F: Fn(usize, usize) -> Ordering>(a: &[u32], b: &[u32], cmp: &F) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(a[i] as usize, b[j] as usize) != Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{aggregate_rows, AggFunc};
+    use crate::schema::Column;
+
+    fn kv_schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Float),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn kv_rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i % 3)
+                    },
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(i as f64 / 2.0)
+                    },
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hash_index_probe_matches_row_probe() {
+        let schema = kv_schema();
+        let rows = kv_rows(50);
+        let value_index = build_value_index(&rows, &[0]);
+        let hash_index = build_hash_index(&rows, &schema, &[0]);
+        for kind in [JoinKind::Inner, JoinKind::Left] {
+            let want = probe_rows(&rows, &value_index, &rows, &[0], kind, 2, 2);
+            let got = probe_hash(&rows, &schema, &hash_index, &rows, &[0], &[0], kind, 2, 2);
+            assert_eq!(got, want, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn lane_aggregate_matches_row_aggregate() {
+        let schema = kv_schema();
+        let rows = kv_rows(60);
+        let aggregates = vec![
+            Aggregate {
+                func: AggFunc::CountAll,
+                alias: "n".into(),
+            },
+            Aggregate {
+                func: AggFunc::Sum("v".into()),
+                alias: "sv".into(),
+            },
+            Aggregate {
+                func: AggFunc::Min("v".into()),
+                alias: "mv".into(),
+            },
+        ];
+        let agg_idx = vec![None, Some(1), Some(1)];
+        for g_idx in [vec![0], vec![]] {
+            let want = aggregate_rows(&rows, &g_idx, &agg_idx, &aggregates);
+            let got = lane_aggregate(&rows, &schema, &g_idx, &agg_idx, &aggregates);
+            assert_eq!(got, want, "group by {g_idx:?}");
+            let par = par_lane_aggregate(
+                &rows,
+                &schema,
+                &g_idx,
+                &agg_idx,
+                &aggregates,
+                ExecConfig {
+                    threads: 3,
+                    parallel_threshold: 1,
+                    morsel_size: 7,
+                    ..ExecConfig::serial()
+                },
+            );
+            assert_eq!(par, want, "parallel, group by {g_idx:?}");
+        }
+    }
+
+    #[test]
+    fn merge_path_sort_is_stable_at_any_morsel_size() {
+        let schema = kv_schema();
+        let rows = kv_rows(120);
+        let mut want = rows.clone();
+        sort_rows(&mut want, &[0]);
+        for morsel in [1, 7, 64, 1024] {
+            let cfg = ExecConfig {
+                threads: 4,
+                parallel_threshold: 1,
+                morsel_size: morsel,
+                ..ExecConfig::serial()
+            };
+            for vectorized in [false, true] {
+                let got = sort_gathered(
+                    Gathered::Owned(rows.clone()),
+                    &schema,
+                    &[0],
+                    cfg,
+                    vectorized,
+                );
+                assert_eq!(got, want, "morsel {morsel}, vectorized {vectorized}");
+            }
+        }
+    }
+}

@@ -45,12 +45,14 @@
 //! observable in the output. The mutexes are uncontended in the common
 //! case — a steal happens once per range imbalance, not once per morsel.
 
+use super::blocking::probe_rows;
 use super::vector::{self, StageProg};
-use super::{apply_stages, probe_rows, ExecConfig, Flow, Stage};
-use crate::algebra::{pivot_rows, Aggregate, GroupedAggState, JoinKind};
+use super::{apply_stages, ExecConfig, Flow, Stage};
+use crate::algebra::{Aggregate, GroupedAggState, JoinKind};
 use crate::error::RelResult;
+use crate::schema::Schema;
 use crate::table::Row;
-use crate::value::{DataType, Value};
+use crate::value::Value;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,12 +79,12 @@ pub fn scheduler_runs() -> u64 {
 }
 
 /// Number of morsels covering `rows` input rows.
-fn n_morsels(rows: usize, morsel: usize) -> usize {
+pub(super) fn n_morsels(rows: usize, morsel: usize) -> usize {
     rows.div_ceil(morsel.max(1))
 }
 
 /// Half-open row range `[lo, hi)` of morsel `i`.
-fn morsel_bounds(i: usize, rows: usize, morsel: usize) -> (usize, usize) {
+pub(super) fn morsel_bounds(i: usize, rows: usize, morsel: usize) -> (usize, usize) {
     let m = morsel.max(1);
     (i * m, usize::min((i + 1) * m, rows))
 }
@@ -146,7 +148,7 @@ fn next_task(w: usize, queues: &[WorkerQueue]) -> Option<usize> {
 /// stealing, returning the results **indexed by task** — scheduling order
 /// is unobservable. With one effective worker (or one task) this runs
 /// inline on the caller's thread without touching the scheduler.
-fn run_tasks<T, F>(n_tasks: usize, threads: usize, f: F) -> Vec<T>
+pub(super) fn run_tasks<T, F>(n_tasks: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -308,23 +310,24 @@ pub(super) fn par_aggregate(
     st.finish(aggregates)
 }
 
-/// Pivot EAV rows morsel-parallel: each morsel pivots independently, then
-/// partial wide rows merge entity-by-entity in morsel order. A partial's
-/// NULL cell means "no write in that morsel", so skipping NULLs while
-/// merging reproduces the serial rule that the last written value wins.
+/// Pivot EAV rows morsel-parallel: each morsel pivots independently
+/// through `kernel` (the row kernel shared with the interpreter, or the
+/// lane kernel in vectorized mode — both produce identical wide rows),
+/// then partial wide rows merge entity-by-entity in morsel order. A
+/// partial's NULL cell means "no write in that morsel", so skipping NULLs
+/// while merging reproduces the serial rule that the last written value
+/// wins. `klen` is the number of leading entity-key columns in each wide
+/// row.
 pub(super) fn par_pivot(
     rows: &[Row],
-    key_idx: &[usize],
-    attr_idx: usize,
-    val_idx: usize,
-    attrs: &[(String, DataType)],
+    klen: usize,
     cfg: ExecConfig,
+    kernel: impl Fn(&[Row]) -> RelResult<Vec<Row>> + Sync,
 ) -> RelResult<Vec<Row>> {
     let parts = run_tasks(n_morsels(rows.len(), cfg.morsel_size), cfg.threads, |m| {
         let (lo, hi) = morsel_bounds(m, rows.len(), cfg.morsel_size);
-        pivot_rows(&rows[lo..hi], key_idx, attr_idx, val_idx, attrs)
+        kernel(&rows[lo..hi])
     });
-    let klen = key_idx.len();
     let mut slots: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut out: Vec<Row> = Vec::new();
     for part in parts {
@@ -346,6 +349,21 @@ pub(super) fn par_pivot(
         }
     }
     Ok(out)
+}
+
+/// Validate rows against `schema` morsel-parallel (union NOT NULL
+/// re-checks). Each morsel checks its rows in order and the lowest-index
+/// failing morsel's error wins, so the reported violation is the one the
+/// globally first offending row raises — same as a serial check.
+pub(super) fn par_check_rows(rows: &[Row], schema: &Schema, cfg: ExecConfig) -> RelResult<()> {
+    let parts = run_tasks(n_morsels(rows.len(), cfg.morsel_size), cfg.threads, |m| {
+        let (lo, hi) = morsel_bounds(m, rows.len(), cfg.morsel_size);
+        rows[lo..hi].iter().try_for_each(|r| schema.check_row(r))
+    });
+    for part in parts {
+        part?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

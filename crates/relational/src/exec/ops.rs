@@ -1,0 +1,821 @@
+//! The push-based physical operator layer: one [`PhysicalOperator`] trait
+//! that every operator implements, one [`OpTree`] shape that `compile`
+//! produces, and one [`drive`] loop that executes it.
+//!
+//! # Execution model
+//!
+//! [`drive`] walks the tree bottom-up: for each node it calls `open`,
+//! drives every child in order — pushing each child batch tagged with its
+//! input index — and finally calls `finish` to collect the node's output
+//! batches. Children are driven *fully, in child order*: input 0 is
+//! exhausted before input 1 produces its first batch. For a join that
+//! means the build side (input 0, the plan's right child) is always
+//! complete before a probe row is read — the same runtime order the
+//! pull-based executor had — and for a union it means children concatenate
+//! in declaration order.
+//!
+//! Mode and parallelism selection happen **per operator, per batch**: each
+//! operator holds the session [`ExecConfig`] and dispatches to its
+//! row-streaming kernel, its lane-aware kernel (`exec::blocking`, in
+//! [`ExecMode::Vectorized`]), or the morsel-parallel variant (when the
+//! batch is a full shared-storage window that
+//! [`ExecConfig::parallel_for`](super::ExecConfig) accepts). Every
+//! dispatch target is byte-identical to every other — rows, order, and
+//! first-error-in-row-order — so the choice is invisible in the output.
+//!
+//! # Error ordering
+//!
+//! Errors surface where the old pull executor surfaced them for
+//! single-fault plans: a child's data-dependent error aborts the drive
+//! before the parent consumes the failing batch, blocking operators
+//! re-raise their kernel's first-row-order error, and `Limit` never cuts
+//! a drive short (its child is always fully driven, so an error past the
+//! cutoff still surfaces — the materializing interpreter evaluates the
+//! full input before truncating). Plans with several independent faults
+//! may report a different one of them than a pull-order executor would;
+//! the property suites hold all lanes to exact error parity on
+//! single-fault plans only, as before.
+
+use super::batch::{key_hashes, keys_eq, Batch, Gathered, HashBuckets};
+use super::blocking::{self, HashIndex};
+use super::morsel;
+use super::vector::{self, StageProg};
+use super::{apply_stages, ExecConfig, ExecMode, Flow, Stage, BATCH_SIZE};
+use crate::algebra::{aggregate_rows, pivot_rows, unpivot_rows, Aggregate, JoinKind};
+use crate::error::RelResult;
+use crate::schema::Schema;
+use crate::table::Row;
+use crate::value::{DataType, Value};
+use std::collections::{HashMap, HashSet};
+use std::mem;
+use std::sync::Arc;
+
+/// A push-based physical operator. The driver calls [`open`], pushes every
+/// input batch via [`push_batch`] (tagged with the producing child's
+/// index), and collects the output from [`finish`]. Streaming operators
+/// accumulate transformed batches as input arrives; blocking operators
+/// buffer until `finish` runs their kernel.
+///
+/// [`open`]: PhysicalOperator::open
+/// [`push_batch`]: PhysicalOperator::push_batch
+/// [`finish`]: PhysicalOperator::finish
+pub(super) trait PhysicalOperator {
+    /// One-time setup before any batch arrives (e.g. compiling columnar
+    /// stage programs).
+    fn open(&mut self) -> RelResult<()> {
+        Ok(())
+    }
+
+    /// Consume one batch from child `input`.
+    fn push_batch(&mut self, input: usize, batch: Batch) -> RelResult<()>;
+
+    /// All inputs are exhausted: emit the output batches.
+    fn finish(&mut self) -> RelResult<Vec<Batch>>;
+}
+
+/// A compiled physical plan: leaves are zero-copy handles on table
+/// storage, nodes are operators over their children's output.
+pub(super) enum OpTree<'p> {
+    /// A table's `Arc`-shared row storage, emitted as one zero-copy batch.
+    Leaf(Arc<Vec<Row>>),
+    Node {
+        op: Box<dyn PhysicalOperator + 'p>,
+        children: Vec<OpTree<'p>>,
+    },
+}
+
+/// Execute an operator tree: drive each child fully in order, pushing its
+/// batches into the parent, then finish the parent. The recursion is the
+/// entire control flow of the executor — operators never pull.
+pub(super) fn drive(tree: OpTree<'_>) -> RelResult<Vec<Batch>> {
+    match tree {
+        OpTree::Leaf(rows) => Ok(vec![Batch::shared(rows)]),
+        OpTree::Node { mut op, children } => {
+            op.open()?;
+            for (i, child) in children.into_iter().enumerate() {
+                for batch in drive(child)? {
+                    op.push_batch(i, batch)?;
+                }
+            }
+            op.finish()
+        }
+    }
+}
+
+/// Push `rows` as an owned output batch, dropping empties (operators never
+/// emit empty batches, matching the pull executor's contract).
+fn push_rows(out: &mut Vec<Batch>, rows: Vec<Row>) {
+    if !rows.is_empty() {
+        out.push(Batch::Owned(rows));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused Select/Project pipeline
+// ---------------------------------------------------------------------------
+
+/// Fused Select/Project chain: one pass per row (or one columnar pass per
+/// batch in [`ExecMode::Vectorized`]), no intermediate tables. A full
+/// shared-storage window large enough for the parallel path runs the whole
+/// chain morsel-parallel instead.
+pub(super) struct PipelineOp<'p> {
+    stages: Vec<Stage<'p>>,
+    /// Columnar stage programs, compiled once in [`open`] when the mode is
+    /// vectorized. Owned batches (child-produced rows the row path can
+    /// move rather than clone) stay on `apply_stages` — the fallback rule
+    /// of DESIGN.md §11.
+    ///
+    /// [`open`]: PhysicalOperator::open
+    programs: Option<Vec<StageProg>>,
+    cfg: ExecConfig,
+    out: Vec<Batch>,
+}
+
+impl<'p> PipelineOp<'p> {
+    pub(super) fn new(stages: Vec<Stage<'p>>, cfg: ExecConfig) -> PipelineOp<'p> {
+        PipelineOp {
+            stages,
+            programs: None,
+            cfg,
+            out: Vec::new(),
+        }
+    }
+}
+
+impl PhysicalOperator for PipelineOp<'_> {
+    fn open(&mut self) -> RelResult<()> {
+        if self.cfg.mode == ExecMode::Vectorized && !self.stages.is_empty() {
+            self.programs = Some(vector::compile_stages(&self.stages));
+        }
+        Ok(())
+    }
+
+    fn push_batch(&mut self, _input: usize, batch: Batch) -> RelResult<()> {
+        if self.stages.is_empty() {
+            self.out.push(batch);
+            return Ok(());
+        }
+        if batch.is_full_shared() && self.cfg.parallel_for(batch.len()) {
+            let rows = morsel::par_pipeline(
+                batch.as_slice(),
+                &self.stages,
+                self.programs.as_deref(),
+                self.cfg,
+            )?;
+            push_rows(&mut self.out, rows);
+            return Ok(());
+        }
+        match batch {
+            b @ Batch::Shared { .. } => {
+                // Serial shared window: process in BATCH_SIZE chunks so the
+                // pipeline's working set stays cache-sized, columnar when
+                // programs are compiled.
+                for chunk in b.as_slice().chunks(BATCH_SIZE) {
+                    let rows = match &self.programs {
+                        Some(progs) => vector::run_batch(&self.stages, progs, chunk)?,
+                        None => {
+                            let mut rows = Vec::with_capacity(chunk.len());
+                            for row in chunk {
+                                if let Some(r) = apply_stages(&self.stages, Flow::Borrowed(row))? {
+                                    rows.push(r);
+                                }
+                            }
+                            rows
+                        }
+                    };
+                    push_rows(&mut self.out, rows);
+                }
+            }
+            Batch::Owned(batch_rows) => {
+                let mut rows = Vec::with_capacity(batch_rows.len());
+                for row in batch_rows {
+                    if let Some(r) = apply_stages(&self.stages, Flow::Owned(row))? {
+                        rows.push(r);
+                    }
+                }
+                push_rows(&mut self.out, rows);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> RelResult<Vec<Batch>> {
+        Ok(mem::take(&mut self.out))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// The gathered build side plus its key index. In vectorized mode the
+/// index is lane-hashed (`u64` key hash → positions, candidates verified
+/// with [`keys_eq`] at probe time); in streaming mode it is the
+/// `Vec<Value>`-keyed map the row kernels use. Both index shapes yield the
+/// same postings in the same order for every probe row.
+struct BuildSide {
+    rows: Gathered,
+    index: JoinIndex,
+}
+
+enum JoinIndex {
+    Lanes(HashIndex),
+    Values(HashMap<Vec<Value>, Vec<usize>>),
+}
+
+/// Hash join. Input 0 is the **build** side (the plan's right child — the
+/// driver exhausts it before the probe child starts); input 1 probes. The
+/// index is built once, when the first probe batch arrives; both phases
+/// parallelize over full shared-storage windows.
+pub(super) struct JoinOp {
+    lschema: Schema,
+    rschema: Schema,
+    l_idx: Vec<usize>,
+    r_idx: Vec<usize>,
+    kind: JoinKind,
+    l_arity: usize,
+    r_arity: usize,
+    cfg: ExecConfig,
+    build_buf: Vec<Batch>,
+    build: Option<BuildSide>,
+    out: Vec<Batch>,
+}
+
+impl JoinOp {
+    pub(super) fn new(
+        lschema: Schema,
+        rschema: Schema,
+        l_idx: Vec<usize>,
+        r_idx: Vec<usize>,
+        kind: JoinKind,
+        cfg: ExecConfig,
+    ) -> JoinOp {
+        JoinOp {
+            l_arity: lschema.arity(),
+            r_arity: rschema.arity(),
+            lschema,
+            rschema,
+            l_idx,
+            r_idx,
+            kind,
+            cfg,
+            build_buf: Vec::new(),
+            build: None,
+            out: Vec::new(),
+        }
+    }
+
+    fn ensure_build(&mut self) {
+        if self.build.is_some() {
+            return;
+        }
+        let rows = Gathered::from_batches(mem::take(&mut self.build_buf));
+        let slice = rows.as_slice();
+        let par = self.cfg.parallel_for(slice.len());
+        let index = if self.cfg.mode == ExecMode::Vectorized {
+            JoinIndex::Lanes(if par {
+                blocking::par_build_hash_index(slice, &self.rschema, &self.r_idx, self.cfg)
+            } else {
+                blocking::build_hash_index(slice, &self.rschema, &self.r_idx)
+            })
+        } else {
+            JoinIndex::Values(if par {
+                morsel::par_build_index(slice, &self.r_idx, self.cfg)
+            } else {
+                blocking::build_value_index(slice, &self.r_idx)
+            })
+        };
+        self.build = Some(BuildSide { rows, index });
+    }
+}
+
+impl PhysicalOperator for JoinOp {
+    fn push_batch(&mut self, input: usize, batch: Batch) -> RelResult<()> {
+        if input == 0 {
+            self.build_buf.push(batch);
+            return Ok(());
+        }
+        self.ensure_build();
+        let build = self.build.as_ref().expect("build side indexed above");
+        let lrows = batch.as_slice();
+        let right = build.rows.as_slice();
+        let par = batch.is_full_shared() && self.cfg.parallel_for(batch.len());
+        let rows = match &build.index {
+            JoinIndex::Lanes(index) => {
+                if par {
+                    blocking::par_probe_hash(
+                        lrows,
+                        &self.lschema,
+                        index,
+                        right,
+                        &self.l_idx,
+                        &self.r_idx,
+                        self.kind,
+                        self.l_arity,
+                        self.r_arity,
+                        self.cfg,
+                    )
+                } else {
+                    blocking::probe_hash(
+                        lrows,
+                        &self.lschema,
+                        index,
+                        right,
+                        &self.l_idx,
+                        &self.r_idx,
+                        self.kind,
+                        self.l_arity,
+                        self.r_arity,
+                    )
+                }
+            }
+            JoinIndex::Values(index) => {
+                if par {
+                    morsel::par_probe(
+                        lrows,
+                        index,
+                        right,
+                        &self.l_idx,
+                        self.kind,
+                        self.l_arity,
+                        self.r_arity,
+                        self.cfg,
+                    )
+                } else {
+                    blocking::probe_rows(
+                        lrows,
+                        index,
+                        right,
+                        &self.l_idx,
+                        self.kind,
+                        self.l_arity,
+                        self.r_arity,
+                    )
+                }
+            }
+        };
+        push_rows(&mut self.out, rows);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> RelResult<Vec<Batch>> {
+        Ok(mem::take(&mut self.out))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Union
+// ---------------------------------------------------------------------------
+
+/// Bag union: batches pass straight through in child order. Rows from
+/// non-leading inputs are re-checked against the output schema only when
+/// some column is NOT NULL — the one way union rows can be rejected, since
+/// union compatibility already fixed the types — morsel-parallel for large
+/// shared windows.
+pub(super) struct UnionOp {
+    schema: Schema,
+    check_rows: bool,
+    cfg: ExecConfig,
+    out: Vec<Batch>,
+}
+
+impl UnionOp {
+    pub(super) fn new(schema: Schema, check_rows: bool, cfg: ExecConfig) -> UnionOp {
+        UnionOp {
+            schema,
+            check_rows,
+            cfg,
+            out: Vec::new(),
+        }
+    }
+}
+
+impl PhysicalOperator for UnionOp {
+    fn push_batch(&mut self, input: usize, batch: Batch) -> RelResult<()> {
+        if self.check_rows && input > 0 {
+            let rows = batch.as_slice();
+            if self.cfg.parallel_for(rows.len()) {
+                morsel::par_check_rows(rows, &self.schema, self.cfg)?;
+            } else {
+                for row in rows {
+                    self.schema.check_row(row)?;
+                }
+            }
+        }
+        self.out.push(batch);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> RelResult<Vec<Batch>> {
+        Ok(mem::take(&mut self.out))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distinct
+// ---------------------------------------------------------------------------
+
+/// δ dedup state: the streaming lane keeps the classic seen-set; the
+/// vectorized lane buckets first occurrences by lane key hash and verifies
+/// candidates with [`keys_eq`] — same equality relation (`Value` equality
+/// is `total_cmp`-consistent, and so is the lane hash), so both emit the
+/// identical first-occurrence sequence.
+enum DistinctState {
+    Rowwise { seen: HashSet<Row> },
+    Lanes { buckets: HashBuckets<Vec<u32>> },
+}
+
+/// Streaming δ: forwards first occurrences across all input batches.
+pub(super) struct DistinctOp {
+    schema: Schema,
+    /// All column positions — distinct keys on the whole row.
+    cols: Vec<usize>,
+    cfg: ExecConfig,
+    state: DistinctState,
+    kept: Vec<Row>,
+}
+
+impl DistinctOp {
+    pub(super) fn new(schema: Schema, cfg: ExecConfig) -> DistinctOp {
+        let state = if cfg.mode == ExecMode::Vectorized {
+            DistinctState::Lanes {
+                buckets: HashBuckets::default(),
+            }
+        } else {
+            DistinctState::Rowwise {
+                seen: HashSet::new(),
+            }
+        };
+        DistinctOp {
+            cols: (0..schema.arity()).collect(),
+            schema,
+            cfg,
+            state,
+            kept: Vec::new(),
+        }
+    }
+}
+
+impl PhysicalOperator for DistinctOp {
+    fn push_batch(&mut self, _input: usize, batch: Batch) -> RelResult<()> {
+        match &mut self.state {
+            DistinctState::Rowwise { seen } => {
+                for row in batch.into_rows() {
+                    if seen.insert(row.clone()) {
+                        self.kept.push(row);
+                    }
+                }
+            }
+            DistinctState::Lanes { buckets } => {
+                let rows = batch.as_slice();
+                // The hash pass is columnar (and morsel-parallel for large
+                // shared windows); the bucket walk stays serial to keep
+                // first-occurrence order.
+                let (hashes, _) = if self.cfg.parallel_for(rows.len()) {
+                    blocking::par_key_hashes(rows, &self.schema, &self.cols, self.cfg)
+                } else {
+                    key_hashes(rows, &self.schema, &self.cols)
+                };
+                for (i, row) in rows.iter().enumerate() {
+                    let bucket = buckets.entry(hashes[i]).or_default();
+                    let dup = bucket
+                        .iter()
+                        .any(|&s| keys_eq(row, &self.cols, &self.kept[s as usize], &self.cols));
+                    if !dup {
+                        bucket.push(self.kept.len() as u32);
+                        self.kept.push(row.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> RelResult<Vec<Batch>> {
+        let mut out = Vec::new();
+        push_rows(&mut out, mem::take(&mut self.kept));
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unpivot
+// ---------------------------------------------------------------------------
+
+/// Streaming un-pivot: each input batch expands independently into EAV
+/// triples, read in place when the input is a shared window.
+pub(super) struct UnpivotOp {
+    in_schema: Schema,
+    key_idx: Vec<usize>,
+    data_idx: Vec<usize>,
+    out: Vec<Batch>,
+}
+
+impl UnpivotOp {
+    pub(super) fn new(in_schema: Schema, key_idx: Vec<usize>, data_idx: Vec<usize>) -> UnpivotOp {
+        UnpivotOp {
+            in_schema,
+            key_idx,
+            data_idx,
+            out: Vec::new(),
+        }
+    }
+}
+
+impl PhysicalOperator for UnpivotOp {
+    fn push_batch(&mut self, _input: usize, batch: Batch) -> RelResult<()> {
+        let rows = unpivot_rows(
+            &self.in_schema,
+            batch.as_slice(),
+            &self.key_idx,
+            &self.data_idx,
+        );
+        push_rows(&mut self.out, rows);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> RelResult<Vec<Batch>> {
+        Ok(mem::take(&mut self.out))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking operators: aggregate, pivot, sort
+// ---------------------------------------------------------------------------
+
+/// Grouped aggregation: buffers its input, then dispatches on
+/// (mode, associativity × cardinality) to the lane kernel, the row kernel,
+/// or their morsel-parallel variants. SUM/AVG over FLOAT pins a serial
+/// kernel in either mode — `f64` addition is not associative, and both
+/// serial kernels add in row order, so results stay bit-identical.
+pub(super) struct AggregateOp<'p> {
+    in_schema: Schema,
+    out_schema: Schema,
+    g_idx: Vec<usize>,
+    agg_idx: Vec<Option<usize>>,
+    aggregates: &'p [Aggregate],
+    associative: bool,
+    cfg: ExecConfig,
+    buf: Vec<Batch>,
+}
+
+impl<'p> AggregateOp<'p> {
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn new(
+        in_schema: Schema,
+        out_schema: Schema,
+        g_idx: Vec<usize>,
+        agg_idx: Vec<Option<usize>>,
+        aggregates: &'p [Aggregate],
+        associative: bool,
+        cfg: ExecConfig,
+    ) -> AggregateOp<'p> {
+        AggregateOp {
+            in_schema,
+            out_schema,
+            g_idx,
+            agg_idx,
+            aggregates,
+            associative,
+            cfg,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl PhysicalOperator for AggregateOp<'_> {
+    fn push_batch(&mut self, _input: usize, batch: Batch) -> RelResult<()> {
+        self.buf.push(batch);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> RelResult<Vec<Batch>> {
+        let g = Gathered::from_batches(mem::take(&mut self.buf));
+        let rows = g.as_slice();
+        let par = self.associative && self.cfg.parallel_for(rows.len());
+        let out = match (self.cfg.mode == ExecMode::Vectorized, par) {
+            (true, true) => blocking::par_lane_aggregate(
+                rows,
+                &self.in_schema,
+                &self.g_idx,
+                &self.agg_idx,
+                self.aggregates,
+                self.cfg,
+            ),
+            (true, false) => blocking::lane_aggregate(
+                rows,
+                &self.in_schema,
+                &self.g_idx,
+                &self.agg_idx,
+                self.aggregates,
+            ),
+            (false, true) => {
+                morsel::par_aggregate(rows, &self.g_idx, &self.agg_idx, self.aggregates, self.cfg)
+            }
+            (false, false) => aggregate_rows(rows, &self.g_idx, &self.agg_idx, self.aggregates),
+        };
+        // Validate emitted rows exactly where the materializing
+        // interpreter's `from_rows` does — e.g. SUM over a TEXT column
+        // emits INT into a TEXT-typed output column.
+        for r in &out {
+            self.out_schema.check_row(r)?;
+        }
+        let mut batches = Vec::new();
+        push_rows(&mut batches, out);
+        Ok(batches)
+    }
+}
+
+/// Pivot: buffers its input, then runs the lane kernel
+/// ([`blocking::pivot_lanes`]) or the row kernel shared with the
+/// interpreter — per morsel when the input is large, with wide rows merged
+/// entity-by-entity in morsel order.
+pub(super) struct PivotOp<'p> {
+    in_schema: Schema,
+    key_idx: Vec<usize>,
+    attr_idx: usize,
+    val_idx: usize,
+    attrs: &'p [(String, DataType)],
+    cfg: ExecConfig,
+    buf: Vec<Batch>,
+}
+
+impl<'p> PivotOp<'p> {
+    pub(super) fn new(
+        in_schema: Schema,
+        key_idx: Vec<usize>,
+        attr_idx: usize,
+        val_idx: usize,
+        attrs: &'p [(String, DataType)],
+        cfg: ExecConfig,
+    ) -> PivotOp<'p> {
+        PivotOp {
+            in_schema,
+            key_idx,
+            attr_idx,
+            val_idx,
+            attrs,
+            cfg,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl PhysicalOperator for PivotOp<'_> {
+    fn push_batch(&mut self, _input: usize, batch: Batch) -> RelResult<()> {
+        self.buf.push(batch);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> RelResult<Vec<Batch>> {
+        let g = Gathered::from_batches(mem::take(&mut self.buf));
+        let rows = g.as_slice();
+        let kernel = |slice: &[Row]| {
+            if self.cfg.mode == ExecMode::Vectorized {
+                blocking::pivot_lanes(
+                    slice,
+                    &self.in_schema,
+                    &self.key_idx,
+                    self.attr_idx,
+                    self.val_idx,
+                    self.attrs,
+                )
+            } else {
+                pivot_rows(
+                    slice,
+                    &self.key_idx,
+                    self.attr_idx,
+                    self.val_idx,
+                    self.attrs,
+                )
+            }
+        };
+        let out = if self.cfg.parallel_for(rows.len()) {
+            morsel::par_pivot(rows, self.key_idx.len(), self.cfg, kernel)?
+        } else {
+            kernel(rows)?
+        };
+        let mut batches = Vec::new();
+        push_rows(&mut batches, out);
+        Ok(batches)
+    }
+}
+
+/// Sort: buffers its input, then sorts via [`blocking::sort_gathered`] —
+/// lane sort keys in vectorized mode, `sort_rows` in streaming mode, and
+/// the parallel merge-path kernel over sorted morsel runs for large inputs
+/// in either mode.
+pub(super) struct SortOp {
+    schema: Schema,
+    idxs: Vec<usize>,
+    cfg: ExecConfig,
+    buf: Vec<Batch>,
+}
+
+impl SortOp {
+    pub(super) fn new(schema: Schema, idxs: Vec<usize>, cfg: ExecConfig) -> SortOp {
+        SortOp {
+            schema,
+            idxs,
+            cfg,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl PhysicalOperator for SortOp {
+    fn push_batch(&mut self, _input: usize, batch: Batch) -> RelResult<()> {
+        self.buf.push(batch);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> RelResult<Vec<Batch>> {
+        let g = Gathered::from_batches(mem::take(&mut self.buf));
+        let rows = blocking::sort_gathered(
+            g,
+            &self.schema,
+            &self.idxs,
+            self.cfg,
+            self.cfg.mode == ExecMode::Vectorized,
+        );
+        let mut batches = Vec::new();
+        push_rows(&mut batches, rows);
+        Ok(batches)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Limit
+// ---------------------------------------------------------------------------
+
+/// Emits at most `n` rows. The driver still pushes every input batch —
+/// the child is always fully driven — so an error past the cutoff
+/// surfaces exactly as the materializing interpreter reports it; batches
+/// past the cutoff are simply dropped here.
+pub(super) struct LimitOp {
+    remaining: usize,
+    out: Vec<Batch>,
+}
+
+impl LimitOp {
+    pub(super) fn new(n: usize) -> LimitOp {
+        LimitOp {
+            remaining: n,
+            out: Vec::new(),
+        }
+    }
+}
+
+impl PhysicalOperator for LimitOp {
+    fn push_batch(&mut self, _input: usize, batch: Batch) -> RelResult<()> {
+        if self.remaining == 0 || batch.len() == 0 {
+            return Ok(());
+        }
+        let take = usize::min(self.remaining, batch.len());
+        self.remaining -= take;
+        self.out.push(batch.take_prefix(take));
+        Ok(())
+    }
+
+    fn finish(&mut self) -> RelResult<Vec<Batch>> {
+        Ok(mem::take(&mut self.out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| vec![Value::Int(i)]).collect()
+    }
+
+    #[test]
+    fn drive_emits_leaves_zero_copy() {
+        let rows = Arc::new(int_rows(4));
+        let batches = drive(OpTree::Leaf(Arc::clone(&rows))).unwrap();
+        assert_eq!(batches.len(), 1);
+        assert!(batches[0].is_full_shared());
+        assert_eq!(batches[0].as_slice(), rows.as_slice());
+    }
+
+    #[test]
+    fn limit_truncates_across_batches_without_cutting_the_drive() {
+        let mut op = LimitOp::new(3);
+        op.push_batch(0, Batch::Owned(int_rows(2))).unwrap();
+        op.push_batch(0, Batch::Owned(int_rows(2))).unwrap();
+        // Past the cutoff: still pushed (the driver always drains the
+        // child), silently dropped here.
+        op.push_batch(0, Batch::Owned(int_rows(5))).unwrap();
+        let out = op.finish().unwrap();
+        let rows: Vec<Row> = out.into_iter().flat_map(Batch::into_rows).collect();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(0)],
+                vec![Value::Int(1)],
+                vec![Value::Int(0)]
+            ]
+        );
+    }
+}

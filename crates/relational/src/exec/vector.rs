@@ -48,6 +48,7 @@
 //! branchless forms over them, so a row dropped by an earlier filter can
 //! never contribute an error the row path would not report.
 
+use super::batch::{ColumnBatch, Lane};
 use super::Stage;
 use crate::error::{RelError, RelResult};
 use crate::expr::{eval_bin, BinOp, Expr};
@@ -198,97 +199,9 @@ impl ErrAcc {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Column lanes
-// ---------------------------------------------------------------------------
-
-/// One column of a batch, shredded out of the row-major `Value`s. The
-/// typed variants carry a parallel null mask; [`Lane::Rows`] is the
-/// fallback lane for columns whose values are not uniformly of the lane
-/// type (e.g. INT values stored in a FLOAT column), read back row-major.
-enum Lane<'a> {
-    Int {
-        vals: Vec<i64>,
-        nulls: Vec<bool>,
-    },
-    Float {
-        vals: Vec<f64>,
-        nulls: Vec<bool>,
-    },
-    Bool {
-        vals: Vec<bool>,
-        nulls: Vec<bool>,
-    },
-    Str {
-        vals: Vec<&'a str>,
-        nulls: Vec<bool>,
-    },
-    Date {
-        vals: Vec<i64>,
-        nulls: Vec<bool>,
-    },
-    /// Mixed/non-conforming storage: fetch `Value`s from the rows.
-    Rows,
-}
-
-macro_rules! build_lane {
-    ($rows:expr, $col:expr, $variant:ident, $pat:pat => $val:expr, $default:expr) => {{
-        let mut vals = Vec::with_capacity($rows.len());
-        let mut nulls = Vec::with_capacity($rows.len());
-        for row in $rows {
-            match &row[$col] {
-                Value::Null => {
-                    vals.push($default);
-                    nulls.push(true);
-                }
-                $pat => {
-                    vals.push($val);
-                    nulls.push(false);
-                }
-                _ => return Lane::Rows,
-            }
-        }
-        Lane::$variant { vals, nulls }
-    }};
-}
-
-/// Shred one column into a typed lane, guided by the declared type; any
-/// value outside the declared type demotes the column to the row fallback
-/// lane (this is how FLOAT columns holding widened INTs stay lossless).
-fn build_lane(rows: &[Row], col: usize, decl: DataType) -> Lane<'_> {
-    match decl {
-        DataType::Int => build_lane!(rows, col, Int, Value::Int(i) => *i, 0),
-        DataType::Float => build_lane!(rows, col, Float, Value::Float(f) => *f, 0.0),
-        DataType::Bool => build_lane!(rows, col, Bool, Value::Bool(b) => *b, false),
-        DataType::Text => build_lane!(rows, col, Str, Value::Text(s) => s.as_str(), ""),
-        DataType::Date => build_lane!(rows, col, Date, Value::Date(d) => *d, 0),
-    }
-}
-
-/// A batch with lanes built for every column the stage's kernels touch.
-struct ColumnBatch<'a> {
-    rows: &'a [Row],
-    /// Lane per input column; `None` for columns no kernel references.
-    lanes: Vec<Option<Lane<'a>>>,
-}
-
-impl<'a> ColumnBatch<'a> {
-    /// Shred exactly the columns in `cols` (positions into `schema`).
-    fn build(rows: &'a [Row], schema: &Schema, cols: &[usize]) -> ColumnBatch<'a> {
-        let mut lanes: Vec<Option<Lane<'a>>> = Vec::new();
-        lanes.resize_with(schema.arity(), || None);
-        for &c in cols {
-            if lanes[c].is_none() {
-                lanes[c] = Some(build_lane(rows, c, schema.columns()[c].data_type));
-            }
-        }
-        ColumnBatch { rows, lanes }
-    }
-
-    fn len(&self) -> usize {
-        self.rows.len()
-    }
-}
+// Column lanes ([`Lane`], [`ColumnBatch`]) live in `exec::batch` — the
+// blocking operators in `exec::blocking` shred batches with the same
+// machinery, so the lane contract is defined once for both consumers.
 
 // ---------------------------------------------------------------------------
 // Kernel outputs and operand views
@@ -925,6 +838,7 @@ pub(super) fn run_batch(
         &orig,
         vec![true; rows.len()],
         &mut errs,
+        Vec::new(),
     );
     match errs.first() {
         Some(e) => Err(e),
@@ -936,14 +850,20 @@ pub(super) fn run_batch(
 /// either gather the survivors (no stages left) or project them through
 /// the first Map and recurse over the new, compacted epoch. `orig` maps
 /// current positions to original batch rows so errors from different
-/// epochs still order correctly.
-fn run_from(
+/// epochs still order correctly. `carry` holds lanes the previous epoch's
+/// Map already computed for this epoch's columns (compacted to the
+/// surviving rows), so the next `ColumnBatch` skips re-shredding them —
+/// this is what keeps multi-epoch arithmetic pipelines columnar end to
+/// end instead of round-tripping through `Value` rows at each Map.
+#[allow(clippy::too_many_arguments)]
+fn run_from<'a>(
     stages: &[Stage<'_>],
     progs: &[StageProg],
-    rows: &[Row],
+    rows: &'a [Row],
     orig: &[usize],
     mut sel: Vec<bool>,
     errs: &mut ErrAcc,
+    carry: Vec<Option<Lane<'a>>>,
 ) -> Vec<Row> {
     // Lanes are shared by every consecutive filter and the following Map
     // (if any): they all read this epoch's rows.
@@ -970,7 +890,7 @@ fn run_from(
     }
     let epoch_schema = stages.first().map(stage_in_schema);
     let batch = match epoch_schema {
-        Some(s) => ColumnBatch::build(rows, s, &cols),
+        Some(s) => ColumnBatch::build_seeded(rows, s, &cols, carry),
         None => ColumnBatch {
             rows,
             lanes: Vec::new(),
@@ -1079,6 +999,7 @@ fn run_from(
     let survivors = sel.iter().filter(|s| **s).count();
     let mut new_rows: Vec<Row> = Vec::with_capacity(survivors);
     let mut new_orig: Vec<usize> = Vec::with_capacity(survivors);
+    let mut kept: Vec<usize> = Vec::with_capacity(survivors);
     for i in 0..batch.len() {
         if !sel[i] {
             continue;
@@ -1093,6 +1014,7 @@ fn run_from(
             None => {
                 new_orig.push(orig[i]);
                 new_rows.push(row);
+                kept.push(i);
             }
         }
     }
@@ -1101,6 +1023,14 @@ fn run_from(
     if rest >= stages.len() {
         return new_rows;
     }
+    // Thread the Map's output lanes into the next epoch: typed kernel
+    // outputs and lane-backed column passthroughs, compacted to the kept
+    // rows, seed the next `ColumnBatch` so chained Maps never re-shred
+    // columns they just computed. The carried values are exactly what
+    // `View::get` stored into `new_rows`, so the seeded lanes and the
+    // rows stay in lockstep.
+    let next_carry: Vec<Option<Lane<'_>>> =
+        outs.iter().map(|o| carry_lane(o, &batch, &kept)).collect();
     let n = new_rows.len();
     run_from(
         &stages[rest..],
@@ -1109,7 +1039,55 @@ fn run_from(
         &new_orig,
         vec![true; n],
         errs,
+        next_carry,
     )
+}
+
+/// Compact a Map output column into a lane for the next epoch, or `None`
+/// when the output has no typed columnar form (constants, mixed values,
+/// or a passthrough of a column that never had a lane).
+fn carry_lane<'a>(out: &Out, batch: &ColumnBatch<'a>, kept: &[usize]) -> Option<Lane<'a>> {
+    fn compact<T: Copy>(vals: &[T], kept: &[usize]) -> Vec<T> {
+        kept.iter().map(|&i| vals[i]).collect()
+    }
+    match out {
+        Out::Int(vals, nulls) => Some(Lane::Int {
+            vals: compact(vals, kept),
+            nulls: compact(nulls, kept),
+        }),
+        Out::Float(vals, nulls) => Some(Lane::Float {
+            vals: compact(vals, kept),
+            nulls: compact(nulls, kept),
+        }),
+        Out::Bool(vals, nulls) => Some(Lane::Bool {
+            vals: compact(vals, kept),
+            nulls: compact(nulls, kept),
+        }),
+        Out::ColRef(c) => match batch.lanes.get(*c).and_then(|l| l.as_ref())? {
+            Lane::Int { vals, nulls } => Some(Lane::Int {
+                vals: compact(vals, kept),
+                nulls: compact(nulls, kept),
+            }),
+            Lane::Float { vals, nulls } => Some(Lane::Float {
+                vals: compact(vals, kept),
+                nulls: compact(nulls, kept),
+            }),
+            Lane::Bool { vals, nulls } => Some(Lane::Bool {
+                vals: compact(vals, kept),
+                nulls: compact(nulls, kept),
+            }),
+            Lane::Str { vals, nulls } => Some(Lane::Str {
+                vals: compact(vals, kept),
+                nulls: compact(nulls, kept),
+            }),
+            Lane::Date { vals, nulls } => Some(Lane::Date {
+                vals: compact(vals, kept),
+                nulls: compact(nulls, kept),
+            }),
+            Lane::Rows => None,
+        },
+        Out::Const(_) | Out::Vals(_) => None,
+    }
 }
 
 /// A fully-vectorizable epoch tail: a pure column-passthrough Map (every

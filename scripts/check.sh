@@ -10,12 +10,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 # The benchmark snapshot must carry the evaluation-mode axis (DESIGN.md
-# §11); a regeneration from a stale binary would silently drop it.
-if ! grep -q '"vectorized"' BENCH_executor.json; then
-  echo "check.sh: BENCH_executor.json lacks the 'vectorized' axis — regenerate with" >&2
-  echo "  cargo run --release -p guava-bench --bin tables -- --bench-executor" >&2
-  exit 1
-fi
+# §11) and the blocking-operator axis (DESIGN.md §13); a regeneration
+# from a stale binary would silently drop them.
+for axis in vectorized blocking; do
+  if ! grep -q "\"$axis\"" BENCH_executor.json; then
+    echo "check.sh: BENCH_executor.json lacks the '$axis' axis — regenerate with" >&2
+    echo "  cargo run --release -p guava-bench --bin tables -- --bench-executor" >&2
+    exit 1
+  fi
+done
 
 # The refresh snapshot (DESIGN.md §12) must exist and carry per-entry
 # speedups; it gates the incremental-refresh claim in EXPERIMENTS.md.

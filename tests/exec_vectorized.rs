@@ -409,6 +409,177 @@ fn empty_input_skips_row_errors() {
 }
 
 #[test]
+fn join_keys_with_nan_and_negative_zero() {
+    // The lane-hash join must agree with the row path on total-order key
+    // equality: NaN joins NaN, -0.0 does NOT join 0.0 (total_cmp orders
+    // them apart), and NULL keys never match — inner and left alike.
+    let left = Schema::new(
+        "l",
+        vec![
+            Column::required("id", DataType::Int),
+            Column::new("k", DataType::Float),
+        ],
+    )
+    .unwrap();
+    let right = Schema::new(
+        "r",
+        vec![
+            Column::new("rk", DataType::Float),
+            Column::new("tag", DataType::Text),
+        ],
+    )
+    .unwrap();
+    let mut db = Database::new("d");
+    db.create_table(
+        Table::from_rows(
+            left,
+            vec![
+                vec![Value::Int(0), Value::Float(f64::NAN)],
+                vec![Value::Int(1), Value::Float(-0.0)],
+                vec![Value::Int(2), Value::Float(0.0)],
+                vec![Value::Int(3), Value::Null],
+                vec![Value::Int(4), Value::Float(1.5)],
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        Table::from_rows(
+            right,
+            vec![
+                vec![Value::Float(f64::NAN), Value::text("nan")],
+                vec![Value::Float(0.0), Value::text("poszero")],
+                vec![Value::Null, Value::text("null")],
+                vec![Value::Float(1.5), Value::text("plain")],
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for kind in [JoinKind::Inner, JoinKind::Left] {
+        let t = assert_all_modes(
+            &Plan::scan("l").join(Plan::scan("r"), vec![("k", "rk")], kind),
+            &db,
+        )
+        .unwrap();
+        let tags: Vec<&Value> = t.rows().iter().map(|r| &r[3]).collect();
+        match kind {
+            // NaN matches NaN; 0.0 matches only the positive zero; NULLs
+            // and -0.0 drop out.
+            JoinKind::Inner => assert_eq!(
+                tags,
+                [
+                    Value::text("nan"),
+                    Value::text("poszero"),
+                    Value::text("plain")
+                ]
+                .iter()
+                .collect::<Vec<_>>(),
+                "{kind:?}"
+            ),
+            JoinKind::Left => assert_eq!(t.len(), 5, "{kind:?}"),
+        }
+    }
+}
+
+#[test]
+fn null_keys_group_and_order_like_the_row_path() {
+    let db = mixed_db();
+    // `a` is NULL on every fifth row: NULL is an ordinary grouping value
+    // (one group, first-seen position), unlike join keys. Float AVG input
+    // pins the serial kernel; the int SUM runs the lane accumulators.
+    let plan = Plan::scan("m").aggregate(
+        &["a"],
+        vec![
+            Aggregate {
+                func: AggFunc::CountAll,
+                alias: "n".into(),
+            },
+            Aggregate {
+                func: AggFunc::Sum("id".into()),
+                alias: "total".into(),
+            },
+            Aggregate {
+                func: AggFunc::Avg("f".into()),
+                alias: "mean".into(),
+            },
+        ],
+    );
+    let t = assert_all_modes(&plan, &db).unwrap();
+    // Row 0 has a NULL key, so the NULL group must come first.
+    assert_eq!(t.rows()[0][0], Value::Null);
+    // Two-column key with NULLs in both, plus distinct over the same
+    // lanes (first-occurrence dedup via key hashing).
+    assert_all_modes(
+        &Plan::scan("m").aggregate(
+            &["a", "b"],
+            vec![Aggregate {
+                func: AggFunc::CountAll,
+                alias: "n".into(),
+            }],
+        ),
+        &db,
+    )
+    .unwrap();
+    assert_all_modes(&Plan::scan("m").project_cols(&["a", "b"]).distinct(), &db).unwrap();
+}
+
+#[test]
+fn errors_inside_a_join_build_side_surface_identically() {
+    let db = mixed_db();
+    // The build (right) side's projection faults on a row whose `a` is
+    // zero. The join must report that exact error in every mode — the
+    // build side runs before any probe batch arrives, so the error cannot
+    // be masked by probe-side work.
+    let bad_build = Plan::scan("m").project(vec![
+        ("k".to_owned(), Expr::col("id")),
+        ("q".to_owned(), Expr::lit(100i64).div(Expr::col("a"))),
+    ]);
+    let plan = Plan::scan("m").join(bad_build, vec![("id", "k")], JoinKind::Inner);
+    let err = assert_all_modes(&plan, &db).unwrap_err();
+    assert!(err.to_string().contains("division by zero"), "got {err}");
+    // Probe-side fault for completeness: same plan shape mirrored.
+    let bad_probe = Plan::scan("m").project(vec![
+        ("k".to_owned(), Expr::col("id")),
+        ("q".to_owned(), Expr::lit(100i64).div(Expr::col("a"))),
+    ]);
+    let plan = bad_probe.join(
+        Plan::scan("m")
+            .project_cols(&["id"])
+            .rename_columns(vec![("id", "rid")]),
+        vec![("k", "rid")],
+        JoinKind::Inner,
+    );
+    assert!(assert_all_modes(&plan, &db).is_err());
+}
+
+#[test]
+fn merge_path_sort_parity_across_morsel_sizes() {
+    let db = mixed_db();
+    // Duplicate sort keys (a repeats mod 11, s mod 6) make stability
+    // observable: any unstable merge reorders the `id` column. Sweep
+    // morsel sizes so runs split at every awkward boundary, in both
+    // modes, and compare against the serial oracle byte for byte.
+    let plan = Plan::scan("m").sort_by(&["a", "s"]);
+    let oracle = Executor::new()
+        .mode(ExecMode::Materialized)
+        .execute(&plan, &db)
+        .unwrap();
+    for morsel in [1usize, 3, 7, 16, 64] {
+        for mode in [ExecMode::Streaming, ExecMode::Vectorized] {
+            let exec = Executor::new()
+                .threads(4)
+                .parallel_threshold(1)
+                .morsel_size(morsel)
+                .mode(mode);
+            let got = exec.execute(&plan, &db).unwrap();
+            assert_eq!(got, oracle, "morsel {morsel}, {mode:?}");
+        }
+    }
+}
+
+#[test]
 fn etl_workflows_run_under_a_shared_executor() {
     use guava::etl::prelude::*;
 
