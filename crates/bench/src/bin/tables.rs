@@ -542,6 +542,31 @@ struct VectorizedBenchEntry {
     speedup_vs_materialized: f64,
 }
 
+/// One cell of the storage axis: the same plan evaluated serially under
+/// vectorized mode against row-resting storage (every scan shreds rows
+/// into column lanes per batch; no zone maps, so pruning is off) and
+/// segment-resting storage (scans emit pre-built lanes straight from
+/// sealed segments, and fused filter predicates skip segments whose zone
+/// maps prove them empty). The ratio is the GUAVA_STORAGE axis.
+#[derive(serde::Serialize)]
+struct StorageBenchEntry {
+    group: &'static str,
+    name: String,
+    input_rows: usize,
+    output_rows: usize,
+    /// Vectorized evaluation over row-resting storage: per-scan shred
+    /// cost paid every evaluation, zone-map pruning unavailable.
+    row_storage_ms: f64,
+    /// Vectorized evaluation over sealed column segments: zero-shred
+    /// scans with zone-map pruning on.
+    segment_storage_ms: f64,
+    speedup: f64,
+    /// Copied from the report header so each storage cell is
+    /// self-describing when quoted in isolation.
+    host_threads: usize,
+    scaling_valid: bool,
+}
+
 #[derive(serde::Serialize)]
 struct BenchReport {
     description: &'static str,
@@ -549,6 +574,7 @@ struct BenchReport {
     join_rows: usize,
     parallel_rows: usize,
     blocking_rows: usize,
+    storage_rows: usize,
     fixture_size: usize,
     samples_per_measurement: usize,
     /// `std::thread::available_parallelism()` on the machine that produced
@@ -561,6 +587,12 @@ struct BenchReport {
     benches: Vec<BenchEntry>,
     parallel: Vec<ParallelBenchEntry>,
     vectorized: Vec<VectorizedBenchEntry>,
+    /// The resting-storage axis (GUAVA_STORAGE equivalent): identical
+    /// plans under vectorized serial evaluation with the warehouse tables
+    /// resting as rows (shred per scan, no pruning) vs as sealed column
+    /// segments (zero-shred scans, zone-map segment skipping,
+    /// dictionary-coded low-cardinality strings).
+    storage: Vec<StorageBenchEntry>,
     /// The blocking-operator axis: the same entry shape as `vectorized`,
     /// but over plans dominated by a single blocking operator (hash-join
     /// probe, grouped aggregation, pivot, sort), so the ratios isolate the
@@ -1277,6 +1309,99 @@ fn bench_blocking_section(entries: &mut Vec<VectorizedBenchEntry>, rows: usize) 
     }
 }
 
+/// The resting-storage axis: vectorized evaluation at one thread with
+/// the scanned tables resting as rows vs as sealed column segments.
+/// `full_scan` isolates the shred cost — its predicates keep every
+/// segment alive, so zone maps contribute nothing and the gap is the
+/// per-scan row→lane shred the segment path no longer pays. `zone_prune`
+/// puts a selective range on the monotone primary key, so the fused
+/// filter's zone-map check discards ~99% of sealed segments before a
+/// single lane is read; row storage has no zone maps and is the
+/// pruning-off baseline. `dict_filter` compares a low-cardinality string
+/// column where the dictionary lane turns per-row string equality into
+/// code-table lookups. Both modes must produce the same row count
+/// (asserted; byte-level equality is covered by the property suites).
+fn bench_storage_section(
+    entries: &mut Vec<StorageBenchEntry>,
+    rows: usize,
+    host_threads: usize,
+    scaling_valid: bool,
+) {
+    use guava::relational::exec::{ExecMode, Executor, StorageMode};
+
+    let mut db = bench_naive_db(rows);
+    // Low-cardinality site labels: few enough distinct strings that the
+    // sealed segments dictionary-encode the column.
+    db.create_table(
+        Table::from_rows(
+            Schema::new(
+                "visit",
+                vec![
+                    Column::required("id", DataType::Int),
+                    Column::new("site", DataType::Text),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["id"])
+            .unwrap(),
+            (0..rows as i64)
+                .map(|i| vec![Value::Int(i), Value::text(format!("site{:02}", i % 16))])
+                .collect::<Vec<Row>>(),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+
+    let full_scan = Plan::scan("form")
+        .select(Expr::col("count").ge(Expr::lit(25i64)))
+        .select(Expr::col("flag").eq(Expr::lit(true)))
+        .project_cols(&["instance_id", "count"]);
+    let hi = (rows as i64 * 99) / 100;
+    let zone_prune = Plan::scan("form")
+        .select(Expr::col("instance_id").gt(Expr::lit(hi)))
+        .project_cols(&["instance_id", "note"]);
+    let dict_filter = Plan::scan("visit")
+        .select(Expr::col("site").eq(Expr::lit("site03")))
+        .project_cols(&["id"]);
+    let plans = vec![
+        ("full_scan", full_scan),
+        ("zone_prune", zone_prune),
+        ("dict_filter", dict_filter),
+    ];
+    let row_exec = Executor::new()
+        .threads(1)
+        .mode(ExecMode::Vectorized)
+        .storage(StorageMode::Row);
+    let seg_exec = Executor::new()
+        .threads(1)
+        .mode(ExecMode::Vectorized)
+        .storage(StorageMode::Segment);
+    for (name, plan) in plans {
+        // The warm-up evaluation inside `median_secs` also pays the
+        // one-time lazy segment build, keeping it out of the samples —
+        // matching resting storage, where tables are sealed on load.
+        let (row_secs, row_rows) = median_secs(|| row_exec.execute(&plan, &db).unwrap().len());
+        let (seg_secs, seg_rows) = median_secs(|| seg_exec.execute(&plan, &db).unwrap().len());
+        assert_eq!(row_rows, seg_rows, "storage/{name}: storage modes disagree");
+        let entry = StorageBenchEntry {
+            group: "storage",
+            name: name.to_string(),
+            input_rows: rows,
+            output_rows: seg_rows,
+            row_storage_ms: row_secs * 1e3,
+            segment_storage_ms: seg_secs * 1e3,
+            speedup: row_secs / seg_secs,
+            host_threads,
+            scaling_valid,
+        };
+        println!(
+            "  {:<16} {:<21} {:>10.3} {:>10.3} {:>7.2}x",
+            entry.group, entry.name, entry.row_storage_ms, entry.segment_storage_ms, entry.speedup,
+        );
+        entries.push(entry);
+    }
+}
+
 fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
     heading("Executor benchmark — streaming `eval` vs materializing `eval_materialized`");
     const DECODE_ROWS: usize = 4_000;
@@ -1311,6 +1436,13 @@ fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
     bench_blocking_section(&mut blocking, BLOCKING_ROWS);
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let scaling_valid = host_threads > 1;
+    const STORAGE_ROWS: usize = 200_000;
+    println!(
+        "\n  {:<16} {:<21} {:>10} {:>10} {:>8}",
+        "group", "bench", "row (ms)", "seg (ms)", "vs row"
+    );
+    let mut storage = Vec::new();
+    bench_storage_section(&mut storage, STORAGE_ROWS, host_threads, scaling_valid);
     if !scaling_valid {
         println!(
             "\n  WARNING: host exposes a single hardware thread; the parallel \
@@ -1331,11 +1463,16 @@ fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
                       section applies the same mode axis to plans dominated by one \
                       blocking operator (hash-join probe, grouped aggregation, \
                       pivot, sort), isolating the lane-aware kernels from pipeline \
-                      fusion.",
+                      fusion. The `storage` section is the resting-storage axis \
+                      (GUAVA_STORAGE equivalent): vectorized serial evaluation over \
+                      row-resting tables (per-scan shredding, no zone maps) vs \
+                      sealed column segments (zero-shred scans, zone-map segment \
+                      pruning, dictionary-coded strings).",
         decode_rows: DECODE_ROWS,
         join_rows: JOIN_ROWS,
         parallel_rows: PARALLEL_ROWS,
         blocking_rows: BLOCKING_ROWS,
+        storage_rows: STORAGE_ROWS,
         fixture_size,
         samples_per_measurement: BENCH_SAMPLES,
         host_threads,
@@ -1344,6 +1481,7 @@ fn bench_executor(fixture: &Fixture, fixture_size: usize, out_path: &str) {
         parallel,
         vectorized,
         blocking,
+        storage,
     };
     let json = serde_json::to_string_pretty(&report).unwrap();
     std::fs::write(out_path, json + "\n").unwrap();

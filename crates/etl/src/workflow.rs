@@ -94,6 +94,10 @@ impl EtlWorkflow {
                     catalog.insert(Database::new(comp.target_db.clone()));
                 }
                 let target = catalog.database_mut(&comp.target_db)?;
+                // Seal the landed output into column segments now, while
+                // the rows are hot, so downstream scans start zero-shred
+                // instead of paying a lazy first-scan build.
+                table.segments();
                 target.put_table(table);
                 let rows_out = target.table(&comp.target_table)?.len();
                 runs.push(ComponentRun {
@@ -155,6 +159,10 @@ impl EtlWorkflow {
                     catalog.insert(Database::new(comp.target_db.clone()));
                 }
                 let target = catalog.database_mut(&comp.target_db)?;
+                // Seal the landed output into column segments now, while
+                // the rows are hot, so downstream scans start zero-shred
+                // instead of paying a lazy first-scan build.
+                table.segments();
                 target.put_table(table);
                 let rows_out = target.table(&comp.target_table)?.len();
                 runs.push(ComponentRun {

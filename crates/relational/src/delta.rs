@@ -482,9 +482,26 @@ impl DeltaCatalog {
     /// Rebuild the catalog table from tracked state, revalidating the
     /// primary key. Called with candidate bookkeeping *before* committing
     /// it, so a duplicate-key error leaves everything unchanged.
-    fn commit(&mut self, db: &str, table: &str, tr: TrackedTable) -> RelResult<()> {
-        let schema = self.catalog.database(db)?.table(table)?.schema().clone();
-        let t = Table::from_validated(schema, Self::live_rows(&tr))?;
+    /// `pure_append` marks commits that only appended rows since the last
+    /// one: the replaced table's sealed segment prefix still describes the
+    /// new table's leading rows, so it is carried over (and the row-form
+    /// delta tail folded once it outgrows the compaction threshold)
+    /// instead of being rebuilt from scratch on the next scan.
+    fn commit(
+        &mut self,
+        db: &str,
+        table: &str,
+        tr: TrackedTable,
+        pure_append: bool,
+    ) -> RelResult<()> {
+        let t = {
+            let old = self.catalog.database(db)?.table(table)?;
+            let mut t = Table::from_validated(old.schema().clone(), Self::live_rows(&tr))?;
+            if pure_append && t.adopt_segments(old) {
+                t.compact_segments();
+            }
+            t
+        };
         self.catalog.database_mut(db)?.put_table(t);
         self.tracked.insert((db.to_owned(), table.to_owned()), tr);
         Ok(())
@@ -498,7 +515,7 @@ impl DeltaCatalog {
         schema.check_row(&row)?;
         let mut tr = self.tracked[&(db.to_owned(), table.to_owned())].clone();
         tr.inserted.push(row);
-        self.commit(db, table, tr)
+        self.commit(db, table, tr, true)
     }
 
     /// Delete every live row matching `pred`; returns the count removed.
@@ -514,7 +531,7 @@ impl DeltaCatalog {
         tr.retained.retain(|&i| !pred(&tr.pre_rows[i]));
         tr.inserted.retain(|r| !pred(r));
         let removed = before - tr.retained.len() - tr.inserted.len();
-        self.commit(db, table, tr)?;
+        self.commit(db, table, tr, false)?;
         Ok(removed)
     }
 
@@ -563,7 +580,7 @@ impl DeltaCatalog {
             retained,
             inserted,
         };
-        self.commit(db, table, tr)?;
+        self.commit(db, table, tr, false)?;
         Ok(count)
     }
 

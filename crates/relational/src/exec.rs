@@ -98,8 +98,9 @@ use crate::algebra::{
 };
 use crate::database::Database;
 use crate::error::{RelError, RelResult};
-use crate::expr::Expr;
+use crate::expr::{BinOp, Expr};
 use crate::schema::Schema;
+use crate::segment::{ColumnData, Segment};
 use crate::table::{Row, Table};
 use crate::value::{DataType, Value};
 
@@ -132,6 +133,14 @@ pub const THREADS_ENV: &str = "GUAVA_EXEC_THREADS";
 /// alongside [`THREADS_ENV`].
 pub const MODE_ENV: &str = "GUAVA_EXEC_MODE";
 
+/// Environment variable overriding the executor's [`StorageMode`].
+///
+/// Accepts `row` or `segment` (case-insensitive); unset or empty keeps
+/// the default ([`StorageMode::Segment`]), and any other value is a hard
+/// [`RelError::Plan`] error. Read only by [`ExecConfig::from_env`],
+/// alongside [`THREADS_ENV`] and [`MODE_ENV`].
+pub const STORAGE_ENV: &str = "GUAVA_STORAGE";
+
 /// Default minimum input cardinality for an operator to go parallel.
 /// Below this, spawning threads costs more than the scan saves.
 pub const PARALLEL_THRESHOLD: usize = 4096;
@@ -157,6 +166,23 @@ pub enum ExecMode {
     Materialized,
 }
 
+/// Which resting format scans read from. Both produce byte-identical
+/// tables and errors; they differ only in how scan batches are formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageMode {
+    /// Scans emit the table's row storage as one zero-copy window; lanes
+    /// are shredded per batch (the pre-segment layout, kept as the drift
+    /// canary — see `scripts/check.sh`).
+    Row,
+    /// Scans read the table's sealed columnar prefix
+    /// ([`crate::segment`]): per-segment batches with lanes sliced
+    /// straight from segment storage (zero shredding), zone-map pruning
+    /// of pushed-down filter conjuncts, and a row-form scan of the delta
+    /// tail past the sealed prefix.
+    #[default]
+    Segment,
+}
+
 /// Tuning knobs for the executor's morsel-parallel path.
 ///
 /// The configuration never changes *what* a plan evaluates to — all
@@ -176,6 +202,9 @@ pub struct ExecConfig {
     /// Evaluation strategy: vectorized (default), row streaming, or the
     /// materializing interpreter.
     pub mode: ExecMode,
+    /// Resting format scans read from: sealed column segments (default)
+    /// or the row store.
+    pub storage: StorageMode,
 }
 
 impl Default for ExecConfig {
@@ -188,6 +217,7 @@ impl Default for ExecConfig {
             parallel_threshold: PARALLEL_THRESHOLD,
             morsel_size: morsel::MORSEL_SIZE,
             mode: ExecMode::default(),
+            storage: StorageMode::default(),
         }
     }
 }
@@ -211,22 +241,28 @@ impl ExecConfig {
 
     /// Read the configuration from the environment. This is the single
     /// entry point for executor env handling: [`THREADS_ENV`] sets the
-    /// worker count and [`MODE_ENV`] sets the [`ExecMode`]. Unset or
+    /// worker count, [`MODE_ENV`] sets the [`ExecMode`], and
+    /// [`STORAGE_ENV`] sets the [`StorageMode`]. Unset or
     /// empty variables keep the defaults (as does `GUAVA_EXEC_THREADS=0`,
     /// the documented "auto" spelling), but any other unparsable value is
     /// a hard error — a typo in an env override must not silently fall
-    /// back to a different execution strategy. Both variables are
+    /// back to a different execution strategy. All variables are
     /// re-evaluated on every call (and thus on every [`execute`] /
     /// `Plan::eval`), so tests can flip them at run time.
     pub fn from_env() -> RelResult<ExecConfig> {
         Self::from_env_value(
             std::env::var(THREADS_ENV).ok().as_deref(),
             std::env::var(MODE_ENV).ok().as_deref(),
+            std::env::var(STORAGE_ENV).ok().as_deref(),
         )
     }
 
     /// Pure core of [`Self::from_env`], split out for unit testing.
-    fn from_env_value(threads: Option<&str>, mode: Option<&str>) -> RelResult<ExecConfig> {
+    fn from_env_value(
+        threads: Option<&str>,
+        mode: Option<&str>,
+        storage: Option<&str>,
+    ) -> RelResult<ExecConfig> {
         let mut cfg = match threads.map(str::trim).filter(|s| !s.is_empty()) {
             None => ExecConfig::default(),
             Some(s) => match s.parse::<usize>() {
@@ -247,6 +283,16 @@ impl ExecConfig {
             Some(other) => {
                 return Err(RelError::Plan(format!(
                     "invalid {MODE_ENV} value `{other}`: expected streaming, vectorized, or materialized"
+                )))
+            }
+        };
+        cfg.storage = match storage.map(|s| s.trim().to_ascii_lowercase()).as_deref() {
+            None | Some("") => StorageMode::default(),
+            Some("row") => StorageMode::Row,
+            Some("segment") => StorageMode::Segment,
+            Some(other) => {
+                return Err(RelError::Plan(format!(
+                    "invalid {STORAGE_ENV} value `{other}`: expected row or segment"
                 )))
             }
         };
@@ -335,6 +381,12 @@ impl Executor {
         self
     }
 
+    /// Set the resting format scans read from.
+    pub fn storage(mut self, storage: StorageMode) -> Executor {
+        self.cfg.storage = storage;
+        self
+    }
+
     /// The underlying configuration.
     pub fn config(&self) -> &ExecConfig {
         &self.cfg
@@ -409,10 +461,17 @@ impl<'p> Exec<'p> {
     fn into_tree(self, cfg: ExecConfig) -> ops::OpTree<'p> {
         match self {
             Exec::Pipe { source, stages } if stages.is_empty() => source,
-            Exec::Pipe { source, stages } => ops::OpTree::Node {
-                op: Box::new(ops::PipelineOp::new(stages, cfg)),
-                children: vec![source],
-            },
+            Exec::Pipe { mut source, stages } => {
+                // Push decomposable leading filters down to the segment
+                // scan as zone-map prune groups (see `prune_groups`).
+                if let ops::OpTree::SegmentLeaf { prune, .. } = &mut source {
+                    *prune = prune_groups(&stages);
+                }
+                ops::OpTree::Node {
+                    op: Box::new(ops::PipelineOp::new(stages, cfg)),
+                    children: vec![source],
+                }
+            }
             Exec::Tree(t) => t,
         }
     }
@@ -425,10 +484,24 @@ fn compile<'p>(plan: &'p Plan, db: &Database, cfg: ExecConfig) -> RelResult<(Sch
     Ok(match plan {
         Plan::Scan(name) => {
             let t = db.table(name)?;
+            // Under segment storage the scan reads the table's sealed
+            // columnar prefix (plus the row-form delta tail); under row
+            // storage it stays the historical single shared window.
+            let source = if cfg.storage == StorageMode::Segment {
+                let list = t.segments();
+                ops::OpTree::SegmentLeaf {
+                    rows: t.shared_rows(),
+                    segments: list.segments().to_vec(),
+                    covered: list.covered(),
+                    prune: Vec::new(),
+                }
+            } else {
+                ops::OpTree::Leaf(t.shared_rows())
+            };
             (
                 t.schema().clone(),
                 Exec::Pipe {
-                    source: ops::OpTree::Leaf(t.shared_rows()),
+                    source,
                     stages: Vec::new(),
                 },
             )
@@ -708,6 +781,242 @@ fn apply_stages(stages: &[Stage], mut row: Flow<'_>) -> RelResult<Option<Row>> {
     Ok(Some(row.into_row()))
 }
 
+/// One pushed-down filter conjunct in `column ⟨op⟩ literal` form,
+/// extracted from a fused [`Stage::Filter`] so a segment scan can consult
+/// zone maps before forming a batch (see [`segment_pruned`]).
+#[derive(Debug, Clone)]
+pub(crate) struct SimplePred {
+    col: usize,
+    op: PredOp,
+    lit: Value,
+}
+
+/// Comparison shape of a [`SimplePred`], normalized to `column ⟨op⟩ lit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PredOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    IsNull,
+    IsNotNull,
+}
+
+impl PredOp {
+    fn from_bin(op: BinOp) -> Option<PredOp> {
+        match op {
+            BinOp::Eq => Some(PredOp::Eq),
+            BinOp::Ne => Some(PredOp::Ne),
+            BinOp::Lt => Some(PredOp::Lt),
+            BinOp::Le => Some(PredOp::Le),
+            BinOp::Gt => Some(PredOp::Gt),
+            BinOp::Ge => Some(PredOp::Ge),
+            _ => None,
+        }
+    }
+
+    /// Mirror the comparison for `lit ⟨op⟩ column` sources.
+    fn flip(self) -> PredOp {
+        match self {
+            PredOp::Lt => PredOp::Gt,
+            PredOp::Le => PredOp::Ge,
+            PredOp::Gt => PredOp::Lt,
+            PredOp::Ge => PredOp::Le,
+            other => other,
+        }
+    }
+}
+
+/// The comparison domain of a segment column or literal under
+/// [`Value::sql_cmp`]: ordering comparisons across different domains (or
+/// against NaN) are the exact cases where the row kernel raises "cannot
+/// compare", so pruning demands a domain match first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpDomain {
+    Numeric,
+    Text,
+    Bool,
+    Date,
+}
+
+impl SimplePred {
+    /// Could evaluating this predicate over the segment's rows raise an
+    /// error? Equality and null tests never error. Ordering comparisons
+    /// error exactly when both sides are non-null and incomparable, so
+    /// they are infallible when the literal is NULL, when the column is
+    /// all-NULL, or when both sides share a [`CmpDomain`] with no NaN on
+    /// either side. Pruning must never skip a segment the real scan would
+    /// have errored on — a prune group with any fallible conjunct
+    /// disqualifies the whole segment from skipping.
+    fn infallible_on(&self, seg: &Segment) -> bool {
+        match self.op {
+            PredOp::Eq | PredOp::Ne | PredOp::IsNull | PredOp::IsNotNull => true,
+            PredOp::Lt | PredOp::Le | PredOp::Gt | PredOp::Ge => {
+                if self.lit.is_null() {
+                    return true;
+                }
+                let col = seg.column(self.col);
+                let zone = col.zone();
+                if zone.null_count == seg.len() {
+                    return true;
+                }
+                let col_dom = match col.data {
+                    // `Mixed` only arises from INTs widened into a
+                    // declared-FLOAT column (schema validation rejects
+                    // everything else), so it is numeric storage too.
+                    ColumnData::Int(_) | ColumnData::Float(_) | ColumnData::Mixed(_) => {
+                        CmpDomain::Numeric
+                    }
+                    ColumnData::Str(_) | ColumnData::Dict { .. } => CmpDomain::Text,
+                    ColumnData::Bool(_) => CmpDomain::Bool,
+                    ColumnData::Date(_) => CmpDomain::Date,
+                };
+                let lit_dom = match &self.lit {
+                    Value::Int(_) | Value::Float(_) => CmpDomain::Numeric,
+                    Value::Text(_) => CmpDomain::Text,
+                    Value::Bool(_) => CmpDomain::Bool,
+                    Value::Date(_) => CmpDomain::Date,
+                    Value::Null => unreachable!("handled above"),
+                };
+                let lit_nan = matches!(self.lit, Value::Float(f) if f.is_nan());
+                col_dom == lit_dom && !zone.has_nan && !lit_nan
+            }
+        }
+    }
+
+    /// Does the zone map prove no row of the segment satisfies this
+    /// predicate? Sound against the row kernels because the zone min/max
+    /// are [`Value::total_cmp`] extrema and every trigger below uses the
+    /// same [`Value::sql_cmp`] the kernels evaluate with: a strict
+    /// `lit < min` (resp. `> max`) rules out `sql_eq` matches, and by the
+    /// time ordering arms run, [`Self::infallible_on`] has excluded NaN
+    /// and cross-domain cases, where `sql_cmp` and the total order could
+    /// disagree. Lossy `i64`→`f64` literals stay sound: the kernels
+    /// compare through the same lossy `sql_cmp`, and `sql_eq`'s exact
+    /// Int–Int equality implies `f64` equality, which a strict `sql_cmp`
+    /// inequality excludes.
+    fn proves_empty(&self, seg: &Segment) -> bool {
+        use std::cmp::Ordering::{Equal, Greater, Less};
+        let zone = seg.zone(self.col);
+        match self.op {
+            PredOp::IsNull => zone.null_count == 0,
+            PredOp::IsNotNull => zone.null_count == seg.len(),
+            // A NULL literal makes every comparison NULL: no row passes.
+            _ if self.lit.is_null() => true,
+            // An all-NULL column likewise.
+            _ if zone.null_count == seg.len() => true,
+            PredOp::Eq => {
+                self.lit.sql_cmp(&zone.min) == Some(Less)
+                    || self.lit.sql_cmp(&zone.max) == Some(Greater)
+            }
+            PredOp::Ne => false,
+            PredOp::Lt => matches!(zone.min.sql_cmp(&self.lit), Some(Equal | Greater)),
+            PredOp::Le => zone.min.sql_cmp(&self.lit) == Some(Greater),
+            PredOp::Gt => matches!(zone.max.sql_cmp(&self.lit), Some(Less | Equal)),
+            PredOp::Ge => zone.max.sql_cmp(&self.lit) == Some(Less),
+        }
+    }
+}
+
+/// Extract zone-map prune groups from the leading fused filters: one
+/// group per [`Stage::Filter`] whose predicate fully decomposes into
+/// simple `column ⟨op⟩ literal` conjuncts. Extraction stops at the first
+/// `Map` or non-decomposable filter — a later group may only skip rows
+/// that every earlier stage is known not to error on, and an opaque stage
+/// voids that guarantee.
+fn prune_groups(stages: &[Stage]) -> Vec<Vec<SimplePred>> {
+    let mut groups = Vec::new();
+    for stage in stages {
+        let Stage::Filter { predicate, schema } = stage else {
+            break;
+        };
+        let mut group = Vec::new();
+        if !decompose(predicate, schema, &mut group) {
+            break;
+        }
+        groups.push(group);
+    }
+    groups
+}
+
+/// Flatten `e` into simple conjuncts, returning `false` (partial pushes
+/// to `out` discarded by the caller) when any part is not of the
+/// `column ⟨op⟩ literal` / `column IS [NOT] NULL` shape.
+fn decompose(e: &Expr, schema: &Schema, out: &mut Vec<SimplePred>) -> bool {
+    let simple_col = |e: &Expr| match e {
+        Expr::Col(name) => resolve_column(schema, name).ok(),
+        _ => None,
+    };
+    match e {
+        Expr::Bin(BinOp::And, a, b) => decompose(a, schema, out) && decompose(b, schema, out),
+        Expr::Bin(op, a, b) => {
+            let Some(op) = PredOp::from_bin(*op) else {
+                return false;
+            };
+            let (col, op, lit) = match (&**a, &**b) {
+                (col_e, Expr::Lit(v)) => match simple_col(col_e) {
+                    Some(c) => (c, op, v),
+                    None => return false,
+                },
+                (Expr::Lit(v), col_e) => match simple_col(col_e) {
+                    Some(c) => (c, op.flip(), v),
+                    None => return false,
+                },
+                _ => return false,
+            };
+            out.push(SimplePred {
+                col,
+                op,
+                lit: lit.clone(),
+            });
+            true
+        }
+        Expr::IsNull(inner) => match simple_col(inner) {
+            Some(col) => {
+                out.push(SimplePred {
+                    col,
+                    op: PredOp::IsNull,
+                    lit: Value::Null,
+                });
+                true
+            }
+            None => false,
+        },
+        Expr::IsNotNull(inner) => match simple_col(inner) {
+            Some(col) => {
+                out.push(SimplePred {
+                    col,
+                    op: PredOp::IsNotNull,
+                    lit: Value::Null,
+                });
+                true
+            }
+            None => false,
+        },
+        _ => false,
+    }
+}
+
+/// Can the scan skip `seg` entirely? Groups are consulted in stage order:
+/// a group may prove the segment empty only if it — and every group
+/// before it — is infallible on the segment, because skipped rows also
+/// skip the errors later fused stages might have raised on them. Pruned
+/// segments therefore contribute neither rows nor errors, exactly like
+/// the unpruned run.
+pub(crate) fn segment_pruned(seg: &Segment, groups: &[Vec<SimplePred>]) -> bool {
+    for group in groups {
+        if group.iter().any(|p| !p.infallible_on(seg)) {
+            return false;
+        }
+        if group.iter().any(|p| p.proves_empty(seg)) {
+            return true;
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -945,14 +1254,14 @@ mod tests {
 
     #[test]
     fn env_config_parses_threads_and_mode() {
-        let cfg = ExecConfig::from_env_value(Some("3"), Some("materialized")).unwrap();
+        let cfg = ExecConfig::from_env_value(Some("3"), Some("materialized"), None).unwrap();
         assert_eq!(cfg.threads, 3);
         assert_eq!(cfg.mode, ExecMode::Materialized);
         // Mode matching trims whitespace and ignores case.
-        let cfg = ExecConfig::from_env_value(None, Some("  Streaming ")).unwrap();
+        let cfg = ExecConfig::from_env_value(None, Some("  Streaming "), None).unwrap();
         assert_eq!(cfg.mode, ExecMode::Streaming);
         assert_eq!(
-            ExecConfig::from_env_value(None, Some("vectorized"))
+            ExecConfig::from_env_value(None, Some("vectorized"), None)
                 .unwrap()
                 .mode,
             ExecMode::Vectorized
@@ -962,13 +1271,17 @@ mod tests {
         let dflt = ExecConfig::default();
         for auto in [None, Some(""), Some("0"), Some(" 0 ")] {
             assert_eq!(
-                ExecConfig::from_env_value(auto, None).unwrap().threads,
+                ExecConfig::from_env_value(auto, None, None)
+                    .unwrap()
+                    .threads,
                 dflt.threads
             );
         }
         for dflt_mode in [None, Some("")] {
             assert_eq!(
-                ExecConfig::from_env_value(None, dflt_mode).unwrap().mode,
+                ExecConfig::from_env_value(None, dflt_mode, None)
+                    .unwrap()
+                    .mode,
                 ExecMode::Vectorized
             );
         }
@@ -977,7 +1290,7 @@ mod tests {
     #[test]
     fn env_config_rejects_bad_threads() {
         for bad in ["fast", "-2", "1.5", "3x"] {
-            let err = ExecConfig::from_env_value(Some(bad), None).unwrap_err();
+            let err = ExecConfig::from_env_value(Some(bad), None, None).unwrap_err();
             assert!(
                 matches!(err, RelError::Plan(ref m) if m.contains(THREADS_ENV)),
                 "unexpected error for {bad:?}: {err:?}"
@@ -988,9 +1301,38 @@ mod tests {
     #[test]
     fn env_config_rejects_bad_mode() {
         for bad in ["rowwise", "Vector", "streaming!"] {
-            let err = ExecConfig::from_env_value(None, Some(bad)).unwrap_err();
+            let err = ExecConfig::from_env_value(None, Some(bad), None).unwrap_err();
             assert!(
                 matches!(err, RelError::Plan(ref m) if m.contains(MODE_ENV)),
+                "unexpected error for {bad:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn env_config_parses_storage() {
+        let cfg = ExecConfig::from_env_value(None, None, Some("row")).unwrap();
+        assert_eq!(cfg.storage, StorageMode::Row);
+        // Storage matching trims whitespace and ignores case, like mode.
+        let cfg = ExecConfig::from_env_value(None, None, Some("  Segment ")).unwrap();
+        assert_eq!(cfg.storage, StorageMode::Segment);
+        // Unset and empty keep the segment default.
+        for dflt in [None, Some("")] {
+            assert_eq!(
+                ExecConfig::from_env_value(None, None, dflt)
+                    .unwrap()
+                    .storage,
+                StorageMode::Segment
+            );
+        }
+    }
+
+    #[test]
+    fn env_config_rejects_bad_storage() {
+        for bad in ["rows", "columnar", "segment!"] {
+            let err = ExecConfig::from_env_value(None, None, Some(bad)).unwrap_err();
+            assert!(
+                matches!(err, RelError::Plan(ref m) if m.contains(STORAGE_ENV)),
                 "unexpected error for {bad:?}: {err:?}"
             );
         }

@@ -29,8 +29,10 @@
 //! `total_cmp`), so collisions cost a comparison, never correctness.
 
 use crate::schema::Schema;
+use crate::segment::{ColumnData, Segment};
 use crate::table::Row;
 use crate::value::{DataType, Value};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -42,11 +44,17 @@ use std::sync::Arc;
 /// are zero-copy windows over a table's `Arc`-shared storage; `Owned`
 /// batches carry rows built by an upstream operator.
 pub(super) enum Batch {
-    /// Rows `lo..hi` of shared table storage.
+    /// Rows `lo..hi` of shared table storage. When the window is the
+    /// row-form image of a sealed column segment, `seg` carries it so the
+    /// vectorized pipeline can slice typed lanes straight out of columnar
+    /// storage instead of shredding (`rows[lo..lo + seg.len()]` holds
+    /// exactly the segment's rows; `take_prefix` only ever shrinks `hi`,
+    /// so the live window is always segment rows `0..(hi - lo)`).
     Shared {
         rows: Arc<Vec<Row>>,
         lo: usize,
         hi: usize,
+        seg: Option<Arc<Segment>>,
     },
     Owned(Vec<Row>),
 }
@@ -55,7 +63,24 @@ impl Batch {
     /// A zero-copy batch over a table's entire shared storage.
     pub(super) fn shared(rows: Arc<Vec<Row>>) -> Batch {
         let hi = rows.len();
-        Batch::Shared { rows, lo: 0, hi }
+        Batch::Shared {
+            rows,
+            lo: 0,
+            hi,
+            seg: None,
+        }
+    }
+
+    /// A zero-copy window `lo..hi` of shared storage, optionally backed
+    /// by the sealed segment whose rows the window images.
+    pub(super) fn shared_window(
+        rows: Arc<Vec<Row>>,
+        lo: usize,
+        hi: usize,
+        seg: Option<Arc<Segment>>,
+    ) -> Batch {
+        debug_assert!(seg.as_ref().is_none_or(|s| s.len() == hi - lo));
+        Batch::Shared { rows, lo, hi, seg }
     }
 
     pub(super) fn len(&self) -> usize {
@@ -67,23 +92,32 @@ impl Batch {
 
     pub(super) fn as_slice(&self) -> &[Row] {
         match self {
-            Batch::Shared { rows, lo, hi } => &rows[*lo..*hi],
+            Batch::Shared { rows, lo, hi, .. } => &rows[*lo..*hi],
             Batch::Owned(rows) => rows,
+        }
+    }
+
+    /// The sealed segment backing this batch, if any. The live window
+    /// covers segment rows `0..self.len()`.
+    pub(super) fn segment(&self) -> Option<&Arc<Segment>> {
+        match self {
+            Batch::Shared { seg, .. } => seg.as_ref(),
+            Batch::Owned(_) => None,
         }
     }
 
     /// Does this batch cover its shared storage end to end? Whole-table
     /// windows are what the morsel-parallel kernels partition.
     pub(super) fn is_full_shared(&self) -> bool {
-        matches!(self, Batch::Shared { rows, lo: 0, hi } if *hi == rows.len())
+        matches!(self, Batch::Shared { rows, lo: 0, hi, .. } if *hi == rows.len())
     }
 
     /// The first `n` rows (for `Limit`); shared windows just shrink.
     pub(super) fn take_prefix(self, n: usize) -> Batch {
         match self {
-            Batch::Shared { rows, lo, hi } => {
+            Batch::Shared { rows, lo, hi, seg } => {
                 let hi = usize::min(hi, lo + n);
-                Batch::Shared { rows, lo, hi }
+                Batch::Shared { rows, lo, hi, seg }
             }
             Batch::Owned(mut rows) => {
                 rows.truncate(n);
@@ -96,7 +130,7 @@ impl Batch {
     /// still referenced elsewhere (the same cost `Table::into_rows` pays).
     pub(super) fn into_rows(self) -> Vec<Row> {
         match self {
-            Batch::Shared { rows, lo, hi } => {
+            Batch::Shared { rows, lo, hi, .. } => {
                 if lo == 0 && hi == rows.len() {
                     Arc::try_unwrap(rows).unwrap_or_else(|shared| (*shared).clone())
                 } else {
@@ -118,12 +152,12 @@ pub(super) enum Gathered {
 }
 
 impl Gathered {
-    /// Collapse buffered batches into one input.
-    pub(super) fn from_batches(mut batches: Vec<Batch>) -> Gathered {
-        if batches.len() == 1 && batches[0].is_full_shared() {
-            let Some(Batch::Shared { rows, .. }) = batches.pop() else {
-                unreachable!("checked full shared above");
-            };
+    /// Collapse buffered batches into one input. A run of contiguous
+    /// shared windows that together cover their storage end to end — one
+    /// full-table window, or a segmented scan's per-segment windows —
+    /// stays zero-copy.
+    pub(super) fn from_batches(batches: Vec<Batch>) -> Gathered {
+        if let Some(rows) = Self::coalesce_full(&batches) {
             return Gathered::Shared(rows);
         }
         let mut rows = Vec::with_capacity(batches.iter().map(Batch::len).sum());
@@ -131,6 +165,28 @@ impl Gathered {
             rows.extend(b.into_rows());
         }
         Gathered::Owned(rows)
+    }
+
+    /// `Some(storage)` when `batches` are consecutive windows of one
+    /// shared storage covering all of it, in order.
+    fn coalesce_full(batches: &[Batch]) -> Option<Arc<Vec<Row>>> {
+        let Some(Batch::Shared { rows, .. }) = batches.first() else {
+            return None;
+        };
+        let mut expect = 0;
+        for b in batches {
+            let Batch::Shared {
+                rows: r, lo, hi, ..
+            } = b
+            else {
+                return None;
+            };
+            if !Arc::ptr_eq(r, rows) || *lo != expect {
+                return None;
+            }
+            expect = *hi;
+        }
+        (expect == rows.len()).then(|| Arc::clone(rows))
     }
 
     pub(super) fn as_slice(&self) -> &[Row] {
@@ -154,31 +210,45 @@ impl Gathered {
 // Column lanes
 // ---------------------------------------------------------------------------
 
-/// One column of a batch, shredded out of the row-major `Value`s. The
-/// typed variants carry a parallel null mask; [`Lane::Rows`] is the
+/// One column of a batch in typed form. Lanes are either shredded out of
+/// the row-major `Value`s (owned `Cow` storage) or borrowed zero-copy
+/// from a sealed [`Segment`]'s columnar storage (see [`segment_lanes`]).
+/// The typed variants carry a parallel null mask; [`Lane::Rows`] is the
 /// fallback lane for columns whose values are not uniformly of the lane
 /// type (e.g. INT values stored in a FLOAT column), read back row-major.
 pub(super) enum Lane<'a> {
     Int {
-        vals: Vec<i64>,
-        nulls: Vec<bool>,
+        vals: Cow<'a, [i64]>,
+        nulls: Cow<'a, [bool]>,
     },
     Float {
-        vals: Vec<f64>,
-        nulls: Vec<bool>,
+        vals: Cow<'a, [f64]>,
+        nulls: Cow<'a, [bool]>,
     },
     Bool {
-        vals: Vec<bool>,
-        nulls: Vec<bool>,
+        vals: Cow<'a, [bool]>,
+        nulls: Cow<'a, [bool]>,
     },
     Str {
         vals: Vec<&'a str>,
-        nulls: Vec<bool>,
+        nulls: Cow<'a, [bool]>,
     },
     Date {
-        vals: Vec<i64>,
-        nulls: Vec<bool>,
+        vals: Cow<'a, [i64]>,
+        nulls: Cow<'a, [bool]>,
     },
+    /// Dictionary-encoded TEXT straight from segment storage: `codes[i]`
+    /// indexes `dict` (null rows masked by `nulls`). Never produced by
+    /// [`build_lane`] — only by [`segment_lanes`] — and consumed by the
+    /// vectorized kernels' dictionary-aware compare paths.
+    Dict {
+        codes: &'a [u32],
+        nulls: Cow<'a, [bool]>,
+        dict: &'a [String],
+    },
+    /// Mixed-type values borrowed from a segment's row-major fallback
+    /// storage. Like [`Lane::Dict`], only [`segment_lanes`] builds this.
+    Vals(&'a [Value]),
     /// Mixed/non-conforming storage: fetch `Value`s from the rows.
     Rows,
 }
@@ -200,7 +270,10 @@ macro_rules! build_lane {
                 _ => return Lane::Rows,
             }
         }
-        Lane::$variant { vals, nulls }
+        Lane::$variant {
+            vals: vals.into(),
+            nulls: nulls.into(),
+        }
     }};
 }
 
@@ -215,6 +288,51 @@ pub(super) fn build_lane(rows: &[Row], col: usize, decl: DataType) -> Lane<'_> {
         DataType::Text => build_lane!(rows, col, Str, Value::Text(s) => s.as_str(), ""),
         DataType::Date => build_lane!(rows, col, Date, Value::Date(d) => *d, 0),
     }
+}
+
+/// Slice one lane per column out of a sealed segment's columnar storage
+/// for segment rows `off..off + len` — no shredding: typed storage is
+/// borrowed, dictionary codes stay encoded, and only plain-string
+/// columns pay an `&str` gather. The window's values are identical to
+/// what [`build_lane`] would shred from the matching rows, except that
+/// non-conforming columns surface as [`Lane::Vals`] (segment row-major
+/// storage) rather than [`Lane::Rows`], and text columns may surface as
+/// [`Lane::Dict`].
+pub(super) fn segment_lanes(seg: &Segment, off: usize, len: usize) -> Vec<Option<Lane<'_>>> {
+    (0..seg.arity())
+        .map(|c| {
+            let col = seg.column(c);
+            let nulls = Cow::Borrowed(&col.nulls[off..off + len]);
+            Some(match &col.data {
+                ColumnData::Int(v) => Lane::Int {
+                    vals: Cow::Borrowed(&v[off..off + len]),
+                    nulls,
+                },
+                ColumnData::Float(v) => Lane::Float {
+                    vals: Cow::Borrowed(&v[off..off + len]),
+                    nulls,
+                },
+                ColumnData::Bool(v) => Lane::Bool {
+                    vals: Cow::Borrowed(&v[off..off + len]),
+                    nulls,
+                },
+                ColumnData::Date(v) => Lane::Date {
+                    vals: Cow::Borrowed(&v[off..off + len]),
+                    nulls,
+                },
+                ColumnData::Str(v) => Lane::Str {
+                    vals: v[off..off + len].iter().map(String::as_str).collect(),
+                    nulls,
+                },
+                ColumnData::Dict { codes, dict } => Lane::Dict {
+                    codes: &codes[off..off + len],
+                    nulls,
+                    dict,
+                },
+                ColumnData::Mixed(v) => Lane::Vals(&v[off..off + len]),
+            })
+        })
+        .collect()
 }
 
 /// A batch with lanes built for every column the consuming kernels touch.
@@ -388,7 +506,9 @@ pub(super) fn key_hashes(rows: &[Row], schema: &Schema, idx: &[usize]) -> (Vec<u
                     };
                 }
             }
-            Lane::Rows => {
+            // Dict/Vals lanes are segment-only; key hashing shreds its
+            // own lanes, so they can only mean the row fallback here.
+            Lane::Rows | Lane::Dict { .. } | Lane::Vals(_) => {
                 for (i, row) in rows.iter().enumerate() {
                     let v = &row[c];
                     has_null[i] |= v.is_null();
@@ -451,7 +571,9 @@ impl<'a> SortKeys<'a> {
                 Lane::Date { vals, nulls } => {
                     cmp_masked(nulls[a], nulls[b], || vals[a].cmp(&vals[b]))
                 }
-                Lane::Rows => self.rows[a][*c].total_cmp(&self.rows[b][*c]),
+                Lane::Rows | Lane::Dict { .. } | Lane::Vals(_) => {
+                    self.rows[a][*c].total_cmp(&self.rows[b][*c])
+                }
             };
             if o != Ordering::Equal {
                 return o;

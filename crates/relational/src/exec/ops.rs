@@ -36,14 +36,17 @@
 //! the property suites hold all lanes to exact error parity on
 //! single-fault plans only, as before.
 
-use super::batch::{key_hashes, keys_eq, Batch, Gathered, HashBuckets};
+use super::batch::{key_hashes, keys_eq, segment_lanes, Batch, Gathered, HashBuckets};
 use super::blocking::{self, HashIndex};
 use super::morsel;
 use super::vector::{self, StageProg};
-use super::{apply_stages, ExecConfig, ExecMode, Flow, Stage, BATCH_SIZE};
+use super::{
+    apply_stages, segment_pruned, ExecConfig, ExecMode, Flow, SimplePred, Stage, BATCH_SIZE,
+};
 use crate::algebra::{aggregate_rows, pivot_rows, unpivot_rows, Aggregate, JoinKind};
 use crate::error::RelResult;
 use crate::schema::Schema;
+use crate::segment::Segment;
 use crate::table::Row;
 use crate::value::{DataType, Value};
 use std::collections::{HashMap, HashSet};
@@ -78,6 +81,19 @@ pub(super) trait PhysicalOperator {
 pub(super) enum OpTree<'p> {
     /// A table's `Arc`-shared row storage, emitted as one zero-copy batch.
     Leaf(Arc<Vec<Row>>),
+    /// A segment-backed scan (DESIGN.md §14): the table's shared row
+    /// storage plus its sealed columnar prefix. Emits one zero-copy batch
+    /// per sealed segment — each carrying its [`Segment`] so the pipeline
+    /// above slices lanes instead of shredding — then one plain window
+    /// for the row-form delta tail past `covered`. `prune` holds the
+    /// pushed-down simple filter conjuncts (stage-ordered) that zone maps
+    /// test to skip segments before a batch is formed.
+    SegmentLeaf {
+        rows: Arc<Vec<Row>>,
+        segments: Vec<Arc<Segment>>,
+        covered: usize,
+        prune: Vec<Vec<SimplePred>>,
+    },
     Node {
         op: Box<dyn PhysicalOperator + 'p>,
         children: Vec<OpTree<'p>>,
@@ -90,6 +106,28 @@ pub(super) enum OpTree<'p> {
 pub(super) fn drive(tree: OpTree<'_>) -> RelResult<Vec<Batch>> {
     match tree {
         OpTree::Leaf(rows) => Ok(vec![Batch::shared(rows)]),
+        OpTree::SegmentLeaf {
+            rows,
+            segments,
+            covered,
+            prune,
+        } => {
+            let mut out = Vec::new();
+            let mut lo = 0;
+            for seg in segments {
+                let hi = lo + seg.len();
+                if !seg.is_empty() && !segment_pruned(&seg, &prune) {
+                    out.push(Batch::shared_window(Arc::clone(&rows), lo, hi, Some(seg)));
+                }
+                lo = hi;
+            }
+            debug_assert_eq!(lo, covered);
+            if covered < rows.len() {
+                let hi = rows.len();
+                out.push(Batch::shared_window(rows, covered, hi, None));
+            }
+            Ok(out)
+        }
         OpTree::Node { mut op, children } => {
             op.open()?;
             for (i, child) in children.into_iter().enumerate() {
@@ -155,7 +193,12 @@ impl PhysicalOperator for PipelineOp<'_> {
             self.out.push(batch);
             return Ok(());
         }
-        if batch.is_full_shared() && self.cfg.parallel_for(batch.len()) {
+        // Whole-table windows and per-segment windows both partition
+        // deterministically (morsel bounds are relative to the window, so
+        // output and error order match the serial run batch for batch).
+        if (batch.is_full_shared() || batch.segment().is_some())
+            && self.cfg.parallel_for(batch.len())
+        {
             let rows = morsel::par_pipeline(
                 batch.as_slice(),
                 &self.stages,
@@ -169,11 +212,20 @@ impl PhysicalOperator for PipelineOp<'_> {
             b @ Batch::Shared { .. } => {
                 // Serial shared window: process in BATCH_SIZE chunks so the
                 // pipeline's working set stays cache-sized, columnar when
-                // programs are compiled.
-                for chunk in b.as_slice().chunks(BATCH_SIZE) {
-                    let rows = match &self.programs {
-                        Some(progs) => vector::run_batch(&self.stages, progs, chunk)?,
-                        None => {
+                // programs are compiled. Segment-backed windows seed each
+                // chunk's lanes straight from columnar storage — the
+                // zero-shred path (the live window always starts at
+                // segment row 0, so the chunk offset is the segment
+                // offset).
+                let seg = b.segment().cloned();
+                for (k, chunk) in b.as_slice().chunks(BATCH_SIZE).enumerate() {
+                    let rows = match (&self.programs, &seg) {
+                        (Some(progs), Some(seg)) => {
+                            let seed = segment_lanes(seg, k * BATCH_SIZE, chunk.len());
+                            vector::run_batch_seeded(&self.stages, progs, chunk, seed)?
+                        }
+                        (Some(progs), None) => vector::run_batch(&self.stages, progs, chunk)?,
+                        (None, _) => {
                             let mut rows = Vec::with_capacity(chunk.len());
                             for row in chunk {
                                 if let Some(r) = apply_stages(&self.stages, Flow::Borrowed(row))? {

@@ -230,6 +230,14 @@ enum View<'v, 'a> {
     Bool(&'v [bool], &'v [bool]),
     Str(&'v [&'a str], &'v [bool]),
     Date(&'v [i64], &'v [bool]),
+    /// Dictionary-encoded TEXT from segment storage: values are
+    /// `dict[codes[i]]`, read through the codes without decoding except
+    /// where a consumer materializes the value.
+    Dict {
+        codes: &'v [u32],
+        nulls: &'v [bool],
+        dict: &'a [String],
+    },
     /// Column `c` through the row fallback lane.
     Rows(usize),
     Vals(&'v [Value]),
@@ -244,6 +252,8 @@ fn view<'v, 'a>(out: &'v Out, batch: &'v ColumnBatch<'a>) -> View<'v, 'a> {
             Some(Lane::Bool { vals, nulls }) => View::Bool(vals, nulls),
             Some(Lane::Str { vals, nulls }) => View::Str(vals, nulls),
             Some(Lane::Date { vals, nulls }) => View::Date(vals, nulls),
+            Some(Lane::Dict { codes, nulls, dict }) => View::Dict { codes, nulls, dict },
+            Some(Lane::Vals(vals)) => View::Vals(vals),
             Some(Lane::Rows) | None => View::Rows(*c),
         },
         Out::Int(vals, nulls) => View::Int(vals, nulls),
@@ -264,6 +274,9 @@ impl View<'_, '_> {
             View::Bool(vals, nulls) => lane_value(nulls, i, || Value::Bool(vals[i])),
             View::Str(vals, nulls) => lane_value(nulls, i, || Value::text(vals[i])),
             View::Date(vals, nulls) => lane_value(nulls, i, || Value::Date(vals[i])),
+            View::Dict { codes, nulls, dict } => {
+                lane_value(nulls, i, || Value::text(dict[codes[i] as usize].as_str()))
+            }
             View::Rows(c) => batch.rows[i][*c].clone(),
             View::Vals(vals) => vals[i].clone(),
         }
@@ -276,7 +289,8 @@ impl View<'_, '_> {
             | View::Float(_, nulls)
             | View::Bool(_, nulls)
             | View::Str(_, nulls)
-            | View::Date(_, nulls) => nulls[i],
+            | View::Date(_, nulls)
+            | View::Dict { nulls, .. } => nulls[i],
             View::Rows(c) => batch.rows[i][*c].is_null(),
             View::Vals(vals) => vals[i].is_null(),
         }
@@ -533,6 +547,37 @@ fn eval_bin_vec(
                     // == is symmetric, so const side order does not matter.
                     cmp_mask_loop(n, an, an, |i| av[i] == c.as_str(), negate)
                 }
+                (View::Dict { codes, nulls, dict }, View::Const(Value::Text(c)))
+                | (View::Const(Value::Text(c)), View::Dict { codes, nulls, dict }) => {
+                    // Dictionary-aware compare: test the literal against
+                    // each distinct string once, then compare codes.
+                    let hit: Vec<bool> = dict.iter().map(|s| s == c).collect();
+                    cmp_mask_loop(n, nulls, nulls, |i| hit[codes[i] as usize], negate)
+                }
+                (View::Dict { codes, nulls, dict }, View::Str(bv, bn)) => {
+                    cmp_mask_loop(n, nulls, bn, |i| dict[codes[i] as usize] == bv[i], negate)
+                }
+                (View::Str(av, an), View::Dict { codes, nulls, dict }) => {
+                    cmp_mask_loop(n, an, nulls, |i| av[i] == dict[codes[i] as usize], negate)
+                }
+                (
+                    View::Dict {
+                        codes: ac,
+                        nulls: an,
+                        dict: ad,
+                    },
+                    View::Dict {
+                        codes: bc,
+                        nulls: bn,
+                        dict: bd,
+                    },
+                ) => cmp_mask_loop(
+                    n,
+                    an,
+                    bn,
+                    |i| ad[ac[i] as usize] == bd[bc[i] as usize],
+                    negate,
+                ),
                 (View::Date(av, an), View::Date(bv, bn)) => {
                     cmp_mask_loop(n, an, bn, |i| av[i] == bv[i], negate)
                 }
@@ -555,6 +600,18 @@ fn eval_bin_vec(
                     }
                     (View::Const(Value::Text(c)), View::Str(bv, bn)) => {
                         ord_apply_loop(op, n, bn, bn, |i| c.as_str().cmp(bv[i]))
+                    }
+                    (View::Dict { codes, nulls, dict }, View::Const(Value::Text(c))) => {
+                        // Dictionary-aware ordering: rank the literal
+                        // against each distinct string once.
+                        let ords: Vec<std::cmp::Ordering> =
+                            dict.iter().map(|s| s.as_str().cmp(c.as_str())).collect();
+                        ord_apply_loop(op, n, nulls, nulls, |i| ords[codes[i] as usize])
+                    }
+                    (View::Const(Value::Text(c)), View::Dict { codes, nulls, dict }) => {
+                        let ords: Vec<std::cmp::Ordering> =
+                            dict.iter().map(|s| c.as_str().cmp(s.as_str())).collect();
+                        ord_apply_loop(op, n, nulls, nulls, |i| ords[codes[i] as usize])
                     }
                     (View::Date(av, an), View::Date(bv, bn)) => {
                         ord_apply_loop(op, n, an, bn, |i| av[i].cmp(&bv[i]))
@@ -828,6 +885,20 @@ pub(super) fn run_batch(
     progs: &[StageProg],
     rows: &[Row],
 ) -> RelResult<Vec<Row>> {
+    run_batch_seeded(stages, progs, rows, Vec::new())
+}
+
+/// [`run_batch`] with pre-built lanes for the first epoch's columns —
+/// the zero-shred entry for segment-backed scans, which pass lanes
+/// sliced straight out of columnar storage (`batch::segment_lanes`) so
+/// the epoch never shreds a row. Seeded lanes must describe exactly
+/// `rows` (same window, same order).
+pub(super) fn run_batch_seeded<'a>(
+    stages: &[Stage<'_>],
+    progs: &[StageProg],
+    rows: &'a [Row],
+    seed: Vec<Option<Lane<'a>>>,
+) -> RelResult<Vec<Row>> {
     debug_assert_eq!(stages.len(), progs.len());
     let mut errs = ErrAcc::default();
     let orig: Vec<usize> = (0..rows.len()).collect();
@@ -838,7 +909,7 @@ pub(super) fn run_batch(
         &orig,
         vec![true; rows.len()],
         &mut errs,
-        Vec::new(),
+        seed,
     );
     match errs.first() {
         Some(e) => Err(e),
@@ -1052,39 +1123,56 @@ fn carry_lane<'a>(out: &Out, batch: &ColumnBatch<'a>, kept: &[usize]) -> Option<
     }
     match out {
         Out::Int(vals, nulls) => Some(Lane::Int {
-            vals: compact(vals, kept),
-            nulls: compact(nulls, kept),
+            vals: compact(vals, kept).into(),
+            nulls: compact(nulls, kept).into(),
         }),
         Out::Float(vals, nulls) => Some(Lane::Float {
-            vals: compact(vals, kept),
-            nulls: compact(nulls, kept),
+            vals: compact(vals, kept).into(),
+            nulls: compact(nulls, kept).into(),
         }),
         Out::Bool(vals, nulls) => Some(Lane::Bool {
-            vals: compact(vals, kept),
-            nulls: compact(nulls, kept),
+            vals: compact(vals, kept).into(),
+            nulls: compact(nulls, kept).into(),
         }),
         Out::ColRef(c) => match batch.lanes.get(*c).and_then(|l| l.as_ref())? {
             Lane::Int { vals, nulls } => Some(Lane::Int {
-                vals: compact(vals, kept),
-                nulls: compact(nulls, kept),
+                vals: compact(vals, kept).into(),
+                nulls: compact(nulls, kept).into(),
             }),
             Lane::Float { vals, nulls } => Some(Lane::Float {
-                vals: compact(vals, kept),
-                nulls: compact(nulls, kept),
+                vals: compact(vals, kept).into(),
+                nulls: compact(nulls, kept).into(),
             }),
             Lane::Bool { vals, nulls } => Some(Lane::Bool {
-                vals: compact(vals, kept),
-                nulls: compact(nulls, kept),
+                vals: compact(vals, kept).into(),
+                nulls: compact(nulls, kept).into(),
             }),
             Lane::Str { vals, nulls } => Some(Lane::Str {
                 vals: compact(vals, kept),
-                nulls: compact(nulls, kept),
+                nulls: compact(nulls, kept).into(),
             }),
             Lane::Date { vals, nulls } => Some(Lane::Date {
-                vals: compact(vals, kept),
-                nulls: compact(nulls, kept),
+                vals: compact(vals, kept).into(),
+                nulls: compact(nulls, kept).into(),
             }),
-            Lane::Rows => None,
+            // A passthrough of a dictionary lane decodes to strings
+            // borrowed from the dictionary (still zero-copy per string).
+            // Null rows must not be decoded: they carry code 0, which an
+            // all-null column's empty dictionary cannot even index.
+            Lane::Dict { codes, nulls, dict } => Some(Lane::Str {
+                vals: kept
+                    .iter()
+                    .map(|&i| {
+                        if nulls[i] {
+                            ""
+                        } else {
+                            dict[codes[i] as usize].as_str()
+                        }
+                    })
+                    .collect(),
+                nulls: compact(nulls, kept).into(),
+            }),
+            Lane::Rows | Lane::Vals(_) => None,
         },
         Out::Const(_) | Out::Vals(_) => None,
     }
@@ -1212,7 +1300,7 @@ fn out_satisfies(w: &View<'_, '_>, in_schema: &Schema, col: &Column) -> bool {
         View::Int(..) => col.data_type.accepts(DataType::Int),
         View::Float(..) => col.data_type.accepts(DataType::Float),
         View::Bool(..) => col.data_type == DataType::Bool,
-        View::Str(..) => col.data_type == DataType::Text,
+        View::Str(..) | View::Dict { .. } => col.data_type == DataType::Text,
         View::Date(..) => col.data_type == DataType::Date,
         // A raw column passthrough holds values of the input column's
         // declared type (or INTs widened into a FLOAT column, which only a

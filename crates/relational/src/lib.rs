@@ -54,6 +54,7 @@ pub mod exec;
 pub mod expr;
 pub mod optimize;
 pub mod schema;
+pub mod segment;
 pub mod table;
 pub mod value;
 
@@ -66,7 +67,7 @@ pub mod prelude {
         TableDelta,
     };
     pub use crate::error::{RelError, RelResult};
-    pub use crate::exec::{ExecConfig, ExecMode, Executor};
+    pub use crate::exec::{ExecConfig, ExecMode, Executor, StorageMode};
     pub use crate::expr::{BinOp, Expr};
     pub use crate::optimize::optimize;
     pub use crate::schema::{Column, Schema};

@@ -1,0 +1,344 @@
+//! Columnar resting storage: immutable, typed column segments.
+//!
+//! A [`Segment`] is a sealed, immutable window of a table's rows stored
+//! column-major: one typed vector per column plus a parallel validity
+//! (null) mask, a per-column [`ZoneMap`] (min/max/null statistics), and —
+//! for text columns of modest cardinality — dictionary encoding. A
+//! [`SegmentList`] is the sealed prefix of a table: a run of segments
+//! covering rows `0..covered`, with any rows past `covered` living in the
+//! table's row-form delta store until the next compaction
+//! ([`crate::table::Table::compact_segments`]).
+//!
+//! Segments are what make typed column lanes the *resting* format: the
+//! vectorized executor slices its [`exec`](crate::exec) lanes directly out
+//! of segment storage (zero per-batch shredding) and consults zone maps to
+//! skip whole segments before a batch is ever formed (DESIGN.md §14).
+//!
+//! ## Storage contract
+//!
+//! Column storage is guided by the *declared* type, mirroring the
+//! executor's shredding rule: a column stores typed vectors only when
+//! every non-null value is exactly of the declared variant; otherwise it
+//! falls back to [`ColumnData::Mixed`] row-major values (this is how FLOAT
+//! columns holding widened INTs stay lossless). Text columns
+//! dictionary-encode when the segment has at most [`DICT_MAX`] distinct
+//! strings and fall back to plain string storage above that.
+//!
+//! ## Zone-map contract
+//!
+//! `min`/`max` are the extrema of the column's non-null values under
+//! [`Value::total_cmp`] (so NaN sorts above all numbers and `-0.0` below
+//! `0.0`), `Value::Null` when the segment window has no non-null values.
+//! `has_nan` records whether any float value is NaN; scan pruning uses it
+//! to refuse ordering-predicate skips that could suppress the row
+//! kernels' "cannot compare" errors.
+
+use crate::schema::Schema;
+use crate::table::Row;
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Target row count per sealed segment. Large enough that per-segment
+/// bookkeeping (zone maps, dictionary headers, per-segment pipeline
+/// entry) is noise, small enough that zone maps retain pruning power on
+/// clustered data.
+pub const SEGMENT_ROWS: usize = 32_768;
+
+/// Maximum distinct strings a segment's text column may hold and still
+/// dictionary-encode; above this the column stores plain strings.
+pub const DICT_MAX: usize = 1_024;
+
+/// Typed column storage inside a [`Segment`]. Typed variants hold one
+/// entry per row with nulls masked out-of-band (the slot holds a default);
+/// [`ColumnData::Mixed`] is the lossless fallback for columns whose values
+/// are not uniformly of the declared type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// INT column: `i64` per row.
+    Int(Vec<i64>),
+    /// FLOAT column: `f64` per row.
+    Float(Vec<f64>),
+    /// BOOL column: `bool` per row.
+    Bool(Vec<bool>),
+    /// DATE column: days since the Unix epoch per row.
+    Date(Vec<i64>),
+    /// TEXT column above [`DICT_MAX`] distinct values: plain strings.
+    Str(Vec<String>),
+    /// Dictionary-encoded TEXT column: `codes[i]` indexes into `dict`
+    /// (null rows carry code 0 and are masked by the null mask). `dict`
+    /// is ordered by first appearance.
+    Dict {
+        /// Per-row dictionary code.
+        codes: Vec<u32>,
+        /// Distinct strings, indexed by code.
+        dict: Vec<String>,
+    },
+    /// Non-conforming column (e.g. INTs widened into a FLOAT column):
+    /// row-major values, read back exactly as stored.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    /// Human-readable encoding name, for stats and tests.
+    pub fn encoding(&self) -> &'static str {
+        match self {
+            ColumnData::Int(_) => "int",
+            ColumnData::Float(_) => "float",
+            ColumnData::Bool(_) => "bool",
+            ColumnData::Date(_) => "date",
+            ColumnData::Str(_) => "str",
+            ColumnData::Dict { .. } => "dict",
+            ColumnData::Mixed(_) => "mixed",
+        }
+    }
+}
+
+/// Per-segment, per-column min/max statistics consulted by scan pruning.
+/// See the module docs for the exact contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneMap {
+    /// Least non-null value under [`Value::total_cmp`]; `Null` if none.
+    pub min: Value,
+    /// Greatest non-null value under [`Value::total_cmp`]; `Null` if none.
+    pub max: Value,
+    /// Number of null rows in the segment window.
+    pub null_count: usize,
+    /// Whether any float value in the window is NaN. Ordering predicates
+    /// error on NaN in the row kernels, so pruning must not skip segments
+    /// that would have raised that error.
+    pub has_nan: bool,
+}
+
+/// One column of a [`Segment`]: typed storage, a validity mask, and the
+/// zone map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentColumn {
+    pub(crate) data: ColumnData,
+    /// `true` where the row is NULL (parallel to `data`).
+    pub(crate) nulls: Vec<bool>,
+    pub(crate) zone: ZoneMap,
+}
+
+impl SegmentColumn {
+    /// The column's zone map.
+    pub fn zone(&self) -> &ZoneMap {
+        &self.zone
+    }
+
+    /// The column's storage encoding (`"dict"`, `"mixed"`, ...).
+    pub fn encoding(&self) -> &'static str {
+        self.data.encoding()
+    }
+
+    fn build(decl: DataType, rows: &[Row], col: usize) -> SegmentColumn {
+        let mut nulls = Vec::with_capacity(rows.len());
+        let mut zone = ZoneMap {
+            min: Value::Null,
+            max: Value::Null,
+            null_count: 0,
+            has_nan: false,
+        };
+        for row in rows {
+            let v = &row[col];
+            nulls.push(v.is_null());
+            if v.is_null() {
+                zone.null_count += 1;
+                continue;
+            }
+            if let Value::Float(f) = v {
+                zone.has_nan |= f.is_nan();
+            }
+            if zone.min.is_null() || v.total_cmp(&zone.min).is_lt() {
+                zone.min = v.clone();
+            }
+            if zone.max.is_null() || v.total_cmp(&zone.max).is_gt() {
+                zone.max = v.clone();
+            }
+        }
+        let data = Self::build_data(decl, rows, col)
+            .unwrap_or_else(|| ColumnData::Mixed(rows.iter().map(|r| r[col].clone()).collect()));
+        SegmentColumn { data, nulls, zone }
+    }
+
+    /// Typed storage for the declared type, or `None` when some non-null
+    /// value is not exactly of the declared variant (the `Mixed` fallback
+    /// mirrors `build_lane`'s demotion to the row lane).
+    fn build_data(decl: DataType, rows: &[Row], col: usize) -> Option<ColumnData> {
+        macro_rules! typed {
+            ($variant:ident, $pat:pat => $val:expr, $default:expr) => {{
+                let mut vals = Vec::with_capacity(rows.len());
+                for row in rows {
+                    match &row[col] {
+                        Value::Null => vals.push($default),
+                        $pat => vals.push($val),
+                        _ => return None,
+                    }
+                }
+                Some(ColumnData::$variant(vals))
+            }};
+        }
+        match decl {
+            DataType::Int => typed!(Int, Value::Int(i) => *i, 0),
+            DataType::Float => typed!(Float, Value::Float(f) => *f, 0.0),
+            DataType::Bool => typed!(Bool, Value::Bool(b) => *b, false),
+            DataType::Date => typed!(Date, Value::Date(d) => *d, 0),
+            DataType::Text => Self::build_text(rows, col),
+        }
+    }
+
+    /// Dictionary-encode a text column, falling back to plain strings
+    /// past [`DICT_MAX`] distinct values and to `None` (mixed) when a
+    /// non-null value is not text.
+    fn build_text(rows: &[Row], col: usize) -> Option<ColumnData> {
+        let mut codes = Vec::with_capacity(rows.len());
+        let mut dict: Vec<String> = Vec::new();
+        let mut index: HashMap<String, u32> = HashMap::new();
+        for row in rows {
+            match &row[col] {
+                Value::Null => codes.push(0),
+                Value::Text(s) => {
+                    if let Some(&c) = index.get(s.as_str()) {
+                        codes.push(c);
+                    } else {
+                        if dict.len() >= DICT_MAX {
+                            // Overflow: re-collect as plain strings.
+                            return Self::build_plain_text(rows, col);
+                        }
+                        let c = dict.len() as u32;
+                        dict.push(s.clone());
+                        index.insert(s.clone(), c);
+                        codes.push(c);
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(ColumnData::Dict { codes, dict })
+    }
+
+    fn build_plain_text(rows: &[Row], col: usize) -> Option<ColumnData> {
+        let mut vals = Vec::with_capacity(rows.len());
+        for row in rows {
+            match &row[col] {
+                Value::Null => vals.push(String::new()),
+                Value::Text(s) => vals.push(s.clone()),
+                _ => return None,
+            }
+        }
+        Some(ColumnData::Str(vals))
+    }
+
+    /// Read one value back, exactly as the row stored it.
+    pub fn value(&self, i: usize) -> Value {
+        if self.nulls[i] {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Str(v) => Value::Text(v[i].clone()),
+            ColumnData::Dict { codes, dict } => Value::Text(dict[codes[i] as usize].clone()),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+}
+
+/// An immutable columnar window of a table's rows. Built once, then
+/// shared (`Arc`) between the owning table and any scans in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    len: usize,
+    cols: Vec<SegmentColumn>,
+}
+
+impl Segment {
+    /// Seal `rows` (one table window) into a columnar segment.
+    pub fn build(schema: &Schema, rows: &[Row]) -> Segment {
+        let cols = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(c, col)| SegmentColumn::build(col.data_type, rows, c))
+            .collect();
+        Segment {
+            len: rows.len(),
+            cols,
+        }
+    }
+
+    /// Number of rows in the segment.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The column at position `c`.
+    pub fn column(&self, c: usize) -> &SegmentColumn {
+        &self.cols[c]
+    }
+
+    /// The zone map for column `c`.
+    pub fn zone(&self, c: usize) -> &ZoneMap {
+        &self.cols[c].zone
+    }
+}
+
+/// The sealed prefix of a table: segments covering rows `0..covered`, in
+/// row order. Rows at and past `covered` are the table's row-form delta
+/// store, scanned row-major until compaction folds them into new
+/// segments.
+#[derive(Debug, Clone)]
+pub struct SegmentList {
+    segments: Vec<Arc<Segment>>,
+    covered: usize,
+}
+
+impl SegmentList {
+    /// Seal all of `rows` into segments of [`SEGMENT_ROWS`].
+    pub fn build(schema: &Schema, rows: &[Row]) -> SegmentList {
+        SegmentList::sealed_over(schema, rows, Vec::new(), 0)
+    }
+
+    /// A new list reusing this list's sealed segments and sealing
+    /// `rows[covered..]` (the delta tail) into fresh ones.
+    pub fn extended(&self, schema: &Schema, rows: &[Row]) -> SegmentList {
+        SegmentList::sealed_over(schema, rows, self.segments.clone(), self.covered)
+    }
+
+    fn sealed_over(
+        schema: &Schema,
+        rows: &[Row],
+        mut segments: Vec<Arc<Segment>>,
+        from: usize,
+    ) -> SegmentList {
+        for chunk in rows[from..].chunks(SEGMENT_ROWS) {
+            segments.push(Arc::new(Segment::build(schema, chunk)));
+        }
+        SegmentList {
+            segments,
+            covered: rows.len(),
+        }
+    }
+
+    /// The sealed segments, in row order.
+    pub fn segments(&self) -> &[Arc<Segment>] {
+        &self.segments
+    }
+
+    /// Number of leading table rows covered by sealed segments.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+}

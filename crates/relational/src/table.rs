@@ -2,11 +2,12 @@
 
 use crate::error::{RelError, RelResult};
 use crate::schema::Schema;
+use crate::segment::{SegmentList, SEGMENT_ROWS};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A row is a boxed slice of values; arity always matches the table schema.
 pub type Row = Vec<Value>;
@@ -25,6 +26,13 @@ pub struct Table {
     /// PK tuple → row position. Rebuilt on delete.
     #[serde(skip)]
     pk_index: Arc<HashMap<Vec<Value>, usize>>,
+    /// Sealed columnar prefix (DESIGN.md §14), built lazily on the first
+    /// segment-mode scan and shared O(1) with table clones. Inserts keep
+    /// the cache — appended rows are the row-form delta store past
+    /// [`SegmentList::covered`] — while in-place mutations drop it.
+    /// Derived state: excluded from serde and equality.
+    #[serde(skip)]
+    segments: Arc<OnceLock<SegmentList>>,
 }
 
 impl Table {
@@ -34,6 +42,7 @@ impl Table {
             schema,
             rows: Arc::new(Vec::new()),
             pk_index: Arc::new(HashMap::new()),
+            segments: Arc::new(OnceLock::new()),
         }
     }
 
@@ -73,6 +82,7 @@ impl Table {
             schema,
             rows: Arc::new(rows),
             pk_index: Arc::new(HashMap::new()),
+            segments: Arc::new(OnceLock::new()),
         };
         t.rebuild_index()?;
         Ok(t)
@@ -132,6 +142,9 @@ impl Table {
         P: Fn(&[Value]) -> bool,
         F: FnMut(&mut Row),
     {
+        // In-place edits invalidate the sealed prefix; drop the cache up
+        // front so an error part-way through never leaves it stale.
+        self.segments = Arc::new(OnceLock::new());
         let mut n = 0;
         for row in Arc::make_mut(&mut self.rows).iter_mut() {
             if pred(row) {
@@ -148,6 +161,7 @@ impl Table {
 
     /// Delete every row matching `pred`; returns the number removed.
     pub fn delete_where<P: Fn(&[Value]) -> bool>(&mut self, pred: P) -> RelResult<usize> {
+        self.segments = Arc::new(OnceLock::new());
         let before = self.rows.len();
         Arc::make_mut(&mut self.rows).retain(|r| !pred(r));
         let removed = before - self.rows.len();
@@ -185,6 +199,67 @@ impl Table {
     /// Restore the PK index after deserialization (serde skips it).
     pub fn reindex(&mut self) -> RelResult<()> {
         self.rebuild_index()
+    }
+
+    /// The sealed columnar prefix of this table, building it on first use
+    /// (sealing every current row into [`crate::segment::Segment`]s). The
+    /// list is cached; rows inserted afterwards form the row-form delta
+    /// store past [`SegmentList::covered`] until
+    /// [`Table::compact_segments`] folds them in.
+    pub fn segments(&self) -> &SegmentList {
+        self.segments
+            .get_or_init(|| SegmentList::build(&self.schema, &self.rows))
+    }
+
+    /// Rows currently in the row-form delta store (inserted since the
+    /// sealed prefix was built; the whole table if it was never built).
+    pub fn unsealed_rows(&self) -> usize {
+        self.rows.len() - self.segments.get().map_or(0, SegmentList::covered)
+    }
+
+    /// Carry `prev`'s sealed segment cache over to this table, returning
+    /// whether a cache was adopted. Refresh paths rebuild tables wholesale
+    /// from merged rows; when the merge was a pure append the old sealed
+    /// prefix still describes `self.rows[..covered]` exactly, so
+    /// re-sealing it would be wasted work. The caller must guarantee that
+    /// prefix relationship (debug-asserted here); rows past the adopted
+    /// prefix stay in the row-form delta store until
+    /// [`Table::compact_segments`] folds them.
+    pub fn adopt_segments(&mut self, prev: &Table) -> bool {
+        let Some(list) = prev.segments.get() else {
+            return false;
+        };
+        if list.covered() > self.rows.len() {
+            return false;
+        }
+        debug_assert_eq!(self.rows[..list.covered()], prev.rows[..list.covered()]);
+        let cell = OnceLock::new();
+        let _ = cell.set(list.clone());
+        self.segments = Arc::new(cell);
+        true
+    }
+
+    /// Fold the row-form delta store into fresh sealed segments when it
+    /// has grown past a compaction threshold (an eighth of
+    /// [`SEGMENT_ROWS`]), or seal the whole table if no prefix exists
+    /// yet. Returns whether new segments were sealed. Refresh paths
+    /// ([`crate::delta::DeltaCatalog`], the warehouse study store) call
+    /// this after landing deltas so steady-state scans stay columnar.
+    pub fn compact_segments(&mut self) -> bool {
+        match self.segments.get() {
+            None => {
+                self.segments();
+                true
+            }
+            Some(list) if self.rows.len() - list.covered() >= SEGMENT_ROWS / 8 => {
+                let extended = list.extended(&self.schema, &self.rows);
+                let cell = OnceLock::new();
+                let _ = cell.set(extended);
+                self.segments = Arc::new(cell);
+                true
+            }
+            Some(_) => false,
+        }
     }
 
     /// Value of a named column in a given row.

@@ -75,7 +75,7 @@ impl StudyStore {
         //    merged rows exactly as a rebuild's input construction would
         //    (type checks, first duplicate key in merged order).
         let merged = delta.apply(self.naive_form.rows());
-        let new_naive = Table::from_rows(naive_schema.clone(), merged)?;
+        let mut new_naive = Table::from_rows(naive_schema.clone(), merged)?;
 
         // 2. Patch the materialized table, if the policy keeps one.
         let new_materialized = match (&self.policy, &self.materialized) {
@@ -114,7 +114,13 @@ impl StudyStore {
                 // One final validation pass over the combined rows — the
                 // same `from_rows` a rebuild ends `materialize` with, so
                 // cross-partition duplicate keys error identically.
-                let table = Table::from_rows(m.table.schema().clone(), rows)?;
+                let mut table = Table::from_rows(m.table.schema().clone(), rows)?;
+                // An insert-only delta appends to the materialized table
+                // too: its sealed segment prefix stays valid, so carry it
+                // over and fold the appended tail when it has grown.
+                if dropped.is_empty() && table.adopt_segments(&m.table) {
+                    table.compact_segments();
+                }
                 let mut patched = m.clone();
                 patched.table = table;
                 Some(patched)
@@ -122,6 +128,13 @@ impl StudyStore {
         };
 
         // 3. Commit atomically — nothing above mutated `self`.
+        // An insert-only delta keeps the old naïve form's sealed columnar
+        // prefix valid (the canonical merge retains every pre-state row in
+        // place); adopt it and compact so steady-state refresh cycles keep
+        // scans columnar instead of re-sealing from scratch.
+        if delta.deleted.is_empty() && new_naive.adopt_segments(&self.naive_form) {
+            new_naive.compact_segments();
+        }
         self.naive_form = new_naive;
         if let Some(m) = new_materialized {
             self.materialized = Some(m);

@@ -10,9 +10,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 # The benchmark snapshot must carry the evaluation-mode axis (DESIGN.md
-# §11) and the blocking-operator axis (DESIGN.md §13); a regeneration
-# from a stale binary would silently drop them.
-for axis in vectorized blocking; do
+# §11), the blocking-operator axis (DESIGN.md §13), and the
+# resting-storage axis (DESIGN.md §14); a regeneration from a stale
+# binary would silently drop them.
+for axis in vectorized blocking storage; do
   if ! grep -q "\"$axis\"" BENCH_executor.json; then
     echo "check.sh: BENCH_executor.json lacks the '$axis' axis — regenerate with" >&2
     echo "  cargo run --release -p guava-bench --bin tables -- --bench-executor" >&2
@@ -33,3 +34,10 @@ fi
 # includes the vectorized-vs-row-vs-oracle equivalence suite
 # (tests/algebra_properties.rs, tests/exec_vectorized.rs).
 PROPTEST_RNG_SEED=0 cargo test -q --workspace
+
+# Drift canary: the equivalence suites run once more with row-resting
+# storage forced, so a regression that only shows when tables rest as
+# rows (the non-default GUAVA_STORAGE) cannot land silently. The suites
+# inherit the override through `ExecConfig::from_env`.
+PROPTEST_RNG_SEED=0 GUAVA_STORAGE=row cargo test -q -p guava \
+  --test algebra_properties --test segment_storage

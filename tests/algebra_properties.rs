@@ -11,21 +11,26 @@ use proptest::prelude::*;
 /// A configuration that forces the morsel-parallel path for *every*
 /// operator over these tiny fixtures: no cardinality threshold, several
 /// workers, and a deliberately odd morsel size so most plans span multiple
-/// morsels and exercise the merge logic.
+/// morsels and exercise the merge logic. The [`StorageMode`] is inherited
+/// from the environment so `scripts/check.sh` can rerun the whole lane
+/// matrix with `GUAVA_STORAGE=row` as a segment-vs-row drift canary.
 fn parallel_cfg(mode: ExecMode) -> ExecConfig {
     ExecConfig {
         threads: 3,
         parallel_threshold: 1,
         morsel_size: 7,
         mode,
+        ..ExecConfig::from_env().unwrap()
     }
 }
 
-/// A serial configuration pinned to one execution mode.
+/// A serial configuration pinned to one execution mode (storage from the
+/// environment, as above).
 fn serial_cfg(mode: ExecMode) -> ExecConfig {
     ExecConfig {
+        threads: 1,
         mode,
-        ..ExecConfig::serial()
+        ..ExecConfig::from_env().unwrap()
     }
 }
 
