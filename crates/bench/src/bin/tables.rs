@@ -1706,6 +1706,119 @@ fn bench_refresh_delta_plan(entries: &mut Vec<RefreshBenchEntry>, rows: usize) {
     }
 }
 
+/// Sub-linearity axis: a fixed ~100-updated-row delta (1% of the smallest
+/// base) refreshed at 10k/100k/1M base rows. If delta application is
+/// O(delta·log n) (DESIGN.md §15), incremental time should stay nearly
+/// flat as the base grows 100×, while the full rebuild grows linearly —
+/// so the speedup curve should steepen with base size. Entries carry
+/// `base_rows`/`delta_rows` so the curve can be plotted straight from the
+/// JSON.
+///
+/// Unlike the `delta_plan` group (which restores a cloned warm snapshot
+/// per sample), this axis measures a *streaming* refresh: one long-lived
+/// `DeltaPlan` per plan absorbs a sequence of successive delta batches,
+/// and each `refresh` call is timed individually. That is the
+/// live-subscription shape the sub-linearity claim is about, and it keeps
+/// the measurement free of the per-sample snapshot-clone cost, which is
+/// O(base) in the harness but never paid by a resident plan. Every round
+/// also asserts the refreshed output equals a from-scratch execution.
+fn bench_refresh_delta_scaling(entries: &mut Vec<RefreshBenchEntry>) {
+    let exec = Executor::new();
+    const BASES: [usize; 3] = [10_000, 100_000, 1_000_000];
+    // One updated row per `base / 100` ids → ~100 updates (200 delta
+    // operations) at every base size.
+    for rows in BASES {
+        let stride = rows as i64 / 100;
+        let mut cat = Catalog::new();
+        cat.insert(bench_naive_db(rows));
+        let plans: Vec<(&str, Plan)> = vec![
+            (
+                "select_funnel",
+                Plan::scan("form")
+                    .select(Expr::col("count").ge(Expr::lit(25i64)))
+                    .project_cols(&["instance_id", "flag", "count"])
+                    .select(Expr::col("flag").eq(Expr::lit(true))),
+            ),
+            (
+                "group_by_agg",
+                Plan::scan("form").aggregate(
+                    &["flag"],
+                    vec![
+                        Aggregate {
+                            func: AggFunc::CountAll,
+                            alias: "n".into(),
+                        },
+                        Aggregate {
+                            func: AggFunc::Sum("count".into()),
+                            alias: "total".into(),
+                        },
+                    ],
+                ),
+            ),
+        ];
+        let mut live: Vec<DeltaPlan> = plans
+            .iter()
+            .map(|(_, p)| DeltaPlan::init(p, cat.database("naive").unwrap(), &exec).unwrap())
+            .collect();
+        let mut delta_rows = 0usize;
+        let mut full_samples: Vec<Vec<f64>> = vec![Vec::new(); plans.len()];
+        let mut inc_samples: Vec<Vec<f64>> = vec![Vec::new(); plans.len()];
+        // One warm-up round, then BENCH_SAMPLES timed rounds. Each round
+        // amends the same ~100 ids to a fresh value, so every batch is a
+        // real edit captured against the current table state.
+        for round in 0..=BENCH_SAMPLES {
+            let mut dc = DeltaCatalog::new(cat);
+            dc.update_where(
+                "naive",
+                "form",
+                |r| r[0].as_i64().is_some_and(|id| id % stride == 0),
+                |r| r[2] = Value::Int(7 + round as i64),
+            )
+            .unwrap();
+            let deltas = dc.take_deltas();
+            let d = deltas.get("naive", "form").unwrap();
+            delta_rows = d.rows_changed();
+            let mut changes = TableChanges::new();
+            changes.set("form", d.to_change());
+            cat = dc.into_inner();
+            let db = cat.database("naive").unwrap();
+            for (i, ((name, plan), dp)) in plans.iter().zip(live.iter_mut()).enumerate() {
+                let t = std::time::Instant::now();
+                dp.refresh(db, &changes, &exec).unwrap();
+                std::hint::black_box(dp.len());
+                let inc = t.elapsed().as_secs_f64();
+                let t = std::time::Instant::now();
+                let rebuilt = exec.execute(plan, db).unwrap();
+                std::hint::black_box(rebuilt.len());
+                let full = t.elapsed().as_secs_f64();
+                assert_eq!(
+                    dp.output().unwrap(),
+                    rebuilt,
+                    "delta_scaling/{name}@{rows}: refresh != rebuild"
+                );
+                if round > 0 {
+                    inc_samples[i].push(inc);
+                    full_samples[i].push(full);
+                }
+            }
+        }
+        let median = |mut v: Vec<f64>| -> f64 {
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        for (i, (name, _)) in plans.iter().enumerate() {
+            entries.push(refresh_entry(
+                "delta_scaling",
+                format!("{name}_{}k", rows / 1000),
+                rows,
+                delta_rows,
+                median(full_samples[i].clone()),
+                median(inc_samples[i].clone()),
+            ));
+        }
+    }
+}
+
 /// Workflow-level refresh: the compiled Study-1 ETL re-run after ~1% of
 /// CORI's live reports are amended through the audit pattern, with the
 /// per-component caches warm — against a full `run_on` rebuild.
@@ -1896,6 +2009,7 @@ fn bench_refresh(fixture_size: usize, out_path: &str) {
     );
     let mut entries = Vec::new();
     bench_refresh_delta_plan(&mut entries, REFRESH_ROWS);
+    bench_refresh_delta_scaling(&mut entries);
     bench_refresh_etl(&mut entries, fixture);
     bench_refresh_store(&mut entries, fixture);
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -1904,7 +2018,11 @@ fn bench_refresh(fixture_size: usize, out_path: &str) {
                       median wall time per run from a warmed differential state. \
                       `delta_plan` refreshes cached operator state through \
                       DeltaPlan::refresh against Executor::execute on the post-delta \
-                      database; `etl_workflow` re-runs the compiled Study-1 pipeline \
+                      database; `delta_scaling` holds the delta fixed (~100 updated \
+                      rows) while the base grows 10k -> 100k -> 1M, streaming \
+                      successive batches through one resident DeltaPlan per plan to \
+                      measure the sub-linearity of delta application (DESIGN.md §15); \
+                      `etl_workflow` re-runs the compiled Study-1 pipeline \
                       through EtlWorkflow::run_incremental (warm per-component \
                       caches) against run_on; `study_store` patches a fully \
                       materialized StudyStore in place via StudyStore::refresh \

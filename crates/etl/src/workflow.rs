@@ -16,7 +16,7 @@ use guava_relational::exec::{ExecConfig, Executor};
 use guava_relational::table::Table;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One ETL component: evaluate `plan` against `source_db`, store the result
 /// as `target_table` in `target_db` (created on demand).
@@ -308,7 +308,13 @@ struct ComponentCache {
 #[derive(Clone)]
 struct CachedInput {
     table: Table,
-    fingerprint: u64,
+    /// Lazily computed on the first verification that misses the `Arc`
+    /// fast path. Snapshots are re-taken after every refresh, and in the
+    /// steady delta-driven state (every input covered by a recorded delta
+    /// or an upstream change) the fingerprint is never consulted — hashing
+    /// eagerly would put an `O(n)` scan back on every refresh, exactly
+    /// the cost the rank-indexed delta path removed (DESIGN.md §15).
+    fingerprint: Arc<OnceLock<u64>>,
 }
 
 /// Is `cur` byte-identical to the snapshot? `Arc` pointer equality is the
@@ -321,7 +327,10 @@ fn input_unchanged(snap: &CachedInput, cur: &Table) -> bool {
     if Arc::ptr_eq(&snap.table.shared_rows(), &cur.shared_rows()) {
         return true;
     }
-    snap.fingerprint == table_fingerprint(cur) && snap.table == *cur
+    let fp = *snap
+        .fingerprint
+        .get_or_init(|| table_fingerprint(&snap.table));
+    fp == table_fingerprint(cur) && snap.table == *cur
 }
 
 fn snapshot_inputs(plan: &Plan, source: &Database) -> HashMap<String, CachedInput> {
@@ -331,7 +340,7 @@ fn snapshot_inputs(plan: &Plan, source: &Database) -> HashMap<String, CachedInpu
             source.table(t).ok().map(|tb| {
                 let snap = CachedInput {
                     table: tb.clone(),
-                    fingerprint: table_fingerprint(tb),
+                    fingerprint: Arc::new(OnceLock::new()),
                 };
                 (t.to_owned(), snap)
             })

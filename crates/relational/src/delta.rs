@@ -30,6 +30,63 @@
 //!    rows in input order reproduces the rebuild's first error; on any
 //!    error the plan is *poisoned* and the next refresh falls back to full
 //!    re-initialization.
+//!
+//! Refresh cost is **O(delta · log n)**, not O(n) (DESIGN.md §15):
+//! Select positions are maintained by a rank index
+//! ([`crate::rank::RankList`] — weight 1 per predicate-passing child
+//! row, so a prefix-weight query turns a child position into an output
+//! rank), and Aggregate/Pivot group order by a persistent
+//! first-occurrence index ([`crate::rank::FirstSeenIndex`]), including
+//! group death, revival, and first-occurrence promotion. The output row
+//! vector itself absorbs patches lazily, so a refresh that only needs
+//! the new length never pays the splice.
+//!
+//! # Worked example: one insert, one delete, through a grouped plan
+//!
+//! ```
+//! use guava_relational::prelude::*;
+//!
+//! let schema = Schema::new("visits", vec![
+//!     Column::required("id", DataType::Int),
+//!     Column::new("site", DataType::Text),
+//! ]).unwrap().with_primary_key(&["id"]).unwrap();
+//! let mut db = Database::new("clinic");
+//! db.create_table(Table::from_rows(schema, vec![
+//!     vec![Value::Int(1), Value::text("a")],
+//!     vec![Value::Int(2), Value::text("b")],
+//!     vec![Value::Int(3), Value::text("a")],
+//! ]).unwrap()).unwrap();
+//! let mut cat = Catalog::new();
+//! cat.insert(db);
+//!
+//! // Count visits per site; group order = first occurrence: [a, b].
+//! let plan = Plan::scan("visits").aggregate(&["site"], vec![Aggregate {
+//!     func: AggFunc::CountAll, alias: "n".into(),
+//! }]);
+//! let exec = Executor::new();
+//! let mut dp = DeltaPlan::init(&plan, cat.database("clinic").unwrap(), &exec).unwrap();
+//! assert_eq!(dp.len(), 2);
+//!
+//! // Capture one insert and one delete through the DeltaCatalog. Site
+//! // "b" loses its only row (group death); site "c" is born.
+//! let mut dc = DeltaCatalog::new(cat);
+//! dc.insert("clinic", "visits", vec![Value::Int(4), Value::text("c")]).unwrap();
+//! dc.delete_where("clinic", "visits", |r| r[0] == Value::Int(2)).unwrap();
+//! let deltas = dc.take_deltas();
+//! let mut changes = TableChanges::new();
+//! changes.set("visits", deltas.get("clinic", "visits").unwrap().to_change());
+//! let cat = dc.into_inner();
+//!
+//! // Refresh patches the cached state: "b" is deleted at its old rank,
+//! // "c" appends at the end — no retained group is recomputed.
+//! let db = cat.database("clinic").unwrap();
+//! dp.refresh(db, &changes, &exec).unwrap();
+//! let out = dp.output().unwrap();
+//! assert_eq!(out.rows().iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+//!            vec![Value::text("a"), Value::text("c")]);
+//! // Byte-identical to a from-scratch run on the merged state:
+//! assert_eq!(out, exec.execute(&plan, db).unwrap());
+//! ```
 
 use crate::algebra::{
     aggregate_output_schema, cast_text, check_union_compatible, join_output_schema, keyless,
@@ -40,6 +97,7 @@ use crate::database::{Catalog, Database};
 use crate::error::{RelError, RelResult};
 use crate::exec::Executor;
 use crate::expr::Expr;
+use crate::rank::{FirstSeenIndex, InsertOutcome, RankList, RemoveOutcome};
 use crate::schema::{Column, Schema};
 use crate::table::{Row, Table};
 use crate::value::{DataType, Value};
@@ -612,84 +670,235 @@ impl DeltaCatalog {
 // Differential plan evaluation.
 // ---------------------------------------------------------------------------
 
-/// First-seen order of group keys over a row vector.
-fn first_seen(rows: &[Row], key_idx: &[usize]) -> Vec<Vec<Value>> {
-    let mut seen: HashSet<Vec<Value>> = HashSet::new();
-    let mut order = Vec::new();
-    // Probe with a reused buffer (`Vec<Value>: Borrow<[Value]>`) so the
-    // steady state — every key already seen — allocates nothing. This scan
-    // runs on every aggregate/pivot patch refresh, so its constant factor
-    // decides whether incremental aggregation beats a rebuild.
-    let mut buf: Vec<Value> = Vec::with_capacity(key_idx.len());
-    for row in rows {
-        buf.clear();
-        buf.extend(key_idx.iter().map(|&i| row[i].clone()));
-        if !seen.contains(buf.as_slice()) {
-            seen.insert(buf.clone());
-            order.push(buf.clone());
-        }
-    }
-    order
+/// The result of pushing one input [`Patch`] through a
+/// [`FirstSeenIndex`]: which groups were touched, the output rank each of
+/// them held before the edit, and whether surviving-group order can have
+/// changed. Shared by the Aggregate and Pivot differential rules.
+struct FirstSeenPatch {
+    /// Touched group keys (keys of deleted and inserted rows), deduplicated
+    /// in first-touch order.
+    affected: Vec<Vec<Value>>,
+    /// Pre-patch output rank of every affected key that existed.
+    old_rank: HashMap<Vec<Value>, usize>,
+    /// Pre-patch group count (the old output length).
+    old_group_count: usize,
+    /// Keys whose last occurrence vanished at some point during the patch;
+    /// if such a key is live again afterwards it was *revived* and must
+    /// re-enter output order at the end, like a rebuild would place it.
+    died_once: HashSet<Vec<Value>>,
+    /// A surviving group's first occurrence moved (deleted-first promotion
+    /// or an insert in front of it): relative survivor order is no longer
+    /// guaranteed and the caller must emit [`Change::Full`].
+    order_broken: bool,
+    /// Content of the deleted pre-state rows, in ascending ordinal order
+    /// (captured before the index mutates, for accumulator retraction).
+    deleted_rows: Vec<Row>,
 }
 
-/// Align an old first-seen group order with a new one, emitting a patch in
-/// output coordinates: vanished groups delete, groups in `affected`
-/// replace in place (delete + insert), and new groups insert before the
-/// next surviving old group. Returns `None` when surviving groups changed
-/// relative order (a deleted first occurrence can promote a later row) —
-/// the caller then falls back to [`Change::Full`].
-fn align_orders(
-    old_order: &[Vec<Value>],
-    new_order: &[Vec<Value>],
-    affected: &HashSet<Vec<Value>>,
-    mut make_row: impl FnMut(&[Value]) -> Row,
-) -> Option<Patch> {
-    let old_pos: HashMap<&[Value], usize> = old_order
-        .iter()
-        .enumerate()
-        .map(|(i, k)| (k.as_slice(), i))
-        .collect();
-    let new_set: HashSet<&[Value]> = new_order.iter().map(|k| k.as_slice()).collect();
-    let mut pb = PatchBuilder::default();
-    let mut expect = 0usize;
-    let mut pending: Vec<Row> = Vec::new();
-    for key in new_order {
-        match old_pos.get(key.as_slice()) {
-            Some(&op) => {
-                if op < expect {
-                    return None; // surviving groups reordered
-                }
-                for (j, old_key) in old_order.iter().enumerate().take(op).skip(expect) {
-                    if new_set.contains(old_key.as_slice()) {
-                        return None; // skipped-over group survives → reorder
-                    }
-                    pb.delete(j);
-                }
-                if !pending.is_empty() {
-                    pb.insert_rows(op, std::mem::take(&mut pending));
-                }
-                if affected.contains(key) {
-                    pb.delete(op);
-                    pb.insert(op, make_row(key));
-                }
-                expect = op + 1;
+impl FirstSeenPatch {
+    /// Apply `p` to `idx`, classifying every group-order event on the way.
+    /// `O(delta · log n)` plus promotion elections (see
+    /// [`FirstSeenIndex::remove`]).
+    fn apply(idx: &mut FirstSeenIndex, p: &Patch) -> FirstSeenPatch {
+        // Pass A (read-only, pre-state coordinates): capture deleted row
+        // content, the affected key set, and each affected key's old rank.
+        let deleted_rows: Vec<Row> = p.deleted().iter().map(|&i| idx.row(i).clone()).collect();
+        let mut affected: Vec<Vec<Value>> = Vec::new();
+        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        for r in deleted_rows.iter().chain(p.new_rows()) {
+            let key = idx.key_of(r);
+            if seen.insert(key.clone()) {
+                affected.push(key);
             }
-            None => pending.push(make_row(key)),
+        }
+        let mut old_rank = HashMap::new();
+        for key in &affected {
+            if let Some(rk) = idx.rank_of(key) {
+                old_rank.insert(key.clone(), rk);
+            }
+        }
+        let old_group_count = idx.group_count();
+        // Pass B (mutation): walk the patch events in *descending* position
+        // order so every event applies at a still-valid pre-state ordinal.
+        // At equal positions the delete goes first: the insert group at
+        // `i` must land before old row `i`'s slot, which only works if row
+        // `i` has already been taken out.
+        let mut died_once = HashSet::new();
+        let mut order_broken = false;
+        let mut note = |key: &[Value], died_once: &HashSet<Vec<Value>>| {
+            // A promotion only breaks emission order when it moves the
+            // anchor of a *continuously surviving* group; born or revived
+            // groups are re-ranked from final state anyway.
+            if old_rank.contains_key(key) && !died_once.contains(key) {
+                order_broken = true;
+            }
+        };
+        let mut di = p.deleted().len();
+        let mut gi = p.inserted().len();
+        while di > 0 || gi > 0 {
+            let take_delete = di > 0 && (gi == 0 || p.deleted()[di - 1] >= p.inserted()[gi - 1].0);
+            if take_delete {
+                di -= 1;
+                let (row, outcome) = idx.remove(p.deleted()[di]);
+                match outcome {
+                    RemoveOutcome::Died => {
+                        died_once.insert(idx.key_of(&row));
+                    }
+                    RemoveOutcome::Promoted => note(&idx.key_of(&row), &died_once),
+                    RemoveOutcome::Later => {}
+                }
+            } else {
+                gi -= 1;
+                let (pos, rows) = &p.inserted()[gi];
+                for (k, r) in rows.iter().enumerate() {
+                    let key = idx.key_of(r);
+                    match idx.insert(pos + k, r.clone()) {
+                        InsertOutcome::Promoted => note(&key, &died_once),
+                        InsertOutcome::NewKey | InsertOutcome::Later => {}
+                    }
+                }
+            }
+        }
+        FirstSeenPatch {
+            affected,
+            old_rank,
+            old_group_count,
+            died_once,
+            order_broken,
+            deleted_rows,
         }
     }
-    for (j, old_key) in old_order.iter().enumerate().skip(expect) {
-        if new_set.contains(old_key.as_slice()) {
+
+    /// Emit the output patch in pre-state output coordinates: deaths
+    /// delete, surviving affected groups replace in place, and born or
+    /// revived groups append at the old output end in their new rank
+    /// order. Returns `None` when a rank patch cannot describe the edit —
+    /// survivor order broke, or a (re)born group landed *between*
+    /// survivors — and the caller must fall back to [`Change::Full`].
+    fn emit(
+        &self,
+        idx: &FirstSeenIndex,
+        mut make_row: impl FnMut(&[Value]) -> Row,
+    ) -> Option<Patch> {
+        if self.order_broken {
             return None;
         }
-        pb.delete(j);
+        let mut vacated: Vec<(usize, Option<Vec<Value>>)> = Vec::new();
+        let mut born: Vec<(usize, Vec<Value>)> = Vec::new();
+        for key in &self.affected {
+            let old = self.old_rank.get(key).copied();
+            let live = idx.contains(key);
+            match (old, live) {
+                (Some(r), true) if !self.died_once.contains(key) => {
+                    vacated.push((r, Some(key.clone())));
+                }
+                (Some(r), true) => {
+                    // Died and revived within one patch: vacate the old
+                    // slot and re-enter at the end.
+                    vacated.push((r, None));
+                    born.push((idx.rank_of(key).expect("live"), key.clone()));
+                }
+                (Some(r), false) => vacated.push((r, None)),
+                (None, true) => born.push((idx.rank_of(key).expect("live"), key.clone())),
+                (None, false) => {} // appeared and vanished within the patch
+            }
+        }
+        // Every born group must rank after every survivor, or the patch
+        // cannot express the reordering.
+        let slots_vacated = vacated.iter().filter(|(_, k)| k.is_none()).count();
+        let survivors = self.old_group_count - slots_vacated;
+        if born.iter().any(|(rank, _)| *rank < survivors) {
+            return None;
+        }
+        vacated.sort_unstable_by_key(|(r, _)| *r);
+        born.sort_unstable_by_key(|(r, _)| *r);
+        let mut pb = PatchBuilder::default();
+        for (r, key) in vacated {
+            pb.delete(r);
+            if let Some(key) = key {
+                pb.insert(r, make_row(&key));
+            }
+        }
+        for (_, key) in born {
+            pb.insert(self.old_group_count, make_row(&key));
+        }
+        Some(match pb.into_change() {
+            Change::Patch(p) => p,
+            _ => Patch::default(),
+        })
     }
-    if !pending.is_empty() {
-        pb.insert_rows(old_order.len(), pending);
+}
+
+/// A cached row vector that absorbs [`Change`]s lazily: patches are queued
+/// and the length tracked in `O(1)`, so a refresh that only needs the new
+/// length (or is followed by more patches) never pays the `O(n)` splice.
+/// The queue is drained on [`LazyRows::rows`] access (and bounded, so
+/// repeated refreshes without reads cannot accumulate unbounded work).
+#[derive(Clone, Default)]
+struct LazyRows {
+    rows: Vec<Row>,
+    pending: Vec<Patch>,
+    len: usize,
+}
+
+/// Queue at most this many patches before folding them into `rows`.
+const LAZY_FLUSH: usize = 32;
+
+impl LazyRows {
+    fn new(rows: Vec<Row>) -> LazyRows {
+        LazyRows {
+            len: rows.len(),
+            rows,
+            pending: Vec::new(),
+        }
     }
-    Some(match pb.into_change() {
-        Change::Patch(p) => p,
-        _ => Patch::default(),
-    })
+
+    /// Post-change length, `O(1)`.
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Absorb one change. `O(1)` for patches (amortized; queued), `O(n)`
+    /// for wholesale replacement.
+    fn push(&mut self, change: &Change) {
+        match change {
+            Change::Unchanged => {}
+            Change::Patch(p) => {
+                self.len = p.new_len(self.len);
+                self.pending.push(p.clone());
+                if self.pending.len() >= LAZY_FLUSH {
+                    self.flush();
+                }
+            }
+            Change::Full(rows) => {
+                self.pending.clear();
+                self.rows = rows.clone();
+                self.len = rows.len();
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        for p in self.pending.drain(..) {
+            p.apply_in_place(&mut self.rows);
+        }
+    }
+
+    /// The materialized current rows (drains the queue).
+    fn rows(&mut self) -> &Vec<Row> {
+        self.flush();
+        &self.rows
+    }
+
+    /// Current rows without mutable access: clones the base vector and
+    /// replays any queued patches onto the clone.
+    fn to_rows(&self) -> Vec<Row> {
+        let mut rows = self.rows.clone();
+        for p in &self.pending {
+            p.apply_in_place(&mut rows);
+        }
+        rows
+    }
 }
 
 /// Evaluate `predicate` over `rows` in one executor batch, returning a
@@ -814,9 +1023,10 @@ enum DNode {
         input: Box<DNode>,
         in_schema: Schema,
         predicate: Expr,
-        /// Child ordinals that pass the predicate, strictly ascending.
-        lineage: Vec<usize>,
-        child_len: usize,
+        /// One entry per child row; weight 1 marks rows that pass the
+        /// predicate, so `weight_before(i)` is child row `i`'s output rank
+        /// in `O(log n)` and patch events splice in `O(log n)` each.
+        lineage: RankList<()>,
     },
     Project {
         input: Box<DNode>,
@@ -828,7 +1038,9 @@ enum DNode {
     },
     Union {
         inputs: Vec<DNode>,
-        child_rows: Vec<Vec<Row>>,
+        /// Per-child cached rows; all-patch refreshes only read lengths,
+        /// so the splice cost is deferred until a child is materialized.
+        child_rows: Vec<LazyRows>,
         schema: Schema,
     },
     Join {
@@ -847,9 +1059,11 @@ enum DNode {
     },
     Aggregate {
         input: Box<DNode>,
-        in_rows: Vec<Row>,
+        /// Input rows plus persistent first-occurrence tracking: group
+        /// output order is read from the index instead of a full
+        /// first-seen rescan per refresh.
+        rows_idx: FirstSeenIndex,
         groups: HashMap<Vec<Value>, GroupState>,
-        order: Vec<Vec<Value>>,
         g_idx: Vec<usize>,
         agg_idx: Vec<Option<usize>>,
         aggregates: Vec<Aggregate>,
@@ -864,8 +1078,9 @@ enum DNode {
     },
     Pivot {
         input: Box<DNode>,
-        in_rows: Vec<Row>,
-        order: Vec<Vec<Value>>,
+        /// Input rows with first-occurrence tracking over the entity key
+        /// columns (wide-row output order is entity first-seen order).
+        rows_idx: FirstSeenIndex,
         key_idx: Vec<usize>,
         attr_idx: usize,
         val_idx: usize,
@@ -909,14 +1124,15 @@ fn agg_fold(
     st.rows += 1;
 }
 
-/// Build grouped state and first-seen order from scratch.
+/// Build grouped state from scratch (output order lives in the
+/// [`FirstSeenIndex`], not here).
 fn agg_build(
     rows: &[Row],
     g_idx: &[usize],
     agg_idx: &[Option<usize>],
     n_aggs: usize,
     global: bool,
-) -> (HashMap<Vec<Value>, GroupState>, Vec<Vec<Value>>) {
+) -> HashMap<Vec<Value>, GroupState> {
     let mut groups = HashMap::new();
     if global {
         groups.insert(Vec::new(), new_group(n_aggs));
@@ -924,12 +1140,7 @@ fn agg_build(
     for row in rows {
         agg_fold(&mut groups, row, g_idx, agg_idx, n_aggs);
     }
-    let order = if global {
-        vec![Vec::new()]
-    } else {
-        first_seen(rows, g_idx)
-    };
-    (groups, order)
+    groups
 }
 
 /// Output row for one group: key values then finished aggregates.
@@ -941,15 +1152,22 @@ fn agg_row(key: &[Value], st: &GroupState, aggregates: &[Aggregate]) -> Row {
     row
 }
 
-/// All output rows in group order.
+/// All output rows in group order, read off the first-occurrence index
+/// (`O(groups · log n)` — zero-weight subtrees are skipped).
 fn agg_emit(
-    order: &[Vec<Value>],
+    idx: &FirstSeenIndex,
     groups: &HashMap<Vec<Value>, GroupState>,
     aggregates: &[Aggregate],
+    global: bool,
 ) -> Vec<Row> {
-    order
-        .iter()
-        .map(|k| agg_row(k, &groups[k], aggregates))
+    if global {
+        return vec![agg_row(&[], &groups[&Vec::new()], aggregates)];
+    }
+    idx.first_rows_in_order()
+        .map(|first| {
+            let k = idx.key_of(first);
+            agg_row(&k, &groups[&k], aggregates)
+        })
         .collect()
 }
 
@@ -1063,21 +1281,20 @@ impl DNode {
                 let (child, cs, crows) = DNode::init(input, db, exec)?;
                 let schema = keyless(cs);
                 let passed = select_batch(exec, &schema, predicate, crows.clone())?;
-                let mut lineage = Vec::new();
                 let mut out = Vec::new();
                 for (i, r) in crows.into_iter().enumerate() {
                     if passed[i] {
-                        lineage.push(i);
                         out.push(r);
                     }
                 }
+                let (lineage, _) =
+                    RankList::from_entries(passed.iter().map(|&b| ((), u64::from(b))));
                 Ok((
                     DNode::Select {
                         input: Box::new(child),
                         in_schema: schema.clone(),
                         predicate: predicate.clone(),
                         lineage,
-                        child_len: passed.len(),
                     },
                     schema,
                     out,
@@ -1140,7 +1357,7 @@ impl DNode {
                 Ok((
                     DNode::Union {
                         inputs: nodes,
-                        child_rows,
+                        child_rows: child_rows.into_iter().map(LazyRows::new).collect(),
                         schema: schema.clone(),
                     },
                     schema,
@@ -1204,17 +1421,17 @@ impl DNode {
                         }
                         AggFunc::Min(_) | AggFunc::Max(_) => false,
                     });
-                let (groups, order) = agg_build(&crows, &g_idx, &agg_idx, aggregates.len(), global);
-                let out = agg_emit(&order, &groups, aggregates);
+                let groups = agg_build(&crows, &g_idx, &agg_idx, aggregates.len(), global);
+                let rows_idx = FirstSeenIndex::from_rows(crows, g_idx.clone());
+                let out = agg_emit(&rows_idx, &groups, aggregates, global);
                 for r in &out {
                     schema.check_row(r)?;
                 }
                 Ok((
                     DNode::Aggregate {
                         input: Box::new(child),
-                        in_rows: crows,
+                        rows_idx,
                         groups,
-                        order,
                         g_idx,
                         agg_idx,
                         aggregates: aggregates.clone(),
@@ -1239,12 +1456,11 @@ impl DNode {
                 let val_idx = resolve_column(&cs, val_col)?;
                 let schema = pivot_output_schema(&cs, &key_idx, attrs)?;
                 let out = pivot_rows(&crows, &key_idx, attr_idx, val_idx, attrs)?;
-                let order = first_seen(&crows, &key_idx);
+                let rows_idx = FirstSeenIndex::from_rows(crows, key_idx.clone());
                 Ok((
                     DNode::Pivot {
                         input: Box::new(child),
-                        in_rows: crows,
-                        order,
+                        rows_idx,
                         key_idx,
                         attr_idx,
                         val_idx,
@@ -1385,72 +1601,85 @@ impl DNode {
                 in_schema,
                 predicate,
                 lineage,
-                child_len,
             } => match input.refresh(db, changes, exec)? {
                 Change::Unchanged => Ok(Change::Unchanged),
                 Change::Full(rows) => {
                     let passed = select_batch(exec, in_schema, predicate, rows.clone())?;
-                    let mut lin = Vec::new();
                     let mut out = Vec::new();
                     for (i, r) in rows.into_iter().enumerate() {
                         if passed[i] {
-                            lin.push(i);
                             out.push(r);
                         }
                     }
-                    *child_len = passed.len();
+                    let (lin, _) =
+                        RankList::from_entries(passed.iter().map(|&b| ((), u64::from(b))));
                     *lineage = lin;
                     Ok(Change::Full(out))
                 }
                 Change::Patch(p) => {
                     // Only delta rows see the predicate (retained rows
-                    // evaluated it in a previous successful run); the walk
-                    // below translates child positions into output ranks.
+                    // evaluated it in a previous successful run). Two
+                    // passes over the patch events, each O(delta · log n):
+                    // pass 1 reads output ranks against the pre-state
+                    // lineage; pass 2 splices the events into the index.
                     let cands: Vec<Row> = p.new_rows().cloned().collect();
                     let passed = select_batch(exec, in_schema, predicate, cands)?;
                     let mut pb = PatchBuilder::default();
-                    let mut new_lineage = Vec::with_capacity(lineage.len());
+                    // Pass 1 (ascending, read-only): inserts before the
+                    // delete at the same child position, mirroring patch
+                    // application order.
                     let mut del = p.deleted().iter().peekable();
                     let mut ins = p.inserted().iter().peekable();
-                    let mut lin = lineage.iter().peekable();
-                    let mut old_rank = 0usize; // passing old rows consumed
-                    let mut new_pos = 0usize; // position in the new child
                     let mut ci = 0usize; // candidate cursor
-                    for i in 0..=*child_len {
-                        while ins.peek().is_some_and(|(pos, _)| *pos == i) {
-                            for r in &ins.next().expect("peeked").1 {
+                    while del.peek().is_some() || ins.peek().is_some() {
+                        let dp = del.peek().map_or(usize::MAX, |&&d| d);
+                        let ip = ins.peek().map_or(usize::MAX, |(pos, _)| *pos);
+                        if ip <= dp {
+                            let (pos, rows) = ins.next().expect("peeked");
+                            let rank = lineage.weight_before(*pos) as usize;
+                            for r in rows {
                                 if passed[ci] {
-                                    pb.insert(old_rank, r.clone());
-                                    new_lineage.push(new_pos);
+                                    pb.insert(rank, r.clone());
                                 }
                                 ci += 1;
-                                new_pos += 1;
-                            }
-                        }
-                        if i == *child_len {
-                            break;
-                        }
-                        let was_pass = lin.peek() == Some(&&i);
-                        if was_pass {
-                            lin.next();
-                        }
-                        if del.peek() == Some(&&i) {
-                            del.next();
-                            if was_pass {
-                                pb.delete(old_rank);
                             }
                         } else {
-                            if was_pass {
-                                new_lineage.push(new_pos);
+                            let d = *del.next().expect("peeked");
+                            if lineage.weight_of(lineage.id_at(d)) == 1 {
+                                pb.delete(lineage.weight_before(d) as usize);
                             }
-                            new_pos += 1;
-                        }
-                        if was_pass {
-                            old_rank += 1;
                         }
                     }
-                    *lineage = new_lineage;
-                    *child_len = new_pos;
+                    // Pass 2 (descending mutation): higher positions first
+                    // so every event still applies at a valid pre-state
+                    // ordinal; at equal positions the delete goes first.
+                    let starts: Vec<usize> = {
+                        let mut s = 0usize;
+                        p.inserted()
+                            .iter()
+                            .map(|(_, rows)| {
+                                let here = s;
+                                s += rows.len();
+                                here
+                            })
+                            .collect()
+                    };
+                    let mut di = p.deleted().len();
+                    let mut gi = p.inserted().len();
+                    while di > 0 || gi > 0 {
+                        let take_delete =
+                            di > 0 && (gi == 0 || p.deleted()[di - 1] >= p.inserted()[gi - 1].0);
+                        if take_delete {
+                            di -= 1;
+                            lineage.remove_at(p.deleted()[di]);
+                        } else {
+                            gi -= 1;
+                            let (pos, rows) = &p.inserted()[gi];
+                            for k in 0..rows.len() {
+                                lineage.insert_at(pos + k, (), u64::from(passed[starts[gi] + k]));
+                            }
+                        }
+                    }
                     Ok(pb.into_change())
                 }
             },
@@ -1515,17 +1744,18 @@ impl DNode {
                     }
                 }
                 if ch.iter().any(|c| matches!(c, Change::Full(_))) {
+                    let mut out = Vec::new();
                     for (rows, c) in child_rows.iter_mut().zip(&ch) {
-                        c.apply_to(rows);
+                        rows.push(c);
+                        out.extend(rows.rows().iter().cloned());
                     }
-                    return Ok(Change::Full(
-                        child_rows.iter().flat_map(|r| r.iter().cloned()).collect(),
-                    ));
+                    return Ok(Change::Full(out));
                 }
                 // All patches: shift child coordinates by the child's old
-                // offset. Child k's appends land just before child k+1's
-                // position-0 inserts at the same output position, matching
-                // the concatenated rebuild.
+                // offset — O(delta), only lengths are read. Child k's
+                // appends land just before child k+1's position-0 inserts
+                // at the same output position, matching the concatenated
+                // rebuild.
                 let mut pb = PatchBuilder::default();
                 let mut off = 0usize;
                 for (rows, c) in child_rows.iter_mut().zip(&ch) {
@@ -1537,8 +1767,8 @@ impl DNode {
                         for (pos, grp) in p.inserted() {
                             pb.insert_rows(off + pos, grp.clone());
                         }
-                        c.apply_to(rows);
                     }
+                    rows.push(c);
                     off += old_len;
                 }
                 Ok(pb.into_change())
@@ -1624,9 +1854,8 @@ impl DNode {
             }
             DNode::Aggregate {
                 input,
-                in_rows,
+                rows_idx,
                 groups,
-                order,
                 g_idx,
                 agg_idx,
                 aggregates,
@@ -1638,27 +1867,21 @@ impl DNode {
                 match input.refresh(db, changes, exec)? {
                     Change::Unchanged => Ok(Change::Unchanged),
                     Change::Full(rows) => {
-                        *in_rows = rows;
-                        let (g, o) = agg_build(in_rows, g_idx, agg_idx, n_aggs, *global);
-                        *groups = g;
-                        *order = o;
-                        let out = agg_emit(order, groups, aggregates);
+                        *groups = agg_build(&rows, g_idx, agg_idx, n_aggs, *global);
+                        *rows_idx = FirstSeenIndex::from_rows(rows, g_idx.clone());
+                        let out = agg_emit(rows_idx, groups, aggregates, *global);
                         for r in &out {
                             schema.check_row(r)?;
                         }
                         Ok(Change::Full(out))
                     }
                     Change::Patch(p) => {
-                        let deleted_rows: Vec<Row> =
-                            p.deleted().iter().map(|&i| in_rows[i].clone()).collect();
-                        let mut affected: HashSet<Vec<Value>> = HashSet::new();
-                        for r in deleted_rows.iter().chain(p.new_rows()) {
-                            affected.insert(row_key(r, g_idx));
-                        }
-                        let new_rows: Vec<Row> = p.new_rows().cloned().collect();
-                        p.apply_in_place(in_rows);
+                        // Splice the patch into the first-occurrence index;
+                        // the returned classification carries deleted row
+                        // content, old ranks, and order-breaking events.
+                        let fsp = FirstSeenPatch::apply(rows_idx, &p);
                         if *retractable {
-                            for r in &deleted_rows {
+                            for r in &fsp.deleted_rows {
                                 let key = row_key(r, g_idx);
                                 let st = groups.get_mut(&key).expect("row was folded");
                                 for (idx, acc) in agg_idx.iter().zip(st.accs.iter_mut()) {
@@ -1669,41 +1892,42 @@ impl DNode {
                                     groups.remove(&key);
                                 }
                             }
-                            for r in &new_rows {
+                            for r in p.new_rows() {
                                 agg_fold(groups, r, g_idx, agg_idx, n_aggs);
                             }
                         } else {
                             // Lossy retraction (MIN/MAX, FLOAT sums):
-                            // recompute only the affected groups from the
-                            // patched input in one scan.
-                            for key in &affected {
+                            // recompute only the affected groups, folding
+                            // each group's surviving occurrences in input
+                            // order (float summation order matters).
+                            for key in &fsp.affected {
                                 groups.remove(key);
                             }
                             if *global && !groups.contains_key(&Vec::new()) {
                                 groups.insert(Vec::new(), new_group(n_aggs));
                             }
-                            let mut buf: Vec<Value> = Vec::with_capacity(g_idx.len());
-                            for r in in_rows.iter() {
-                                buf.clear();
-                                buf.extend(g_idx.iter().map(|&i| r[i].clone()));
-                                if affected.contains(buf.as_slice()) {
-                                    agg_fold(groups, r, g_idx, agg_idx, n_aggs);
+                            for key in &fsp.affected {
+                                for pos in rows_idx.occurrence_positions(key) {
+                                    agg_fold(groups, rows_idx.row(pos), g_idx, agg_idx, n_aggs);
                                 }
                             }
                         }
-                        let new_order = if *global {
-                            vec![Vec::new()]
-                        } else {
-                            first_seen(in_rows, g_idx)
-                        };
-                        let out = align_orders(order, &new_order, &affected, |k| {
-                            agg_row(k, &groups[k], aggregates)
-                        });
-                        *order = new_order;
                         // Changed output rows validate here; unchanged rows
                         // passed the identical check in the previous
                         // successful run, so the rebuild's first validation
                         // error is reproduced.
+                        let out = if *global {
+                            // Single output row, always at rank 0.
+                            let mut pb = PatchBuilder::default();
+                            pb.delete(0);
+                            pb.insert(0, agg_row(&[], &groups[&Vec::new()], aggregates));
+                            Some(match pb.into_change() {
+                                Change::Patch(patch) => patch,
+                                _ => Patch::default(),
+                            })
+                        } else {
+                            fsp.emit(rows_idx, |k| agg_row(k, &groups[k], aggregates))
+                        };
                         match out {
                             Some(patch) if patch.is_empty() => Ok(Change::Unchanged),
                             Some(patch) => {
@@ -1713,7 +1937,7 @@ impl DNode {
                                 Ok(Change::Patch(patch))
                             }
                             None => {
-                                let full = agg_emit(order, groups, aggregates);
+                                let full = agg_emit(rows_idx, groups, aggregates, *global);
                                 for r in &full {
                                     schema.check_row(r)?;
                                 }
@@ -1725,8 +1949,7 @@ impl DNode {
             }
             DNode::Pivot {
                 input,
-                in_rows,
-                order,
+                rows_idx,
                 key_idx,
                 attr_idx,
                 val_idx,
@@ -1735,8 +1958,7 @@ impl DNode {
                 Change::Unchanged => Ok(Change::Unchanged),
                 Change::Full(rows) => {
                     let out = pivot_rows(&rows, key_idx, *attr_idx, *val_idx, attrs)?;
-                    *order = first_seen(&rows, key_idx);
-                    *in_rows = rows;
+                    *rows_idx = FirstSeenIndex::from_rows(rows, key_idx.clone());
                     Ok(Change::Full(out))
                 }
                 Change::Patch(p) => {
@@ -1751,49 +1973,42 @@ impl DNode {
                     for r in p.new_rows() {
                         check_pivot_row(r, *attr_idx, *val_idx, &attr_pos, attrs)?;
                     }
-                    let mut affected: HashSet<Vec<Value>> = HashSet::new();
-                    for &i in p.deleted() {
-                        affected.insert(row_key(&in_rows[i], key_idx));
-                    }
-                    for r in p.new_rows() {
-                        affected.insert(row_key(r, key_idx));
-                    }
-                    p.apply_in_place(in_rows);
-                    // Rebuild affected entities' wide rows in one in-order
-                    // scan (last write per cell wins, as in `pivot_rows`).
+                    let fsp = FirstSeenPatch::apply(rows_idx, &p);
+                    // Rebuild affected entities' wide rows from each
+                    // entity's surviving occurrences, in input order (last
+                    // write per cell wins, as in `pivot_rows`).
                     let mut rebuilt: HashMap<Vec<Value>, Row> = HashMap::new();
-                    for row in in_rows.iter() {
-                        let key = row_key(row, key_idx);
-                        if !affected.contains(&key) {
-                            continue;
-                        }
-                        let slot = rebuilt.entry(key).or_insert_with_key(|k| {
-                            let mut r = k.clone();
-                            r.extend(std::iter::repeat_n(Value::Null, attrs.len()));
-                            r
-                        });
-                        let attr = match &row[*attr_idx] {
-                            Value::Text(a) => a.as_str(),
-                            _ => unreachable!("validated above or in a previous run"),
-                        };
-                        if let Some(&pos) = attr_pos.get(attr) {
-                            let v = match &row[*val_idx] {
-                                Value::Null => continue,
-                                Value::Text(t) => cast_text(t, attrs[pos].1)?,
-                                other => cast_text(&other.to_string(), attrs[pos].1)?,
+                    for key in &fsp.affected {
+                        for pos in rows_idx.occurrence_positions(key) {
+                            let row = rows_idx.row(pos);
+                            let slot = rebuilt.entry(key.clone()).or_insert_with_key(|k| {
+                                let mut r = k.clone();
+                                r.extend(std::iter::repeat_n(Value::Null, attrs.len()));
+                                r
+                            });
+                            let attr = match &row[*attr_idx] {
+                                Value::Text(a) => a.as_str(),
+                                _ => unreachable!("validated above or in a previous run"),
                             };
-                            slot[key_idx.len() + pos] = v;
+                            if let Some(&apos) = attr_pos.get(attr) {
+                                let v = match &row[*val_idx] {
+                                    Value::Null => continue,
+                                    Value::Text(t) => cast_text(t, attrs[apos].1)?,
+                                    other => cast_text(&other.to_string(), attrs[apos].1)?,
+                                };
+                                slot[key_idx.len() + apos] = v;
+                            }
                         }
                     }
-                    let new_order = first_seen(in_rows, key_idx);
-                    let out = align_orders(order, &new_order, &affected, |k| rebuilt[k].clone());
-                    *order = new_order;
-                    match out {
+                    match fsp.emit(rows_idx, |k| rebuilt[k].clone()) {
                         Some(patch) if patch.is_empty() => Ok(Change::Unchanged),
                         Some(patch) => Ok(Change::Patch(patch)),
-                        None => Ok(Change::Full(pivot_rows(
-                            in_rows, key_idx, *attr_idx, *val_idx, attrs,
-                        )?)),
+                        None => {
+                            let rows: Vec<Row> = rows_idx.rows_in_order().cloned().collect();
+                            Ok(Change::Full(pivot_rows(
+                                &rows, key_idx, *attr_idx, *val_idx, attrs,
+                            )?))
+                        }
                     }
                 }
             },
@@ -1834,7 +2049,7 @@ pub struct DeltaPlan {
     plan: Plan,
     root: DNode,
     schema: Schema,
-    rows: Vec<Row>,
+    rows: LazyRows,
     poisoned: bool,
 }
 
@@ -1846,7 +2061,7 @@ impl DeltaPlan {
             plan: plan.clone(),
             root,
             schema,
-            rows,
+            rows: LazyRows::new(rows),
             poisoned: false,
         })
     }
@@ -1856,14 +2071,15 @@ impl DeltaPlan {
         &self.schema
     }
 
-    /// Number of output rows currently cached.
+    /// Number of output rows currently cached. `O(1)` — patch refreshes
+    /// track the length without materializing the spliced row vector.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
     /// True when the cached output has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.rows.len() == 0
     }
 
     /// True after a refresh error; the next refresh re-initializes.
@@ -1872,9 +2088,10 @@ impl DeltaPlan {
     }
 
     /// The current output as a table — byte-identical to what
-    /// `plan.eval(db)` returns for the current database state.
+    /// `plan.eval(db)` returns for the current database state. `O(n)`:
+    /// the cached rows are cloned (and any queued patches replayed).
     pub fn output(&self) -> RelResult<Table> {
-        Table::from_validated(self.schema.clone(), self.rows.clone())
+        Table::from_validated(self.schema.clone(), self.rows.to_rows())
     }
 
     /// Propagate base-table changes to the output. Returns how the output
@@ -1893,13 +2110,13 @@ impl DeltaPlan {
             let (root, schema, rows) = DNode::init(&self.plan, db, exec)?;
             self.root = root;
             self.schema = schema;
-            self.rows = rows;
+            self.rows = LazyRows::new(rows.clone());
             self.poisoned = false;
-            return Ok(Change::Full(self.rows.clone()));
+            return Ok(Change::Full(rows));
         }
         match self.root.refresh(db, changes, exec) {
             Ok(change) => {
-                change.apply_to(&mut self.rows);
+                self.rows.push(&change);
                 Ok(change)
             }
             Err(e) => {

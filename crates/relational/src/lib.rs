@@ -53,6 +53,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod optimize;
+pub mod rank;
 pub mod schema;
 pub mod segment;
 pub mod table;

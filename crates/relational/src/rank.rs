@@ -1,0 +1,969 @@
+//! Order-statistic rank structures for sub-linear delta application.
+//!
+//! The differential layer ([`crate::delta`]) turns base-table edits into
+//! positional edit scripts ([`crate::delta::Patch`]) and pushes them through
+//! each operator's cached state. Two maintenance problems there are
+//! naturally *rank* problems:
+//!
+//! * **Select/Project lineage** — "child row `i` survived the predicate;
+//!   which output position is it at?" is `rank(i)` over the set of
+//!   surviving child positions.
+//! * **Aggregate/Pivot output order** — group output order is first-seen
+//!   input order, so "which output row does group `g` occupy?" is the rank
+//!   of `g`'s first occurrence among all first occurrences.
+//!
+//! Both are answered by [`RankList`], a weight-augmented order-statistic
+//! list (an implicit treap): a sequence that supports positional insert and
+//! delete, position lookup for a stable node handle, and prefix-weight
+//! queries, all in `O(log n)`. Setting each element's weight to `1` when it
+//! "counts" (a row passing a filter, a row opening a group) and `0`
+//! otherwise makes `weight_before(pos)` exactly the rank query both
+//! problems need. [`FirstSeenIndex`] layers per-key occurrence tracking on
+//! top for the aggregate/pivot case, including group death, revival, and
+//! first-occurrence promotion.
+//!
+//! DESIGN.md §15 documents the maintenance contract built on these
+//! structures; `crates/relational/src/delta.rs` is the consumer.
+//!
+//! # Example
+//!
+//! ```
+//! use guava_relational::rank::RankList;
+//!
+//! // Child rows 0..5; rows 1 and 3 pass a filter (weight 1).
+//! let (mut lineage, _ids) =
+//!     RankList::from_entries((0..5).map(|i| (i, u64::from(i == 1 || i == 3))));
+//! assert_eq!(lineage.total_weight(), 2); // two output rows
+//! assert_eq!(lineage.weight_before(3), 1); // child row 3 is output row 1
+//!
+//! // A new passing child row arrives at position 2: output position is
+//! // the number of passing rows before it.
+//! assert_eq!(lineage.weight_before(2), 1);
+//! lineage.insert_at(2, 9, 1);
+//! assert_eq!(lineage.total_weight(), 3);
+//! // Old child row 3 (now at position 4) shifted to output row 2.
+//! assert_eq!(lineage.weight_before(4), 2);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::table::Row;
+use crate::value::Value;
+
+/// Sentinel for "no node" in the arena.
+const NIL: u32 = u32::MAX;
+
+/// Stable handle to an element of a [`RankList`].
+///
+/// Handles stay valid across inserts and deletes of *other* elements and
+/// are only invalidated when their own element is removed (the slot may
+/// then be recycled by a later insert).
+pub type NodeId = u32;
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    value: T,
+    prio: u64,
+    left: u32,
+    right: u32,
+    parent: u32,
+    /// Subtree size (number of nodes, including self).
+    size: u32,
+    /// This node's own weight.
+    weight: u64,
+    /// Subtree weight sum (including self).
+    wsum: u64,
+}
+
+/// A weight-augmented order-statistic list (implicit treap).
+///
+/// Maintains a sequence of `T` values addressable by position, where every
+/// element carries a `u64` weight. All operations are `O(log n)` expected
+/// (deterministic pseudo-random priorities), except bulk construction
+/// ([`RankList::from_entries`], `O(n)`) and iteration.
+///
+/// Invariants (checked by the unit-test oracle):
+///
+/// * In-order traversal yields elements in sequence order; positions are
+///   `0..len()`.
+/// * `weight_before(p)` is the sum of weights of elements at positions
+///   `< p`; `weight_before(len()) == total_weight()`.
+/// * [`NodeId`] handles returned by [`RankList::insert_at`] /
+///   [`RankList::from_entries`] remain valid until that element is removed,
+///   and [`RankList::pos_of`] always reports the handle's *current*
+///   position.
+#[derive(Clone, Debug)]
+pub struct RankList<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    root: u32,
+    rng: u64,
+}
+
+impl<T> Default for RankList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RankList<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        RankList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Bulk-builds a list from `(value, weight)` entries in sequence order.
+    ///
+    /// `O(n)` via right-spine cartesian-tree construction. Returns the list
+    /// and the [`NodeId`] of every entry in sequence order, so callers can
+    /// record stable handles without `O(n log n)` position lookups.
+    pub fn from_entries(entries: impl IntoIterator<Item = (T, u64)>) -> (Self, Vec<NodeId>) {
+        let mut list = Self::new();
+        let mut ids = Vec::new();
+        let mut spine: Vec<u32> = Vec::new();
+        for (value, weight) in entries {
+            let id = list.alloc(value, weight);
+            ids.push(id);
+            let mut adopted = NIL;
+            while let Some(&top) = spine.last() {
+                if list.nodes[top as usize].prio > list.nodes[id as usize].prio {
+                    adopted = spine.pop().unwrap();
+                } else {
+                    break;
+                }
+            }
+            list.nodes[id as usize].left = adopted;
+            if adopted != NIL {
+                list.nodes[adopted as usize].parent = id;
+            }
+            if let Some(&top) = spine.last() {
+                list.nodes[top as usize].right = id;
+                list.nodes[id as usize].parent = top;
+            } else {
+                list.root = id;
+            }
+            spine.push(id);
+        }
+        // Fix subtree aggregates bottom-up: reverse pre-order visits every
+        // child before its parent.
+        if list.root != NIL {
+            let mut order = Vec::with_capacity(ids.len());
+            let mut stack = vec![list.root];
+            while let Some(x) = stack.pop() {
+                order.push(x);
+                let n = &list.nodes[x as usize];
+                if n.left != NIL {
+                    stack.push(n.left);
+                }
+                if n.right != NIL {
+                    stack.push(n.right);
+                }
+            }
+            for &x in order.iter().rev() {
+                list.pull(x);
+            }
+        }
+        (list, ids)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        if self.root == NIL {
+            0
+        } else {
+            self.nodes[self.root as usize].size as usize
+        }
+    }
+
+    /// `true` when the list holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    /// Sum of all element weights.
+    pub fn total_weight(&self) -> u64 {
+        if self.root == NIL {
+            0
+        } else {
+            self.nodes[self.root as usize].wsum
+        }
+    }
+
+    /// Sum of the weights of elements at positions `< pos`.
+    ///
+    /// `pos` may equal `len()`, in which case this is [`total_weight`].
+    ///
+    /// [`total_weight`]: RankList::total_weight
+    pub fn weight_before(&self, pos: usize) -> u64 {
+        debug_assert!(pos <= self.len());
+        let mut acc = 0u64;
+        let mut k = pos;
+        let mut cur = self.root;
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            let ls = self.size_of(n.left) as usize;
+            if k <= ls {
+                cur = n.left;
+            } else {
+                acc += self.wsum_of(n.left) + n.weight;
+                k -= ls + 1;
+                cur = n.right;
+            }
+        }
+        acc
+    }
+
+    /// The element at `pos`.
+    ///
+    /// Panics if `pos >= len()`.
+    pub fn get(&self, pos: usize) -> &T {
+        &self.nodes[self.node_at(pos) as usize].value
+    }
+
+    /// The handle of the element at `pos`.
+    ///
+    /// Panics if `pos >= len()`.
+    pub fn id_at(&self, pos: usize) -> NodeId {
+        self.node_at(pos)
+    }
+
+    /// The element addressed by `id`.
+    pub fn value_of(&self, id: NodeId) -> &T {
+        &self.nodes[id as usize].value
+    }
+
+    /// The weight of the element addressed by `id`.
+    pub fn weight_of(&self, id: NodeId) -> u64 {
+        self.nodes[id as usize].weight
+    }
+
+    /// The current position of the element addressed by `id`.
+    ///
+    /// `O(log n)` walk to the root via parent pointers. The handle must be
+    /// live (not removed).
+    pub fn pos_of(&self, id: NodeId) -> usize {
+        let mut pos = self.size_of(self.nodes[id as usize].left) as usize;
+        let mut cur = id;
+        loop {
+            let p = self.nodes[cur as usize].parent;
+            if p == NIL {
+                break;
+            }
+            if self.nodes[p as usize].right == cur {
+                pos += self.size_of(self.nodes[p as usize].left) as usize + 1;
+            }
+            cur = p;
+        }
+        pos
+    }
+
+    /// Inserts `value` with `weight` so it ends up at position `pos`
+    /// (existing elements at `>= pos` shift right). Returns a stable
+    /// handle. Panics if `pos > len()`.
+    pub fn insert_at(&mut self, pos: usize, value: T, weight: u64) -> NodeId {
+        debug_assert!(pos <= self.len());
+        let id = self.alloc(value, weight);
+        if self.root == NIL {
+            self.root = id;
+            return id;
+        }
+        let mut k = pos;
+        let mut cur = self.root;
+        loop {
+            let n = &self.nodes[cur as usize];
+            let ls = self.size_of(n.left) as usize;
+            if k <= ls {
+                if n.left == NIL {
+                    self.nodes[cur as usize].left = id;
+                    break;
+                }
+                cur = n.left;
+            } else {
+                k -= ls + 1;
+                if n.right == NIL {
+                    self.nodes[cur as usize].right = id;
+                    break;
+                }
+                cur = n.right;
+            }
+        }
+        self.nodes[id as usize].parent = cur;
+        // Propagate the new node's contribution to every ancestor.
+        let w = self.nodes[id as usize].weight;
+        let mut up = cur;
+        while up != NIL {
+            self.nodes[up as usize].size += 1;
+            self.nodes[up as usize].wsum += w;
+            up = self.nodes[up as usize].parent;
+        }
+        // Restore the heap property (min priority on top).
+        while {
+            let p = self.nodes[id as usize].parent;
+            p != NIL && self.nodes[id as usize].prio < self.nodes[p as usize].prio
+        } {
+            self.rotate_up(id);
+        }
+        id
+    }
+
+    /// Removes and returns the element (and its weight) at `pos`
+    /// (elements at `> pos` shift left). Panics if `pos >= len()`.
+    pub fn remove_at(&mut self, pos: usize) -> (T, u64)
+    where
+        T: Default,
+    {
+        let id = self.node_at(pos);
+        // Rotate the victim down to a leaf, keeping the heap property
+        // among the other nodes.
+        loop {
+            let n = &self.nodes[id as usize];
+            let (l, r) = (n.left, n.right);
+            if l == NIL && r == NIL {
+                break;
+            }
+            let child = if l != NIL
+                && (r == NIL || self.nodes[l as usize].prio < self.nodes[r as usize].prio)
+            {
+                l
+            } else {
+                r
+            };
+            self.rotate_up(child);
+        }
+        // Detach the leaf and strip its contribution from all ancestors.
+        let parent = self.nodes[id as usize].parent;
+        let w = self.nodes[id as usize].weight;
+        if parent == NIL {
+            self.root = NIL;
+        } else {
+            if self.nodes[parent as usize].left == id {
+                self.nodes[parent as usize].left = NIL;
+            } else {
+                self.nodes[parent as usize].right = NIL;
+            }
+            let mut up = parent;
+            while up != NIL {
+                self.nodes[up as usize].size -= 1;
+                self.nodes[up as usize].wsum -= w;
+                up = self.nodes[up as usize].parent;
+            }
+        }
+        self.free.push(id);
+        let value = {
+            let slot = &mut self.nodes[id as usize];
+            slot.parent = NIL;
+            slot.left = NIL;
+            slot.right = NIL;
+            std::mem::take(&mut slot.value)
+        };
+        (value, w)
+    }
+
+    /// Sets the weight of the element addressed by `id`, updating ancestor
+    /// sums in `O(log n)`.
+    pub fn set_weight(&mut self, id: NodeId, weight: u64) {
+        let old = self.nodes[id as usize].weight;
+        if old == weight {
+            return;
+        }
+        self.nodes[id as usize].weight = weight;
+        let mut cur = id;
+        while cur != NIL {
+            let n = &mut self.nodes[cur as usize];
+            n.wsum = n.wsum + weight - old;
+            cur = n.parent;
+        }
+    }
+
+    /// In-order iteration over all elements.
+    pub fn iter(&self) -> RankIter<'_, T> {
+        RankIter {
+            list: self,
+            stack: Vec::new(),
+            cur: self.root,
+            weighted_only: false,
+        }
+    }
+
+    /// In-order iteration over elements with weight `> 0`, skipping whole
+    /// zero-weight subtrees — `O(k log n)` for `k` weighted elements rather
+    /// than `O(n)`.
+    pub fn iter_weighted(&self) -> RankIter<'_, T> {
+        RankIter {
+            list: self,
+            stack: Vec::new(),
+            cur: if self.wsum_of(self.root) > 0 {
+                self.root
+            } else {
+                NIL
+            },
+            weighted_only: true,
+        }
+    }
+
+    fn node_at(&self, pos: usize) -> u32 {
+        debug_assert!(pos < self.len());
+        let mut k = pos;
+        let mut cur = self.root;
+        loop {
+            let n = &self.nodes[cur as usize];
+            let ls = self.size_of(n.left) as usize;
+            if k < ls {
+                cur = n.left;
+            } else if k == ls {
+                return cur;
+            } else {
+                k -= ls + 1;
+                cur = n.right;
+            }
+        }
+    }
+
+    fn size_of(&self, id: u32) -> u32 {
+        if id == NIL {
+            0
+        } else {
+            self.nodes[id as usize].size
+        }
+    }
+
+    fn wsum_of(&self, id: u32) -> u64 {
+        if id == NIL {
+            0
+        } else {
+            self.nodes[id as usize].wsum
+        }
+    }
+
+    fn pull(&mut self, x: u32) {
+        let (l, r) = {
+            let n = &self.nodes[x as usize];
+            (n.left, n.right)
+        };
+        let size = 1 + self.size_of(l) + self.size_of(r);
+        let wsum = self.nodes[x as usize].weight + self.wsum_of(l) + self.wsum_of(r);
+        let n = &mut self.nodes[x as usize];
+        n.size = size;
+        n.wsum = wsum;
+    }
+
+    /// Rotates `x` above its parent, preserving in-order sequence and
+    /// repairing size/weight aggregates locally.
+    fn rotate_up(&mut self, x: u32) {
+        let p = self.nodes[x as usize].parent;
+        debug_assert!(p != NIL);
+        let g = self.nodes[p as usize].parent;
+        if self.nodes[p as usize].left == x {
+            let b = self.nodes[x as usize].right;
+            self.nodes[p as usize].left = b;
+            if b != NIL {
+                self.nodes[b as usize].parent = p;
+            }
+            self.nodes[x as usize].right = p;
+        } else {
+            let b = self.nodes[x as usize].left;
+            self.nodes[p as usize].right = b;
+            if b != NIL {
+                self.nodes[b as usize].parent = p;
+            }
+            self.nodes[x as usize].left = p;
+        }
+        self.nodes[p as usize].parent = x;
+        self.nodes[x as usize].parent = g;
+        if g == NIL {
+            self.root = x;
+        } else if self.nodes[g as usize].left == p {
+            self.nodes[g as usize].left = x;
+        } else {
+            self.nodes[g as usize].right = x;
+        }
+        self.pull(p);
+        self.pull(x);
+    }
+
+    fn alloc(&mut self, value: T, weight: u64) -> u32 {
+        // splitmix64: deterministic priorities so rebuilds and refreshes
+        // are reproducible across runs and machines.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let prio = z ^ (z >> 31);
+        let node = Node {
+            value,
+            prio,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            size: 1,
+            weight,
+            wsum: weight,
+        };
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(node);
+            id
+        }
+    }
+}
+
+/// In-order iterator over a [`RankList`]; see [`RankList::iter`] and
+/// [`RankList::iter_weighted`].
+pub struct RankIter<'a, T> {
+    list: &'a RankList<T>,
+    stack: Vec<u32>,
+    cur: u32,
+    weighted_only: bool,
+}
+
+impl<'a, T> Iterator for RankIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        loop {
+            while self.cur != NIL {
+                let n = &self.list.nodes[self.cur as usize];
+                if self.weighted_only && n.wsum == 0 {
+                    self.cur = NIL;
+                    break;
+                }
+                self.stack.push(self.cur);
+                self.cur = n.left;
+            }
+            let x = self.stack.pop()?;
+            let n = &self.list.nodes[x as usize];
+            self.cur = n.right;
+            if !self.weighted_only || n.weight > 0 {
+                return Some(&n.value);
+            }
+        }
+    }
+}
+
+/// Outcome of [`FirstSeenIndex::remove`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoveOutcome {
+    /// The removed row was not its key's first occurrence; group order is
+    /// untouched.
+    Later,
+    /// The removed row was the last occurrence of its key: the group died.
+    Died,
+    /// The removed row was the key's first occurrence but later occurrences
+    /// survive: the next one was promoted to first, so the group's
+    /// first-seen anchor moved.
+    Promoted,
+}
+
+/// Outcome of [`FirstSeenIndex::insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The row opened a key not currently present (a new group, or a
+    /// revival of one that died earlier in the same batch).
+    NewKey,
+    /// The row joined an existing key after its current first occurrence.
+    Later,
+    /// The row joined an existing key *before* its current first
+    /// occurrence and was promoted to first, moving the group's
+    /// first-seen anchor.
+    Promoted,
+}
+
+#[derive(Clone, Debug)]
+struct KeyOcc {
+    /// Live occurrence nodes (unordered; `slot` gives each node's index).
+    nodes: Vec<NodeId>,
+    /// The occurrence currently flagged as first (weight 1 in `rows`).
+    first: NodeId,
+}
+
+/// Persistent first-occurrence tracking over an operator's input rows.
+///
+/// Stores the input sequence in a [`RankList`] where a row's weight is `1`
+/// iff it is the *first* live occurrence of its group key, and maintains a
+/// per-key registry of occurrence handles. This makes the aggregate/pivot
+/// order queries sub-linear:
+///
+/// * a group's output rank is `weight_before(pos(first))` — `O(log n)`;
+/// * group count is `total_weight()` — `O(1)`;
+/// * groups in output order are [`FirstSeenIndex::first_rows_in_order`] —
+///   `O(groups · log n)`;
+/// * per-row insert/remove report exactly how group order was affected
+///   ([`InsertOutcome`] / [`RemoveOutcome`]), so the caller can tell a
+///   cheap in-place patch apart from an order-changing edit.
+///
+/// The index is equivalent, at every point, to recomputing first-seen
+/// order from scratch over its current row sequence (the property suite in
+/// `tests/refresh_incremental.rs` asserts this against `eval_materialized`
+/// rebuilds).
+#[derive(Clone, Debug)]
+pub struct FirstSeenIndex {
+    rows: RankList<Row>,
+    key_idx: Vec<usize>,
+    keys: HashMap<Vec<Value>, KeyOcc>,
+    /// Back-reference: node id → its index in `keys[key].nodes`, for O(1)
+    /// swap-removal.
+    slot: HashMap<NodeId, u32>,
+}
+
+impl FirstSeenIndex {
+    /// Builds the index over `rows`, grouping by the column positions in
+    /// `key_idx`. `O(n)` plus hashing.
+    pub fn from_rows(rows: Vec<Row>, key_idx: Vec<usize>) -> Self {
+        let mut keys: HashMap<Vec<Value>, KeyOcc> = HashMap::new();
+        let mut slot: HashMap<NodeId, u32> = HashMap::new();
+        // Two passes: weights first (so the bulk build sees them), then the
+        // registry once node ids exist.
+        let ki = key_idx.clone();
+        let weights: Vec<u64> = {
+            let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
+            rows.iter()
+                .map(|r| {
+                    let key: Vec<Value> = ki.iter().map(|&i| r[i].clone()).collect();
+                    if seen.insert(key, ()).is_none() {
+                        1
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        };
+        let (list, ids) = RankList::from_entries(rows.into_iter().zip(weights));
+        for &id in &ids {
+            let row = list.value_of(id);
+            let key: Vec<Value> = ki.iter().map(|&i| row[i].clone()).collect();
+            let occ = keys.entry(key).or_insert(KeyOcc {
+                nodes: Vec::new(),
+                first: id,
+            });
+            slot.insert(id, occ.nodes.len() as u32);
+            occ.nodes.push(id);
+        }
+        FirstSeenIndex {
+            rows: list,
+            key_idx,
+            keys,
+            slot,
+        }
+    }
+
+    /// Number of input rows currently indexed.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of live groups. `O(1)`.
+    pub fn group_count(&self) -> usize {
+        self.rows.total_weight() as usize
+    }
+
+    /// The input row at `pos`. `O(log n)`.
+    pub fn row(&self, pos: usize) -> &Row {
+        self.rows.get(pos)
+    }
+
+    /// Extracts the group key of `row` under this index's key columns.
+    pub fn key_of(&self, row: &Row) -> Vec<Value> {
+        self.key_idx.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// `true` when `key` currently has at least one occurrence.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.keys.contains_key(key)
+    }
+
+    /// The output rank `key`'s group currently occupies (its first
+    /// occurrence's rank among all first occurrences), or `None` if the
+    /// key has no live occurrence. `O(log n)`.
+    pub fn rank_of(&self, key: &[Value]) -> Option<usize> {
+        let occ = self.keys.get(key)?;
+        Some(self.rows.weight_before(self.rows.pos_of(occ.first)) as usize)
+    }
+
+    /// Removes the row at `pos`, reporting how its group's order was
+    /// affected. `O(log n)`, plus `O(k log n)` to elect a new first
+    /// occurrence when the current first of a `k`-occurrence group is
+    /// removed.
+    pub fn remove(&mut self, pos: usize) -> (Row, RemoveOutcome) {
+        let id = self.rows.id_at(pos);
+        let was_first = self.rows.weight_of(id) == 1;
+        let (row, _) = self.rows.remove_at(pos);
+        let key = self.key_of(&row);
+        let occ = self.keys.get_mut(&key).expect("row key must be indexed");
+        let s = self.slot.remove(&id).expect("node must have a slot") as usize;
+        let last = occ.nodes.pop().expect("occurrence list cannot be empty");
+        if last != id {
+            occ.nodes[s] = last;
+            self.slot.insert(last, s as u32);
+        }
+        if occ.nodes.is_empty() {
+            debug_assert!(was_first);
+            self.keys.remove(&key);
+            return (row, RemoveOutcome::Died);
+        }
+        if was_first {
+            let new_first = *occ
+                .nodes
+                .iter()
+                .min_by_key(|&&n| self.rows.pos_of(n))
+                .expect("non-empty");
+            occ.first = new_first;
+            self.rows.set_weight(new_first, 1);
+            return (row, RemoveOutcome::Promoted);
+        }
+        (row, RemoveOutcome::Later)
+    }
+
+    /// Inserts `row` at `pos`, reporting how its group's order was
+    /// affected. `O(log n)`.
+    pub fn insert(&mut self, pos: usize, row: Row) -> InsertOutcome {
+        let key = self.key_of(&row);
+        let prev_first_pos = self.keys.get(&key).map(|occ| self.rows.pos_of(occ.first));
+        match prev_first_pos {
+            None => {
+                let id = self.rows.insert_at(pos, row, 1);
+                let occ = self.keys.entry(key).or_insert(KeyOcc {
+                    nodes: Vec::new(),
+                    first: id,
+                });
+                occ.first = id;
+                self.slot.insert(id, occ.nodes.len() as u32);
+                occ.nodes.push(id);
+                InsertOutcome::NewKey
+            }
+            Some(first_pos) => {
+                let promoted = pos <= first_pos;
+                let id = self.rows.insert_at(pos, row, u64::from(promoted));
+                let occ = self.keys.get_mut(&key).expect("checked above");
+                self.slot.insert(id, occ.nodes.len() as u32);
+                occ.nodes.push(id);
+                if promoted {
+                    let old_first = occ.first;
+                    self.rows.set_weight(old_first, 0);
+                    occ.first = id;
+                    InsertOutcome::Promoted
+                } else {
+                    InsertOutcome::Later
+                }
+            }
+        }
+    }
+
+    /// Current positions of `key`'s occurrences in input order.
+    /// `O(k log n + k log k)`.
+    pub fn occurrence_positions(&self, key: &[Value]) -> Vec<usize> {
+        let Some(occ) = self.keys.get(key) else {
+            return Vec::new();
+        };
+        let mut positions: Vec<usize> = occ.nodes.iter().map(|&n| self.rows.pos_of(n)).collect();
+        positions.sort_unstable();
+        positions
+    }
+
+    /// The first-occurrence row of every live group, in group output
+    /// order. `O(groups · log n)` — zero-weight subtrees are skipped.
+    pub fn first_rows_in_order(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter_weighted()
+    }
+
+    /// All input rows in order. `O(n)`; used only by full-recompute
+    /// fallbacks.
+    pub fn rows_in_order(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG so oracle tests reproduce without an external
+    /// proptest dependency.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    #[test]
+    fn ranklist_matches_vec_oracle() {
+        let mut rng = Lcg(7);
+        for round in 0..20 {
+            let mut list: RankList<u64> = RankList::new();
+            let mut oracle: Vec<(u64, u64)> = Vec::new();
+            let mut ids: Vec<NodeId> = Vec::new();
+            for step in 0..400 {
+                let op = rng.next() % 4;
+                if op < 2 || oracle.is_empty() {
+                    let pos = (rng.next() as usize) % (oracle.len() + 1);
+                    let v = rng.next();
+                    let w = rng.next() % 3;
+                    let id = list.insert_at(pos, v, w);
+                    oracle.insert(pos, (v, w));
+                    ids.insert(pos, id);
+                } else if op == 2 {
+                    let pos = (rng.next() as usize) % oracle.len();
+                    let (v, w) = list.remove_at(pos);
+                    let (ov, ow) = oracle.remove(pos);
+                    ids.remove(pos);
+                    assert_eq!((v, w), (ov, ow), "round {round} step {step}");
+                } else {
+                    let pos = (rng.next() as usize) % oracle.len();
+                    let w = rng.next() % 3;
+                    list.set_weight(ids[pos], w);
+                    oracle[pos].1 = w;
+                }
+                assert_eq!(list.len(), oracle.len());
+                let total: u64 = oracle.iter().map(|&(_, w)| w).sum();
+                assert_eq!(list.total_weight(), total);
+                let probe = (rng.next() as usize) % (oracle.len() + 1);
+                let prefix: u64 = oracle[..probe].iter().map(|&(_, w)| w).sum();
+                assert_eq!(
+                    list.weight_before(probe),
+                    prefix,
+                    "round {round} step {step}"
+                );
+                if !oracle.is_empty() {
+                    let p = (rng.next() as usize) % oracle.len();
+                    assert_eq!(*list.get(p), oracle[p].0);
+                    assert_eq!(list.pos_of(ids[p]), p);
+                }
+            }
+            let collected: Vec<u64> = list.iter().copied().collect();
+            let expected: Vec<u64> = oracle.iter().map(|&(v, _)| v).collect();
+            assert_eq!(collected, expected);
+            let weighted: Vec<u64> = list.iter_weighted().copied().collect();
+            let expected_w: Vec<u64> = oracle
+                .iter()
+                .filter(|&&(_, w)| w > 0)
+                .map(|&(v, _)| v)
+                .collect();
+            assert_eq!(weighted, expected_w);
+        }
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        let mut rng = Lcg(99);
+        let entries: Vec<(u64, u64)> = (0..1000).map(|_| (rng.next(), rng.next() % 2)).collect();
+        let (bulk, ids) = RankList::from_entries(entries.iter().copied());
+        assert_eq!(bulk.len(), entries.len());
+        assert_eq!(
+            bulk.total_weight(),
+            entries.iter().map(|&(_, w)| w).sum::<u64>()
+        );
+        for (pos, &id) in ids.iter().enumerate() {
+            assert_eq!(bulk.pos_of(id), pos);
+            assert_eq!(*bulk.value_of(id), entries[pos].0);
+        }
+        for probe in [0, 1, 17, 500, 999, 1000] {
+            let prefix: u64 = entries[..probe].iter().map(|&(_, w)| w).sum();
+            assert_eq!(bulk.weight_before(probe), prefix);
+        }
+        let collected: Vec<u64> = bulk.iter().copied().collect();
+        let expected: Vec<u64> = entries.iter().map(|&(v, _)| v).collect();
+        assert_eq!(collected, expected);
+    }
+
+    fn fs_oracle(rows: &[Row], key_idx: &[usize]) -> Vec<Vec<Value>> {
+        let mut seen = Vec::new();
+        for r in rows {
+            let key: Vec<Value> = key_idx.iter().map(|&i| r[i].clone()).collect();
+            if !seen.contains(&key) {
+                seen.push(key);
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn first_seen_index_matches_oracle() {
+        let mut rng = Lcg(42);
+        let key_idx = vec![0usize];
+        for round in 0..20 {
+            let mut oracle: Vec<Row> = Vec::new();
+            let mut idx = FirstSeenIndex::from_rows(Vec::new(), key_idx.clone());
+            for step in 0..300 {
+                if !rng.next().is_multiple_of(3) || oracle.is_empty() {
+                    let pos = (rng.next() as usize) % (oracle.len() + 1);
+                    // Low-cardinality keys so deaths/revivals/promotions
+                    // happen often.
+                    let row = vec![
+                        Value::Int((rng.next() % 4) as i64),
+                        Value::Int(rng.next() as i64),
+                    ];
+                    idx.insert(pos, row.clone());
+                    oracle.insert(pos, row);
+                } else {
+                    let pos = (rng.next() as usize) % oracle.len();
+                    let (row, _) = idx.remove(pos);
+                    let expect = oracle.remove(pos);
+                    assert_eq!(row, expect);
+                }
+                let expect_order = fs_oracle(&oracle, &key_idx);
+                assert_eq!(
+                    idx.group_count(),
+                    expect_order.len(),
+                    "round {round} step {step}"
+                );
+                let got_order: Vec<Vec<Value>> =
+                    idx.first_rows_in_order().map(|r| idx.key_of(r)).collect();
+                assert_eq!(got_order, expect_order, "round {round} step {step}");
+                for (rank, key) in expect_order.iter().enumerate() {
+                    assert_eq!(idx.rank_of(key), Some(rank));
+                    let occs = idx.occurrence_positions(key);
+                    assert!(!occs.is_empty());
+                    let oracle_occs: Vec<usize> = oracle
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| &idx.key_of(r) == key)
+                        .map(|(i, _)| i)
+                        .collect();
+                    assert_eq!(occs, oracle_occs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_seen_death_then_revival_moves_group_to_end() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+            vec![Value::Int(1), Value::Int(30)],
+        ];
+        let mut idx = FirstSeenIndex::from_rows(rows, vec![0]);
+        assert_eq!(idx.rank_of(&[Value::Int(1)]), Some(0));
+        // Kill group 1 entirely…
+        let (_, o1) = idx.remove(2);
+        assert_eq!(o1, RemoveOutcome::Later);
+        let (_, o2) = idx.remove(0);
+        assert_eq!(o2, RemoveOutcome::Died);
+        assert_eq!(idx.rank_of(&[Value::Int(1)]), None);
+        // …then revive it with an appended row: it must now rank AFTER
+        // group 2, matching a from-scratch first-seen pass.
+        assert_eq!(
+            idx.insert(1, vec![Value::Int(1), Value::Int(40)]),
+            InsertOutcome::NewKey
+        );
+        assert_eq!(idx.rank_of(&[Value::Int(2)]), Some(0));
+        assert_eq!(idx.rank_of(&[Value::Int(1)]), Some(1));
+    }
+}

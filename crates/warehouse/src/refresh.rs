@@ -1,4 +1,6 @@
-//! Incremental warehouse refresh (DESIGN.md §12).
+//! Incremental warehouse refresh (DESIGN.md §12; the differential layer
+//! it builds on is specified by the incremental-maintenance contract in
+//! DESIGN.md §15).
 //!
 //! A [`StudyStore`] holds the extracted naïve form plus whatever the
 //! materialization policy turned into study tables. When contributor data
@@ -48,7 +50,15 @@ impl StudyStore {
     /// classifier *output*, not the classifiers themselves. The result is
     /// byte-identical (same rows, same order, same first error) to
     /// rebuilding the store from the merged naïve form; see the module
-    /// docs for the argument.
+    /// docs for the argument. `delta` must be a position-accurate window
+    /// against the *current* naïve form (DESIGN.md §15 invariant D1):
+    /// `pre_len` and every `(pos, row)` in `deleted` are verified before
+    /// anything is mutated, so a stale or replayed delta fails cleanly.
+    ///
+    /// Cost is O(delta) classifier work plus O(n) row copying for the
+    /// merge — the per-operator sub-linear machinery of §15 lives in
+    /// [`DeltaPlan`](guava_relational::delta::DeltaPlan) upstream; the
+    /// store itself re-materializes only the inserted rows.
     pub fn refresh(
         &mut self,
         delta: &TableDelta,

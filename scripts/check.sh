@@ -29,6 +29,37 @@ if ! grep -q '"speedup"' BENCH_refresh.json 2>/dev/null; then
   exit 1
 fi
 
+# The sub-linearity axis (DESIGN.md §15) must be present — a regeneration
+# from a stale binary would silently drop it.
+if ! grep -q '"delta_scaling"' BENCH_refresh.json; then
+  echo "check.sh: BENCH_refresh.json lacks the 'delta_scaling' axis — regenerate with" >&2
+  echo "  cargo run --release -p guava-bench --bin tables -- --bench-refresh" >&2
+  exit 1
+fi
+
+# Regression canary for the §15 rank-index work: every operator-level
+# refresh at the 1% delta fixture must beat a full rebuild. A delta_plan
+# entry dipping below 1.0x means delta application regressed to
+# rebuild-or-worse cost (the pre-§15 group_by_agg failure mode).
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_refresh.json") as f:
+    report = json.load(f)
+slow = [
+    (b["name"], b["speedup"])
+    for b in report["benches"]
+    if b["group"] == "delta_plan" and b["speedup"] < 1.0
+]
+if slow:
+    for name, s in slow:
+        print(
+            f"check.sh: delta_plan '{name}' refresh speedup {s:.2f}x < 1.0x "
+            "— sub-linear delta application regressed (DESIGN.md §15)",
+            file=sys.stderr,
+        )
+    sys.exit(1)
+EOF
+
 # Property tests run with a pinned RNG stream so failures reproduce across
 # machines; bump the seed deliberately to explore a new stream. This
 # includes the vectorized-vs-row-vs-oracle equivalence suite

@@ -10,7 +10,11 @@
 //! the same first error, under randomized plans and randomized update
 //! sequences, across all four executor lanes plus the materializing
 //! oracle. A refresh that errors must poison itself and recover by
-//! re-initializing on the next round — also byte-identically.
+//! re-initializing on the next round — also byte-identically. The
+//! grouped-aggregate suite additionally pins the §15 first-occurrence
+//! lineage: group order under random insert/delete/revise interleavings
+//! must match a from-scratch `first_seen` recomputation, including
+//! group death and later revival at the end of group order.
 
 use guava::prelude::*;
 use guava_relational::algebra::{AggFunc, Aggregate};
@@ -122,23 +126,27 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// Next free primary key in the fixture table (inserts stay PK-safe).
+fn next_id(dc: &DeltaCatalog) -> i64 {
+    dc.catalog()
+        .database("d")
+        .unwrap()
+        .table("t")
+        .unwrap()
+        .rows()
+        .iter()
+        .filter_map(|r| r[0].as_i64())
+        .max()
+        .unwrap_or(-1)
+        + 1
+}
+
 fn apply_op(dc: &mut DeltaCatalog, op: &Op) {
     let modmatch =
         |m: i64, r: i64| move |row: &Row| row[0].as_i64().is_some_and(|id| id.rem_euclid(m) == r);
     match op {
         Op::Insert(a, b) => {
-            let next = dc
-                .catalog()
-                .database("d")
-                .unwrap()
-                .table("t")
-                .unwrap()
-                .rows()
-                .iter()
-                .filter_map(|r| r[0].as_i64())
-                .max()
-                .unwrap_or(-1)
-                + 1;
+            let next = next_id(dc);
             dc.insert(
                 "d",
                 "t",
@@ -367,6 +375,244 @@ proptest! {
             prop_assert!(change.is_unchanged());
             prop_assert_eq!(dplan.output().unwrap(), before);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grouped first-occurrence order ≡ from-scratch first_seen (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// A mutation tuned to stress `rank::FirstSeenIndex`: alongside the
+/// generic ops it can delete *every* row of one group key (group death)
+/// and later insert a row carrying that key back (revival) — the shapes
+/// that move a group's first occurrence rather than just its count.
+#[derive(Debug, Clone)]
+enum GroupOp {
+    Std(Op),
+    /// Delete every row whose `s` equals the key — a group-death shape.
+    KillKey(String),
+    /// Insert one row with a chosen `s` key: a revival when the key is
+    /// currently dead, a no-op on group order when it is alive.
+    Reinsert(String, Option<i64>),
+}
+
+fn arb_group_op() -> impl Strategy<Value = GroupOp> {
+    prop_oneof![
+        4 => arb_op().prop_map(GroupOp::Std),
+        2 => "[a-c]".prop_map(GroupOp::KillKey),
+        2 => ("[a-c]", proptest::option::of(0i64..6))
+            .prop_map(|(s, a)| GroupOp::Reinsert(s, a)),
+    ]
+}
+
+fn apply_group_op(dc: &mut DeltaCatalog, op: &GroupOp) {
+    match op {
+        GroupOp::Std(op) => apply_op(dc, op),
+        GroupOp::KillKey(s) => {
+            let key = Value::text(s.clone());
+            dc.delete_where("d", "t", move |row| row[3] == key).unwrap();
+        }
+        GroupOp::Reinsert(s, a) => {
+            let next = next_id(dc);
+            dc.insert(
+                "d",
+                "t",
+                vec![
+                    Value::Int(next),
+                    a.map(Value::Int).unwrap_or(Value::Null),
+                    Value::Bool(true),
+                    Value::text(s.clone()),
+                ],
+            )
+            .unwrap();
+        }
+    }
+}
+
+/// Grouped aggregates over deliberately low-cardinality keys (`s` draws
+/// from ~12 strings, `b` from 3 values incl. NULL), so random op
+/// sequences routinely empty and repopulate whole groups. The aggregate
+/// list spans both maintenance paths: CountAll/Sum retract exactly, Min
+/// falls back to per-group recompute.
+fn arb_grouped_plan() -> impl Strategy<Value = Plan> {
+    (0usize..3, any::<bool>()).prop_map(|(k, filtered)| {
+        let by: &[&str] = [&["s"][..], &["b"][..], &["b", "s"][..]][k];
+        let base = if filtered {
+            Plan::scan("t").select(Expr::col("a").ge(Expr::lit(3i64)))
+        } else {
+            Plan::scan("t")
+        };
+        base.aggregate(
+            by,
+            vec![
+                Aggregate {
+                    func: AggFunc::CountAll,
+                    alias: "n".into(),
+                },
+                Aggregate {
+                    func: AggFunc::Sum("a".into()),
+                    alias: "sm".into(),
+                },
+                Aggregate {
+                    func: AggFunc::Min("id".into()),
+                    alias: "lo".into(),
+                },
+            ],
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// For random insert/delete/revise interleavings against grouped
+    /// aggregate plans, the refreshed output — group membership, group
+    /// *order* (the persistent `first_seen` lineage of DESIGN.md §15),
+    /// and every accumulator value — stays byte-identical to a
+    /// from-scratch execution whose group order is recomputed from
+    /// scratch, after every batch, in every lane.
+    #[test]
+    fn grouped_refresh_preserves_first_seen_order(
+        rows in arb_rows(16),
+        plan in arb_grouped_plan(),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_group_op(), 1..5),
+            1..5,
+        ),
+    ) {
+        for (name, exec) in lanes() {
+            let mut dc = DeltaCatalog::new(catalog(rows.clone()));
+            let mut dplan =
+                DeltaPlan::init(&plan, dc.catalog().database("d").unwrap(), &exec).unwrap();
+            for batch in &batches {
+                for op in batch {
+                    apply_group_op(&mut dc, op);
+                }
+                let deltas = dc.take_deltas();
+                let mut changes = TableChanges::new();
+                if let Some(d) = deltas.get("d", "t") {
+                    changes.set("t", d.to_change());
+                }
+                let db = dc.catalog().database("d").unwrap();
+                dplan.refresh(db, &changes, &exec).unwrap();
+                let rebuilt = exec.execute(&plan, db).unwrap();
+                prop_assert_eq!(
+                    &dplan.output().unwrap(), &rebuilt,
+                    "{}: grouped refresh diverged from from-scratch first_seen order", name
+                );
+            }
+        }
+    }
+}
+
+/// DESIGN.md §15 death/revival semantics, pinned deterministically: when
+/// a group loses its last row it leaves the output, and when its key
+/// reappears in a *later* batch the group re-enters at the **end** of
+/// group order — the new row is now the key's first occurrence — exactly
+/// where a from-scratch rebuild places it. A revived group must not slide
+/// back into its old slot.
+#[test]
+fn group_death_then_revival_moves_group_to_end() {
+    let plan = Plan::scan("t").aggregate(
+        &["s"],
+        vec![
+            Aggregate {
+                func: AggFunc::CountAll,
+                alias: "n".into(),
+            },
+            Aggregate {
+                func: AggFunc::Sum("a".into()),
+                alias: "sm".into(),
+            },
+        ],
+    );
+    let rows = vec![
+        vec![
+            Value::Int(0),
+            Value::Int(1),
+            Value::Bool(true),
+            Value::text("a"),
+        ],
+        vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Bool(false),
+            Value::text("b"),
+        ],
+        vec![
+            Value::Int(2),
+            Value::Int(3),
+            Value::Bool(true),
+            Value::text("a"),
+        ],
+        vec![
+            Value::Int(3),
+            Value::Int(4),
+            Value::Bool(false),
+            Value::text("c"),
+        ],
+    ];
+    let group_keys = |t: &Table| -> Vec<Value> { t.rows().iter().map(|r| r[0].clone()).collect() };
+    let keys = |ks: &[&str]| -> Vec<Value> { ks.iter().map(|k| Value::text(*k)).collect() };
+    for (name, exec) in lanes() {
+        let mut dc = DeltaCatalog::new(catalog(rows.clone()));
+        let mut dplan = DeltaPlan::init(&plan, dc.catalog().database("d").unwrap(), &exec).unwrap();
+        let step = |dc: &mut DeltaCatalog, dplan: &mut DeltaPlan| -> Table {
+            let deltas = dc.take_deltas();
+            let mut changes = TableChanges::new();
+            if let Some(d) = deltas.get("d", "t") {
+                changes.set("t", d.to_change());
+            }
+            let db = dc.catalog().database("d").unwrap();
+            dplan.refresh(db, &changes, &exec).unwrap();
+            let out = dplan.output().unwrap();
+            let rebuilt = exec.execute(&plan, db).unwrap();
+            assert_eq!(out, rebuilt, "{name}: refresh != rebuild");
+            out
+        };
+
+        // Group order starts as first-occurrence order: a, b, c.
+        assert_eq!(
+            group_keys(&dplan.output().unwrap()),
+            keys(&["a", "b", "c"]),
+            "{name}: initial group order"
+        );
+
+        // Batch 1: "b" loses its only row — the group dies.
+        dc.delete_where("d", "t", |row| row[3] == Value::text("b"))
+            .unwrap();
+        let out = step(&mut dc, &mut dplan);
+        assert_eq!(
+            group_keys(&out),
+            keys(&["a", "c"]),
+            "{name}: dead group must leave the output"
+        );
+
+        // Batch 2: a row carrying "b" returns. The revived group lands at
+        // the end — its first occurrence is the new row, not the deleted
+        // one — and the refreshed table is byte-identical to rebuild.
+        dc.insert(
+            "d",
+            "t",
+            vec![
+                Value::Int(4),
+                Value::Int(9),
+                Value::Bool(true),
+                Value::text("b"),
+            ],
+        )
+        .unwrap();
+        let out = step(&mut dc, &mut dplan);
+        assert_eq!(
+            group_keys(&out),
+            keys(&["a", "c", "b"]),
+            "{name}: revived group must re-enter at the end of group order"
+        );
+        assert_eq!(
+            out.rows()[2],
+            vec![Value::text("b"), Value::Int(1), Value::Int(9)],
+            "{name}: revived group restarts its accumulators from the new row"
+        );
     }
 }
 
