@@ -1999,6 +1999,315 @@ fn bench_refresh_store(entries: &mut Vec<RefreshBenchEntry>, fixture: &Fixture) 
     ));
 }
 
+/// Service-level refresh: a warehouse `Engine` (DESIGN.md §16) serving
+/// eight live subscriptions (four plans × two clients) while four
+/// concurrent reader sessions query it, measured against the re-poll
+/// strategy — an identical engine with no subscribers whose clients
+/// re-run every plan from scratch after each refresh, one execution per
+/// client. Both engines absorb the same mutation sequence in
+/// lockstep, so every cycle compares push delivery (update with resident
+/// `DeltaPlan`s + client-side `sync`) with poll delivery (update +
+/// full re-execution of each plan) on byte-identical state. Every round
+/// asserts each subscription mirror equals a from-scratch re-query on
+/// the post-refresh snapshot, and that both engines agree.
+///
+/// The `deliver_*` entries break the cycle down per plan from the
+/// client's view: applying the pushed delta (`sync`) vs re-running the
+/// plan. The server-side refresh cost is shared across subscribers, so
+/// only the `push_cycle` entry charges it.
+fn bench_refresh_service(entries: &mut Vec<RefreshBenchEntry>, rows: usize) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // The clinic Procedure warehouse from the service suite, at bench
+    // scale: a surgery-only entity guard (so updates move instances in
+    // and out of the study) plus two Smoking domain classifiers.
+    let form = FormDef::new(
+        "Procedure",
+        "Procedure",
+        vec![
+            Control::numeric("PacksPerDay", "Packs per day", DataType::Int),
+            Control::check_box("SurgeryPerformed", "Surgery?"),
+        ],
+    );
+    let tool = ReportingTool::new("cori", "1.0", vec![form.clone()]);
+    let tree = GTree::derive(&tool).unwrap();
+    let schema = StudySchema::new(
+        "s",
+        EntityDef::new("Procedure").with_attribute(AttributeDef::new(
+            "Smoking",
+            vec![
+                Domain::categorical("class", "classes", &["None", "Light", "Heavy"]),
+                Domain::new(
+                    "packs",
+                    "packs/day",
+                    DomainSpec::Integer {
+                        min: Some(0),
+                        max: None,
+                    },
+                ),
+            ],
+        )),
+    );
+    let bind = |name: &str, target: Target, rules: &[&str]| {
+        Classifier::parse_rules(name, "cori", "", target, rules)
+            .unwrap()
+            .bind(&tree, &schema)
+            .unwrap()
+    };
+    let entity = bind(
+        "Surgery Only",
+        Target::Entity {
+            entity: "Procedure".into(),
+        },
+        &["Procedure <- Procedure AND SurgeryPerformed = TRUE"],
+    );
+    let dom = |d: &str| Target::Domain {
+        entity: "Procedure".into(),
+        attribute: "Smoking".into(),
+        domain: d.into(),
+    };
+    let c_class = bind(
+        "C_class",
+        dom("class"),
+        &[
+            "'None' <- PacksPerDay = 0",
+            "'Light' <- PacksPerDay < 2",
+            "'Heavy' <- PacksPerDay >= 2",
+        ],
+    );
+    let c_packs = bind(
+        "C_packs",
+        dom("packs"),
+        &["PacksPerDay <- PacksPerDay IS ANSWERED"],
+    );
+    let seed: Vec<Row> = (0..rows as i64)
+        .map(|i| {
+            vec![
+                Value::Int(i + 1),
+                Value::Int(i % 4),
+                Value::Bool(i % 3 != 0),
+            ]
+        })
+        .collect();
+    let naive = Table::from_rows(form.naive_schema(), seed).unwrap();
+    let build = || {
+        Engine::build(
+            "cori",
+            naive.clone(),
+            &entity,
+            &[&c_class, &c_packs],
+            EngineConfig::default(),
+        )
+        .unwrap()
+    };
+    let push_engine = build();
+    let poll_engine = build();
+    const STUDY: &str = "cori__Surgery_Only";
+    // Four distinct plans, each subscribed by two clients (8 live
+    // subscriptions): the poll side pays one full re-execution *per
+    // client*, the push side refreshes each resident plan once per
+    // subscription at O(delta · log n). All four are incrementally
+    // maintainable; a both-sides-changing join would hit the §15 D3
+    // rebuild fallback every round (study membership churns with the
+    // guard flips) and measure the fallback, not delivery — that shape
+    // is covered for correctness in tests/service_api.rs instead.
+    let plans: Vec<(&str, Plan)> = vec![
+        (
+            "guard_filter",
+            Plan::scan("Procedure").select(Expr::col("SurgeryPerformed").eq(Expr::lit(true))),
+        ),
+        (
+            "packs_funnel",
+            Plan::scan("Procedure")
+                .select(Expr::col("PacksPerDay").ge(Expr::lit(2i64)))
+                .project_cols(&["instance_id", "PacksPerDay"]),
+        ),
+        (
+            "study_heavy",
+            Plan::scan(STUDY).select(Expr::col("C_class").eq(Expr::lit("Heavy"))),
+        ),
+        (
+            "study_group_agg",
+            Plan::scan(STUDY).aggregate(
+                &["C_class"],
+                vec![
+                    Aggregate {
+                        func: AggFunc::CountAll,
+                        alias: "n".into(),
+                    },
+                    Aggregate {
+                        func: AggFunc::Sum("C_packs".into()),
+                        alias: "packs".into(),
+                    },
+                ],
+            ),
+        ),
+    ];
+    const CLIENTS_PER_PLAN: usize = 2;
+    let session = push_engine.session();
+    // subs[i] subscribes plans[i / CLIENTS_PER_PLAN].
+    let mut subs: Vec<Subscription> = plans
+        .iter()
+        .flat_map(|(_, p)| {
+            (0..CLIENTS_PER_PLAN)
+                .map(|_| session.subscribe(p).unwrap())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut delta_rows = 0usize;
+    let mut full_cycle: Vec<f64> = Vec::new();
+    let mut push_cycle: Vec<f64> = Vec::new();
+    let mut full_deliver: Vec<Vec<f64>> = vec![Vec::new(); plans.len()];
+    let mut push_deliver: Vec<Vec<f64>> = vec![Vec::new(); plans.len()];
+
+    // Four reader sessions stay live on the serviced engine for the
+    // whole benchmark, querying across generation swaps. Snapshot
+    // isolation means they never block (or get blocked by) the writer;
+    // they are here to prove liveness, and they load both sides of the
+    // comparison equally since the rounds interleave.
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = push_engine.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let session = engine.session();
+                    let probe = Plan::scan("Procedure").limit(64);
+                    let mut reads = 0usize;
+                    let mut last_gen = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let g = session.generation();
+                        assert!(g >= last_gen, "session generation went backwards");
+                        last_gen = g;
+                        let t = session.query(&probe).unwrap();
+                        std::hint::black_box(t.len());
+                        reads += 1;
+                    }
+                    (reads, last_gen)
+                })
+            })
+            .collect();
+
+        // One warm-up round, then BENCH_SAMPLES timed rounds. Each round
+        // amends ~1% of reports (new packs value + surgery-guard flip, so
+        // study membership churns) captured through Engine::update — a
+        // real edit against the current generation, applied to both
+        // engines in lockstep.
+        for round in 0..=BENCH_SAMPLES {
+            let packs = Value::Int(round as i64 % 4);
+            let mutate = |cat: &mut DeltaCatalog| {
+                cat.update_where(
+                    "cori",
+                    "Procedure",
+                    |r| r[0].as_i64().is_some_and(|id| id % 100 == 0),
+                    |r| {
+                        r[1] = packs.clone();
+                        r[2] = match r[2] {
+                            Value::Bool(b) => Value::Bool(!b),
+                            _ => Value::Bool(true),
+                        };
+                    },
+                )
+            };
+
+            // Push delivery: one refresh fans byte-exact deltas out to
+            // every resident plan; clients apply them with `sync`.
+            let t0 = std::time::Instant::now();
+            let (changed, generation) = push_engine.update(mutate).unwrap();
+            let update_secs = t0.elapsed().as_secs_f64();
+            let mut sync_secs = vec![0f64; subs.len()];
+            for (i, sub) in subs.iter_mut().enumerate() {
+                let t = std::time::Instant::now();
+                let applied = sub.sync().unwrap();
+                sync_secs[i] = t.elapsed().as_secs_f64();
+                assert_eq!(applied, 1, "service: one event per generation");
+                assert_eq!(sub.generation(), generation);
+            }
+            let push_secs = update_secs + sync_secs.iter().sum::<f64>();
+            delta_rows = changed * 2; // tombstone + amended re-insert each
+
+            // Poll delivery: same refresh on the subscriber-free engine,
+            // then every client re-runs its plan from scratch — one full
+            // execution per subscriber, that being the point of pushing.
+            let t0 = std::time::Instant::now();
+            poll_engine.update(mutate).unwrap();
+            let poll_session = poll_engine.session();
+            let mut query_secs = vec![0f64; plans.len()];
+            let mut polled: Vec<Table> = Vec::with_capacity(plans.len());
+            for (i, (_, p)) in plans.iter().enumerate() {
+                for client in 0..CLIENTS_PER_PLAN {
+                    let t = std::time::Instant::now();
+                    let out = poll_session.query(p).unwrap();
+                    if client == 0 {
+                        query_secs[i] = t.elapsed().as_secs_f64();
+                        polled.push(out);
+                    } else {
+                        std::hint::black_box(out.len());
+                    }
+                }
+            }
+            let poll_secs = t0.elapsed().as_secs_f64();
+
+            // Byte-identity: each mirror equals a from-scratch re-query
+            // on the post-refresh snapshot, and both engines agree.
+            let check = push_engine.session();
+            for (i, sub) in subs.iter().enumerate() {
+                let (name, plan) = &plans[i / CLIENTS_PER_PLAN];
+                let requeried = check.query(plan).unwrap();
+                assert_eq!(
+                    sub.rows(),
+                    requeried.rows(),
+                    "service/{name}: pushed stream != re-query"
+                );
+                assert_eq!(
+                    sub.rows(),
+                    polled[i / CLIENTS_PER_PLAN].rows(),
+                    "service/{name}: engines diverged"
+                );
+            }
+            if round > 0 {
+                push_cycle.push(push_secs);
+                full_cycle.push(poll_secs);
+                for i in 0..plans.len() {
+                    push_deliver[i].push(sync_secs[i * CLIENTS_PER_PLAN]);
+                    full_deliver[i].push(query_secs[i]);
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            let (reads, last_gen) = reader.join().unwrap();
+            assert!(reads > 0, "service: reader session starved");
+            assert!(last_gen > 0, "service: reader never saw a new generation");
+        }
+    });
+
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    entries.push(refresh_entry(
+        "service",
+        "push_cycle_8subs_4sessions",
+        rows,
+        delta_rows,
+        median(full_cycle),
+        median(push_cycle),
+    ));
+    for (i, (name, _)) in plans.iter().enumerate() {
+        entries.push(refresh_entry(
+            "service",
+            format!("deliver_{name}"),
+            rows,
+            delta_rows,
+            median(full_deliver[i].clone()),
+            median(push_deliver[i].clone()),
+        ));
+    }
+}
+
 fn bench_refresh(fixture_size: usize, out_path: &str) {
     heading("Refresh benchmark — incremental delta refresh vs full rebuild");
     const REFRESH_ROWS: usize = 100_000;
@@ -2012,6 +2321,7 @@ fn bench_refresh(fixture_size: usize, out_path: &str) {
     bench_refresh_delta_scaling(&mut entries);
     bench_refresh_etl(&mut entries, fixture);
     bench_refresh_store(&mut entries, fixture);
+    bench_refresh_service(&mut entries, REFRESH_ROWS);
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let report = RefreshReport {
         description: "Incremental warehouse refresh (DESIGN.md §12) vs full rebuild, \
@@ -2026,8 +2336,13 @@ fn bench_refresh(fixture_size: usize, out_path: &str) {
                       through EtlWorkflow::run_incremental (warm per-component \
                       caches) against run_on; `study_store` patches a fully \
                       materialized StudyStore in place via StudyStore::refresh \
-                      against StudyStore::build. Every measurement asserts the \
-                      refreshed state is byte-identical to the rebuild first.",
+                      against StudyStore::build; `service` runs a warehouse \
+                      Engine (DESIGN.md §16) with four live subscriptions and \
+                      four concurrent reader sessions against an identical \
+                      subscriber-free engine re-polled from scratch after every \
+                      refresh, in mutation lockstep. Every measurement asserts \
+                      the refreshed state is byte-identical to the rebuild \
+                      first.",
         fixture_size,
         refresh_rows: REFRESH_ROWS,
         samples_per_measurement: BENCH_SAMPLES,

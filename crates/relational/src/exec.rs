@@ -250,15 +250,21 @@ impl ExecConfig {
     /// re-evaluated on every call (and thus on every [`execute`] /
     /// `Plan::eval`), so tests can flip them at run time.
     pub fn from_env() -> RelResult<ExecConfig> {
-        Self::from_env_value(
+        Self::from_env_values(
             std::env::var(THREADS_ENV).ok().as_deref(),
             std::env::var(MODE_ENV).ok().as_deref(),
             std::env::var(STORAGE_ENV).ok().as_deref(),
         )
     }
 
-    /// Pure core of [`Self::from_env`], split out for unit testing.
-    fn from_env_value(
+    /// Pure core of [`Self::from_env`]: parse explicit override strings
+    /// with exactly the env semantics ([`THREADS_ENV`] / [`MODE_ENV`] /
+    /// [`STORAGE_ENV`] in that order — unset/empty keeps the default,
+    /// anything unparsable is a hard error). Public so higher layers
+    /// (e.g. `guava_warehouse::service::EngineConfig`) can layer explicit
+    /// builder fields over the same defaults without re-implementing —
+    /// or silently diverging from — the env grammar.
+    pub fn from_env_values(
         threads: Option<&str>,
         mode: Option<&str>,
         storage: Option<&str>,
@@ -1254,14 +1260,14 @@ mod tests {
 
     #[test]
     fn env_config_parses_threads_and_mode() {
-        let cfg = ExecConfig::from_env_value(Some("3"), Some("materialized"), None).unwrap();
+        let cfg = ExecConfig::from_env_values(Some("3"), Some("materialized"), None).unwrap();
         assert_eq!(cfg.threads, 3);
         assert_eq!(cfg.mode, ExecMode::Materialized);
         // Mode matching trims whitespace and ignores case.
-        let cfg = ExecConfig::from_env_value(None, Some("  Streaming "), None).unwrap();
+        let cfg = ExecConfig::from_env_values(None, Some("  Streaming "), None).unwrap();
         assert_eq!(cfg.mode, ExecMode::Streaming);
         assert_eq!(
-            ExecConfig::from_env_value(None, Some("vectorized"), None)
+            ExecConfig::from_env_values(None, Some("vectorized"), None)
                 .unwrap()
                 .mode,
             ExecMode::Vectorized
@@ -1271,7 +1277,7 @@ mod tests {
         let dflt = ExecConfig::default();
         for auto in [None, Some(""), Some("0"), Some(" 0 ")] {
             assert_eq!(
-                ExecConfig::from_env_value(auto, None, None)
+                ExecConfig::from_env_values(auto, None, None)
                     .unwrap()
                     .threads,
                 dflt.threads
@@ -1279,7 +1285,7 @@ mod tests {
         }
         for dflt_mode in [None, Some("")] {
             assert_eq!(
-                ExecConfig::from_env_value(None, dflt_mode, None)
+                ExecConfig::from_env_values(None, dflt_mode, None)
                     .unwrap()
                     .mode,
                 ExecMode::Vectorized
@@ -1290,7 +1296,7 @@ mod tests {
     #[test]
     fn env_config_rejects_bad_threads() {
         for bad in ["fast", "-2", "1.5", "3x"] {
-            let err = ExecConfig::from_env_value(Some(bad), None, None).unwrap_err();
+            let err = ExecConfig::from_env_values(Some(bad), None, None).unwrap_err();
             assert!(
                 matches!(err, RelError::Plan(ref m) if m.contains(THREADS_ENV)),
                 "unexpected error for {bad:?}: {err:?}"
@@ -1301,7 +1307,7 @@ mod tests {
     #[test]
     fn env_config_rejects_bad_mode() {
         for bad in ["rowwise", "Vector", "streaming!"] {
-            let err = ExecConfig::from_env_value(None, Some(bad), None).unwrap_err();
+            let err = ExecConfig::from_env_values(None, Some(bad), None).unwrap_err();
             assert!(
                 matches!(err, RelError::Plan(ref m) if m.contains(MODE_ENV)),
                 "unexpected error for {bad:?}: {err:?}"
@@ -1311,15 +1317,15 @@ mod tests {
 
     #[test]
     fn env_config_parses_storage() {
-        let cfg = ExecConfig::from_env_value(None, None, Some("row")).unwrap();
+        let cfg = ExecConfig::from_env_values(None, None, Some("row")).unwrap();
         assert_eq!(cfg.storage, StorageMode::Row);
         // Storage matching trims whitespace and ignores case, like mode.
-        let cfg = ExecConfig::from_env_value(None, None, Some("  Segment ")).unwrap();
+        let cfg = ExecConfig::from_env_values(None, None, Some("  Segment ")).unwrap();
         assert_eq!(cfg.storage, StorageMode::Segment);
         // Unset and empty keep the segment default.
         for dflt in [None, Some("")] {
             assert_eq!(
-                ExecConfig::from_env_value(None, None, dflt)
+                ExecConfig::from_env_values(None, None, dflt)
                     .unwrap()
                     .storage,
                 StorageMode::Segment
@@ -1330,7 +1336,7 @@ mod tests {
     #[test]
     fn env_config_rejects_bad_storage() {
         for bad in ["rows", "columnar", "segment!"] {
-            let err = ExecConfig::from_env_value(None, None, Some(bad)).unwrap_err();
+            let err = ExecConfig::from_env_values(None, None, Some(bad)).unwrap_err();
             assert!(
                 matches!(err, RelError::Plan(ref m) if m.contains(STORAGE_ENV)),
                 "unexpected error for {bad:?}: {err:?}"

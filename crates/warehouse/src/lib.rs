@@ -12,16 +12,25 @@
 //! * [`eval_harness`] — precision/recall measurement of classifier-based
 //!   extraction against a generator-known gold standard ("analysts should
 //!   be able to extract only and all relevant data").
+//! * [`mod@service`] — warehouse-as-a-service: a generational, snapshot-
+//!   isolated [`service::Engine`] with [`service::Session`] handles for
+//!   concurrent querying and live [`service::Subscription`]s receiving
+//!   pushed row deltas on every refresh (DESIGN.md §16).
 
 pub mod eval_harness;
 pub mod materialize;
 pub mod refresh;
+pub mod service;
 
 pub mod prelude {
     pub use crate::eval_harness::{Item, PrecisionRecall};
     pub use crate::materialize::{
         into_database, materialize, render_figure7, DerivedClassifier, MaterializationPolicy,
         MaterializedTable, StudyStore,
+    };
+    pub use crate::service::{
+        DeltaEvent, Engine, EngineConfig, ServiceError, ServiceResult, Session, Snapshot,
+        Subscription, SubscriptionId,
     };
 }
 

@@ -1,0 +1,100 @@
+//! The unified error surface of the service layer.
+//!
+//! Before the Engine/Session API existed, callers composing the
+//! warehouse stack had to juggle three crates' error enums: the
+//! relational substrate's [`RelError`] (schema, DML, evaluation), the ETL
+//! compiler's [`CompileError`], and ad-hoc `Box<dyn Error>` glue at the
+//! binary boundary. [`ServiceError`] collapses those into one
+//! `#[non_exhaustive]` enum with `From` conversions, so
+//! [`Session::query`](crate::service::Session::query) /
+//! [`Session::subscribe`](crate::service::Session::subscribe) and every
+//! other service entry point return exactly one error type. `Box<dyn
+//! Error>` shims survive only at the CLI boundary (`guava`'s `main`),
+//! where they belong.
+
+use guava_etl::compile::CompileError;
+use guava_relational::error::RelError;
+use std::fmt;
+
+/// Any failure surfaced by the [`Engine`](crate::service::Engine) /
+/// [`Session`](crate::service::Session) API.
+///
+/// The enum is `#[non_exhaustive]`: new service failure modes may be
+/// added without a breaking release, so downstream matches need a
+/// wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// An error from the relational substrate — schema violations, DML
+    /// failures, plan binding, and expression evaluation all surface
+    /// here, byte-identical to what the underlying executor reports.
+    Relational(RelError),
+    /// A study failed to compile into an ETL workflow.
+    Compile(CompileError),
+    /// The [`Engine`](crate::service::Engine) behind a handle has been
+    /// dropped; the session or subscription can no longer be served.
+    EngineClosed,
+    /// A refresh delta was rejected because it does not describe the
+    /// engine's current generation (stale capture or replayed window).
+    /// Carries the generation the delta was checked against.
+    StaleDelta { generation: u64, detail: String },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Relational(e) => write!(f, "{e}"),
+            ServiceError::Compile(e) => write!(f, "{e}"),
+            ServiceError::EngineClosed => write!(f, "engine closed"),
+            ServiceError::StaleDelta { generation, detail } => {
+                write!(f, "stale delta for generation {generation}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Relational(e) => Some(e),
+            ServiceError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for ServiceError {
+    fn from(e: RelError) -> Self {
+        ServiceError::Relational(e)
+    }
+}
+
+impl From<CompileError> for ServiceError {
+    fn from(e: CompileError) -> Self {
+        ServiceError::Compile(e)
+    }
+}
+
+/// Result alias for the service layer.
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let rel: ServiceError = RelError::UnknownTable("t".into()).into();
+        assert_eq!(rel.to_string(), "unknown table `t`");
+        assert!(matches!(rel, ServiceError::Relational(_)));
+        let comp: ServiceError = CompileError::EmptyStudy("no columns".into()).into();
+        assert!(matches!(comp, ServiceError::Compile(_)));
+        assert!(comp.to_string().contains("empty study"));
+        // The boxed-Error shim at the CLI boundary still works.
+        let boxed: Box<dyn std::error::Error> = Box::new(ServiceError::EngineClosed);
+        assert_eq!(boxed.to_string(), "engine closed");
+        // Source chains reach the underlying substrate error.
+        let err = ServiceError::Relational(RelError::Plan("p".into()));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -29,13 +29,16 @@ if ! grep -q '"speedup"' BENCH_refresh.json 2>/dev/null; then
   exit 1
 fi
 
-# The sub-linearity axis (DESIGN.md §15) must be present — a regeneration
-# from a stale binary would silently drop it.
-if ! grep -q '"delta_scaling"' BENCH_refresh.json; then
-  echo "check.sh: BENCH_refresh.json lacks the 'delta_scaling' axis — regenerate with" >&2
-  echo "  cargo run --release -p guava-bench --bin tables -- --bench-refresh" >&2
-  exit 1
-fi
+# The sub-linearity axis (DESIGN.md §15) and the service axis (DESIGN.md
+# §16) must be present — a regeneration from a stale binary would
+# silently drop them.
+for axis in delta_scaling service; do
+  if ! grep -q "\"$axis\"" BENCH_refresh.json; then
+    echo "check.sh: BENCH_refresh.json lacks the '$axis' axis — regenerate with" >&2
+    echo "  cargo run --release -p guava-bench --bin tables -- --bench-refresh" >&2
+    exit 1
+  fi
+done
 
 # Regression canary for the §15 rank-index work: every operator-level
 # refresh at the 1% delta fixture must beat a full rebuild. A delta_plan
@@ -58,6 +61,37 @@ if slow:
             file=sys.stderr,
         )
     sys.exit(1)
+EOF
+
+# Regression canary for the §16 service layer: the full push cycle (one
+# Engine refresh fanning deltas out to four live subscriptions, plus the
+# clients applying them) must beat the re-poll strategy (refresh + four
+# full plan re-executions). Below 1.0x, push delivery costs more than
+# the thing it exists to avoid.
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_refresh.json") as f:
+    report = json.load(f)
+cycles = [
+    b for b in report["benches"]
+    if b["group"] == "service" and b["name"].startswith("push_cycle")
+]
+if not cycles:
+    print(
+        "check.sh: BENCH_refresh.json has no service 'push_cycle' entry — "
+        "regenerate with\n"
+        "  cargo run --release -p guava-bench --bin tables -- --bench-refresh",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+for b in cycles:
+    if b["speedup"] < 1.0:
+        print(
+            f"check.sh: service '{b['name']}' push speedup {b['speedup']:.2f}x "
+            "< 1.0x vs re-poll — subscription delivery regressed (DESIGN.md §16)",
+            file=sys.stderr,
+        )
+        sys.exit(1)
 EOF
 
 # Property tests run with a pinned RNG stream so failures reproduce across
