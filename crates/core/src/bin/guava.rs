@@ -17,10 +17,11 @@ use guava::artifacts::ArtifactBundle;
 use guava::clinical::prelude::*;
 use guava::clinical::{classifiers, contributors};
 use guava::prelude::Target;
-use guava::relational::algebra::{AggFunc, Aggregate, Plan};
+use guava::relational::algebra::{AggFunc, Aggregate, JoinKind, Plan};
 use guava::relational::delta::Change;
 use guava::relational::expr::Expr;
 use guava::relational::prelude::{DataType, Table, Value};
+use guava::relational::stats::explain_plan;
 use guava::warehouse::service::{Engine, EngineConfig, Session, Subscription};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -108,6 +109,14 @@ const COMMANDS: &[Command] = &[
         min_args: 2,
         max_args: 2,
         run: |a| with_bundle(a, |b, rest| cmd_xml(b, &rest[0])),
+    },
+    Command {
+        name: "explain",
+        args: "<query> [--analyze]",
+        about: "cost-based plan for a serve query, with estimates",
+        min_args: 1,
+        max_args: 2,
+        run: |a| cmd_explain(&a[0], a.get(1).map(String::as_str)),
     },
     Command {
         name: "serve",
@@ -469,7 +478,47 @@ fn serve_queries() -> Vec<(&'static str, Plan)> {
             ),
         ),
         ("study", Plan::scan("clinic__All")),
+        (
+            // Inner join of the naïve form against the materialized study
+            // table — the query that exercises the cost-based join layer
+            // (`explain study_packs` shows build-side choice and
+            // estimated rows from the snapshot's statistics catalog).
+            "study_packs",
+            Plan::scan("Procedure")
+                .join(
+                    Plan::scan("clinic__All"),
+                    vec![("instance_id", "instance_id")],
+                    JoinKind::Inner,
+                )
+                .select(Expr::col("PacksPerDay").ge(Expr::lit(2i64))),
+        ),
     ]
+}
+
+/// `explain <query> [--analyze]`: print the plan the cost-based
+/// optimizer picks for one of the `serve` menu queries, against the demo
+/// engine's statistics catalog. Each node shows estimated rows and
+/// cumulative cost; `--analyze` additionally evaluates every subtree and
+/// appends its actual row count.
+fn cmd_explain(query: &str, flag: Option<&str>) -> CmdResult {
+    let analyze = match flag {
+        None => false,
+        Some("--analyze") => true,
+        Some(other) => return Err(format!("unknown flag `{other}` (expected --analyze)").into()),
+    };
+    let engine = serve_engine(12)?;
+    let queries = serve_queries();
+    let Some((_, plan)) = queries.iter().find(|(n, _)| *n == query) else {
+        let names: Vec<&str> = queries.iter().map(|(n, _)| *n).collect();
+        return Err(format!("unknown query `{query}` (one of: {})", names.join(", ")).into());
+    };
+    let snap = engine.snapshot();
+    let chosen = snap.optimize(plan);
+    print!(
+        "{}",
+        explain_plan(&chosen, snap.database(), snap.stats(), analyze)?
+    );
+    Ok(())
 }
 
 fn fmt_rows(rows: &[Vec<Value>]) -> Vec<String> {

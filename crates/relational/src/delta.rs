@@ -411,6 +411,15 @@ impl DeltaSet {
     pub fn total_rows_changed(&self) -> usize {
         self.map.values().map(TableDelta::rows_changed).sum()
     }
+
+    /// Patch a statistics catalog with every table's delta, in `O(rows
+    /// changed)` — the incremental-refresh side of the stats lifecycle
+    /// (DESIGN.md §17): row counts and null fractions stay exact,
+    /// min/max/NDV widen from inserted rows. Tables absent from the
+    /// catalog are skipped.
+    pub fn patch_stats(&self, stats: &mut crate::stats::StatsCatalog) {
+        stats.patch_all(self);
+    }
 }
 
 /// Per-table change map for one [`DeltaPlan::refresh`] call, keyed by table

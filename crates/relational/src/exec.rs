@@ -141,9 +141,28 @@ pub const MODE_ENV: &str = "GUAVA_EXEC_MODE";
 /// alongside [`THREADS_ENV`] and [`MODE_ENV`].
 pub const STORAGE_ENV: &str = "GUAVA_STORAGE";
 
+/// Environment variable enabling adaptive execution ([`ExecConfig::adaptive`]).
+///
+/// Accepts `1`/`true`/`on` to enable and `0`/`false`/`off` to disable
+/// (case-insensitive); unset or empty keeps the default (off), and any
+/// other value is a hard [`RelError::Plan`] error. Read only by
+/// [`ExecConfig::from_env`], alongside the other executor variables.
+///
+/// With adaptivity on, pipelines observe real per-stage pass rates over a
+/// warm-up prefix of the input and may re-order statically infallible
+/// filter towers or switch row↔lane kernels mid-query (see `exec::ops`
+/// and DESIGN.md §17). Results stay byte-identical either way — the knob
+/// trades a little observation overhead for robustness against
+/// mis-ordered filters.
+pub const ADAPTIVE_ENV: &str = "GUAVA_EXEC_ADAPTIVE";
+
 /// Default minimum input cardinality for an operator to go parallel.
 /// Below this, spawning threads costs more than the scan saves.
 pub const PARALLEL_THRESHOLD: usize = 4096;
+
+/// Rows observed row-wise before an adaptive pipeline decides whether to
+/// re-order its filter tower or switch kernels (see [`ADAPTIVE_ENV`]).
+pub const ADAPT_WARMUP: usize = 4 * BATCH_SIZE;
 
 /// How the executor evaluates a plan. Every mode produces byte-identical
 /// tables and errors; they differ only in the physical inner loops.
@@ -205,6 +224,11 @@ pub struct ExecConfig {
     /// Resting format scans read from: sealed column segments (default)
     /// or the row store.
     pub storage: StorageMode,
+    /// Observe real per-batch selectivities during a warm-up prefix and
+    /// re-order filter towers / switch row↔lane kernels mid-query when
+    /// the observed rates say the static choice was wrong. Off by
+    /// default; byte-identical results either way (see `exec::ops`).
+    pub adaptive: bool,
 }
 
 impl Default for ExecConfig {
@@ -218,6 +242,7 @@ impl Default for ExecConfig {
             morsel_size: morsel::MORSEL_SIZE,
             mode: ExecMode::default(),
             storage: StorageMode::default(),
+            adaptive: false,
         }
     }
 }
@@ -254,20 +279,22 @@ impl ExecConfig {
             std::env::var(THREADS_ENV).ok().as_deref(),
             std::env::var(MODE_ENV).ok().as_deref(),
             std::env::var(STORAGE_ENV).ok().as_deref(),
+            std::env::var(ADAPTIVE_ENV).ok().as_deref(),
         )
     }
 
     /// Pure core of [`Self::from_env`]: parse explicit override strings
     /// with exactly the env semantics ([`THREADS_ENV`] / [`MODE_ENV`] /
-    /// [`STORAGE_ENV`] in that order — unset/empty keeps the default,
-    /// anything unparsable is a hard error). Public so higher layers
-    /// (e.g. `guava_warehouse::service::EngineConfig`) can layer explicit
-    /// builder fields over the same defaults without re-implementing —
-    /// or silently diverging from — the env grammar.
+    /// [`STORAGE_ENV`] / [`ADAPTIVE_ENV`] in that order — unset/empty
+    /// keeps the default, anything unparsable is a hard error). Public so
+    /// higher layers (e.g. `guava_warehouse::service::EngineConfig`) can
+    /// layer explicit builder fields over the same defaults without
+    /// re-implementing — or silently diverging from — the env grammar.
     pub fn from_env_values(
         threads: Option<&str>,
         mode: Option<&str>,
         storage: Option<&str>,
+        adaptive: Option<&str>,
     ) -> RelResult<ExecConfig> {
         let mut cfg = match threads.map(str::trim).filter(|s| !s.is_empty()) {
             None => ExecConfig::default(),
@@ -299,6 +326,16 @@ impl ExecConfig {
             Some(other) => {
                 return Err(RelError::Plan(format!(
                     "invalid {STORAGE_ENV} value `{other}`: expected row or segment"
+                )))
+            }
+        };
+        cfg.adaptive = match adaptive.map(|s| s.trim().to_ascii_lowercase()).as_deref() {
+            None | Some("") => false,
+            Some("1") | Some("true") | Some("on") => true,
+            Some("0") | Some("false") | Some("off") => false,
+            Some(other) => {
+                return Err(RelError::Plan(format!(
+                    "invalid {ADAPTIVE_ENV} value `{other}`: expected 1/true/on or 0/false/off"
                 )))
             }
         };
@@ -390,6 +427,12 @@ impl Executor {
     /// Set the resting format scans read from.
     pub fn storage(mut self, storage: StorageMode) -> Executor {
         self.cfg.storage = storage;
+        self
+    }
+
+    /// Enable or disable adaptive execution ([`ExecConfig::adaptive`]).
+    pub fn adaptive(mut self, adaptive: bool) -> Executor {
+        self.cfg.adaptive = adaptive;
         self
     }
 
@@ -892,6 +935,45 @@ impl SimplePred {
         }
     }
 
+    /// Could evaluating this predicate raise an error on *any* row the
+    /// declared schema admits? The *static* counterpart of
+    /// [`Self::infallible_on`], used by adaptive filter re-ordering
+    /// (`exec::ops`), which must stay sound for rows it has not seen yet —
+    /// so it consults declared column types instead of a segment's actual
+    /// values. Equality and null tests never error. Ordering comparisons
+    /// are statically infallible when the literal is NULL, or when the
+    /// declared type's domain matches the literal's and neither side can
+    /// be NaN — a declared FLOAT column may hold NaN at run time and
+    /// disqualifies itself, while INT columns store only true integers
+    /// (schema validation), making them NaN-free numeric.
+    fn statically_infallible(&self, schema: &Schema) -> bool {
+        match self.op {
+            PredOp::Eq | PredOp::Ne | PredOp::IsNull | PredOp::IsNotNull => true,
+            PredOp::Lt | PredOp::Le | PredOp::Gt | PredOp::Ge => {
+                if self.lit.is_null() {
+                    return true;
+                }
+                let decl = schema.columns()[self.col].data_type;
+                let col_dom = match decl {
+                    DataType::Int | DataType::Float => CmpDomain::Numeric,
+                    DataType::Text => CmpDomain::Text,
+                    DataType::Bool => CmpDomain::Bool,
+                    DataType::Date => CmpDomain::Date,
+                };
+                let col_nan = decl == DataType::Float;
+                let lit_dom = match &self.lit {
+                    Value::Int(_) | Value::Float(_) => CmpDomain::Numeric,
+                    Value::Text(_) => CmpDomain::Text,
+                    Value::Bool(_) => CmpDomain::Bool,
+                    Value::Date(_) => CmpDomain::Date,
+                    Value::Null => unreachable!("handled above"),
+                };
+                let lit_nan = matches!(self.lit, Value::Float(f) if f.is_nan());
+                col_dom == lit_dom && !col_nan && !lit_nan
+            }
+        }
+    }
+
     /// Does the zone map prove no row of the segment satisfies this
     /// predicate? Sound against the row kernels because the zone min/max
     /// are [`Value::total_cmp`] extrema and every trigger below uses the
@@ -1021,6 +1103,36 @@ pub(crate) fn segment_pruned(seg: &Segment, groups: &[Vec<SimplePred>]) -> bool 
         }
     }
     false
+}
+
+/// Length of the re-orderable filter prefix of a pipeline: the number of
+/// leading [`Stage::Filter`]s (stopping at the first `Map` or opaque
+/// filter) whose predicates fully decompose into simple conjuncts that
+/// are [`SimplePred::statically_infallible`] for the stage's schema.
+///
+/// Within this prefix, filters commute byte-identically: none of them can
+/// error on *any* admissible row, they are pure row predicates over the
+/// unchanged pipeline input schema, and conjunction is order-independent
+/// on the surviving row set — so the rows reaching the first
+/// non-reorderable stage (and hence every later error and every output
+/// byte) are the same under any permutation. This is the legality gate
+/// for adaptive filter-tower re-ordering (`exec::ops`, DESIGN.md §17).
+fn reorderable_prefix(stages: &[Stage]) -> usize {
+    let mut n = 0;
+    for stage in stages {
+        let Stage::Filter { predicate, schema } = stage else {
+            break;
+        };
+        let mut preds = Vec::new();
+        if !decompose(predicate, schema, &mut preds) {
+            break;
+        }
+        if preds.iter().any(|p| !p.statically_infallible(schema)) {
+            break;
+        }
+        n += 1;
+    }
+    n
 }
 
 #[cfg(test)]
@@ -1260,14 +1372,14 @@ mod tests {
 
     #[test]
     fn env_config_parses_threads_and_mode() {
-        let cfg = ExecConfig::from_env_values(Some("3"), Some("materialized"), None).unwrap();
+        let cfg = ExecConfig::from_env_values(Some("3"), Some("materialized"), None, None).unwrap();
         assert_eq!(cfg.threads, 3);
         assert_eq!(cfg.mode, ExecMode::Materialized);
         // Mode matching trims whitespace and ignores case.
-        let cfg = ExecConfig::from_env_values(None, Some("  Streaming "), None).unwrap();
+        let cfg = ExecConfig::from_env_values(None, Some("  Streaming "), None, None).unwrap();
         assert_eq!(cfg.mode, ExecMode::Streaming);
         assert_eq!(
-            ExecConfig::from_env_values(None, Some("vectorized"), None)
+            ExecConfig::from_env_values(None, Some("vectorized"), None, None)
                 .unwrap()
                 .mode,
             ExecMode::Vectorized
@@ -1277,7 +1389,7 @@ mod tests {
         let dflt = ExecConfig::default();
         for auto in [None, Some(""), Some("0"), Some(" 0 ")] {
             assert_eq!(
-                ExecConfig::from_env_values(auto, None, None)
+                ExecConfig::from_env_values(auto, None, None, None)
                     .unwrap()
                     .threads,
                 dflt.threads
@@ -1285,7 +1397,7 @@ mod tests {
         }
         for dflt_mode in [None, Some("")] {
             assert_eq!(
-                ExecConfig::from_env_values(None, dflt_mode, None)
+                ExecConfig::from_env_values(None, dflt_mode, None, None)
                     .unwrap()
                     .mode,
                 ExecMode::Vectorized
@@ -1296,7 +1408,7 @@ mod tests {
     #[test]
     fn env_config_rejects_bad_threads() {
         for bad in ["fast", "-2", "1.5", "3x"] {
-            let err = ExecConfig::from_env_values(Some(bad), None, None).unwrap_err();
+            let err = ExecConfig::from_env_values(Some(bad), None, None, None).unwrap_err();
             assert!(
                 matches!(err, RelError::Plan(ref m) if m.contains(THREADS_ENV)),
                 "unexpected error for {bad:?}: {err:?}"
@@ -1307,7 +1419,7 @@ mod tests {
     #[test]
     fn env_config_rejects_bad_mode() {
         for bad in ["rowwise", "Vector", "streaming!"] {
-            let err = ExecConfig::from_env_values(None, Some(bad), None).unwrap_err();
+            let err = ExecConfig::from_env_values(None, Some(bad), None, None).unwrap_err();
             assert!(
                 matches!(err, RelError::Plan(ref m) if m.contains(MODE_ENV)),
                 "unexpected error for {bad:?}: {err:?}"
@@ -1317,15 +1429,15 @@ mod tests {
 
     #[test]
     fn env_config_parses_storage() {
-        let cfg = ExecConfig::from_env_values(None, None, Some("row")).unwrap();
+        let cfg = ExecConfig::from_env_values(None, None, Some("row"), None).unwrap();
         assert_eq!(cfg.storage, StorageMode::Row);
         // Storage matching trims whitespace and ignores case, like mode.
-        let cfg = ExecConfig::from_env_values(None, None, Some("  Segment ")).unwrap();
+        let cfg = ExecConfig::from_env_values(None, None, Some("  Segment "), None).unwrap();
         assert_eq!(cfg.storage, StorageMode::Segment);
         // Unset and empty keep the segment default.
         for dflt in [None, Some("")] {
             assert_eq!(
-                ExecConfig::from_env_values(None, None, dflt)
+                ExecConfig::from_env_values(None, None, dflt, None)
                     .unwrap()
                     .storage,
                 StorageMode::Segment
@@ -1336,7 +1448,7 @@ mod tests {
     #[test]
     fn env_config_rejects_bad_storage() {
         for bad in ["rows", "columnar", "segment!"] {
-            let err = ExecConfig::from_env_values(None, None, Some(bad)).unwrap_err();
+            let err = ExecConfig::from_env_values(None, None, Some(bad), None).unwrap_err();
             assert!(
                 matches!(err, RelError::Plan(ref m) if m.contains(STORAGE_ENV)),
                 "unexpected error for {bad:?}: {err:?}"

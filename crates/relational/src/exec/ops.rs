@@ -41,7 +41,8 @@ use super::blocking::{self, HashIndex};
 use super::morsel;
 use super::vector::{self, StageProg};
 use super::{
-    apply_stages, segment_pruned, ExecConfig, ExecMode, Flow, SimplePred, Stage, BATCH_SIZE,
+    apply_stages, reorderable_prefix, segment_pruned, ExecConfig, ExecMode, Flow, SimplePred,
+    Stage, ADAPT_WARMUP, BATCH_SIZE,
 };
 use crate::algebra::{aggregate_rows, pivot_rows, unpivot_rows, Aggregate, JoinKind};
 use crate::error::RelResult;
@@ -152,10 +153,49 @@ fn push_rows(out: &mut Vec<Batch>, rows: Vec<Row>) {
 // Fused Select/Project pipeline
 // ---------------------------------------------------------------------------
 
+/// Overall pass rate at or above which an adaptive pipeline running row
+/// kernels switches to compiled lane programs: with most rows surviving,
+/// short-circuiting buys little and columnar evaluation amortizes.
+const ADAPT_LANE_MIN_PASS: f64 = 0.05;
+
+/// Overall pass rate below which an adaptive vectorized pipeline falls
+/// back to row kernels for batches whose lanes must be shredded (plain
+/// shared windows): when almost nothing survives, per-row short-circuit
+/// beats paying full lane materialization. Segment-backed batches keep
+/// their zero-shred lanes regardless.
+const ADAPT_ROW_MAX_PASS: f64 = 1.0 / 256.0;
+
+/// Warm-up observation state of an adaptive pipeline ([`ExecConfig::adaptive`]).
+///
+/// While active, rows run the counted row path; once [`ADAPT_WARMUP`]
+/// rows have been observed the pipeline decides — at a `BATCH_SIZE`
+/// chunk boundary, so segment lane offsets stay aligned — whether to
+/// permute its re-orderable filter prefix and/or switch kernels, then
+/// dissolves. Pass counters are *conditional* (a stage only sees rows
+/// that survived the stages before it under the original order), which is
+/// exactly the quantity the greedy cheapest-first reorder wants.
+struct AdaptState {
+    /// Leading filter stages legal to permute ([`reorderable_prefix`]).
+    prefix: usize,
+    /// Per prefix stage: (rows seen, rows passed) under the original
+    /// short-circuit order.
+    counts: Vec<(u64, u64)>,
+    /// Total rows observed so far (= `counts[0].0`).
+    observed: usize,
+}
+
 /// Fused Select/Project chain: one pass per row (or one columnar pass per
 /// batch in [`ExecMode::Vectorized`]), no intermediate tables. A full
 /// shared-storage window large enough for the parallel path runs the whole
 /// chain morsel-parallel instead.
+///
+/// With [`ExecConfig::adaptive`] set, the pipeline observes real
+/// selectivities over a warm-up prefix of its input and may re-order its
+/// statically infallible filter tower (cheapest-first by observed pass
+/// rate) and/or switch row↔lane kernels mid-query. Every adaptive choice
+/// dispatches between kernels that are already byte-identical, and filter
+/// permutation is gated on [`reorderable_prefix`]'s legality proof — so
+/// output bytes and errors never depend on the knob (DESIGN.md §17).
 pub(super) struct PipelineOp<'p> {
     stages: Vec<Stage<'p>>,
     /// Columnar stage programs, compiled once in [`open`] when the mode is
@@ -166,6 +206,10 @@ pub(super) struct PipelineOp<'p> {
     /// [`open`]: PhysicalOperator::open
     programs: Option<Vec<StageProg>>,
     cfg: ExecConfig,
+    /// `Some` while the adaptive warm-up is still observing.
+    adapt: Option<AdaptState>,
+    /// Adaptive verdict: shred-requiring batches take the row path.
+    row_only: bool,
     out: Vec<Batch>,
 }
 
@@ -175,7 +219,189 @@ impl<'p> PipelineOp<'p> {
             stages,
             programs: None,
             cfg,
+            adapt: None,
+            row_only: false,
             out: Vec::new(),
+        }
+    }
+
+    /// Counted row path used during warm-up: evaluate the re-orderable
+    /// filter prefix stage by stage, recording seen/passed per stage, then
+    /// hand survivors to the untracked tail. Byte-identical to
+    /// [`apply_stages`] over the full stage list.
+    fn apply_counted(&mut self, row: Flow<'_>) -> RelResult<Option<Row>> {
+        let st = self.adapt.as_mut().expect("warm-up active");
+        st.observed += 1;
+        for (i, c) in st.counts.iter_mut().enumerate() {
+            let Stage::Filter { predicate, schema } = &self.stages[i] else {
+                unreachable!("reorderable prefix contains only filters");
+            };
+            c.0 += 1;
+            if !predicate.matches(schema, row.as_slice())? {
+                return Ok(None);
+            }
+            c.1 += 1;
+        }
+        let prefix = st.prefix;
+        apply_stages(&self.stages[prefix..], row)
+    }
+
+    /// End of warm-up: permute the re-orderable filter prefix ascending by
+    /// observed pass rate (stable — unobserved or tied stages keep their
+    /// order) and apply the kernel-switch thresholds. Runs at most once.
+    fn decide(&mut self) {
+        let Some(st) = self.adapt.take() else { return };
+        let seen = st.counts.first().map_or(0, |c| c.0);
+        if seen == 0 {
+            return;
+        }
+        let rates: Vec<f64> = st
+            .counts
+            .iter()
+            .map(|&(s, p)| if s == 0 { 1.0 } else { p as f64 / s as f64 })
+            .collect();
+        let mut order: Vec<usize> = (0..st.prefix).collect();
+        order.sort_by(|&a, &b| {
+            rates[a]
+                .partial_cmp(&rates[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let changed = order.iter().enumerate().any(|(i, &s)| i != s);
+        if changed {
+            let mut head: Vec<Option<Stage>> = self.stages.drain(..st.prefix).map(Some).collect();
+            let reordered = order.iter().map(|&s| head[s].take().expect("permutation"));
+            // Collect before splicing: the iterator borrows `head`.
+            let reordered: Vec<Stage> = reordered.collect();
+            self.stages.splice(0..0, reordered);
+        }
+        // Fraction of observed rows surviving the whole prefix.
+        let overall = st.counts.last().map_or(1.0, |c| c.1 as f64) / seen as f64;
+        match &self.programs {
+            None => {
+                // Row kernels (streaming mode): with most rows surviving,
+                // switch to compiled lane programs.
+                if overall >= ADAPT_LANE_MIN_PASS {
+                    self.programs = Some(vector::compile_stages(&self.stages));
+                }
+            }
+            Some(_) => {
+                if changed {
+                    self.programs = Some(vector::compile_stages(&self.stages));
+                }
+                if overall < ADAPT_ROW_MAX_PASS {
+                    self.row_only = true;
+                }
+            }
+        }
+    }
+
+    /// Warm-up path for one batch: counted row processing in `BATCH_SIZE`
+    /// chunks until enough rows were observed, then the decided kernels
+    /// for the rest of the batch. Deciding only at chunk boundaries keeps
+    /// the remainder `BATCH_SIZE`-aligned, so segment-backed windows keep
+    /// slicing their lanes at the correct offsets.
+    fn push_adaptive(&mut self, batch: Batch) -> RelResult<()> {
+        match batch {
+            b @ Batch::Shared { .. } => {
+                let seg = b.segment().cloned();
+                let slice = b.as_slice();
+                let mut off = 0;
+                while off < slice.len() && self.adapt.is_some() {
+                    let chunk = &slice[off..(off + BATCH_SIZE).min(slice.len())];
+                    let mut rows = Vec::with_capacity(chunk.len());
+                    for row in chunk {
+                        if let Some(r) = self.apply_counted(Flow::Borrowed(row))? {
+                            rows.push(r);
+                        }
+                    }
+                    push_rows(&mut self.out, rows);
+                    off += chunk.len();
+                    if self
+                        .adapt
+                        .as_ref()
+                        .is_some_and(|s| s.observed >= ADAPT_WARMUP)
+                    {
+                        self.decide();
+                    }
+                }
+                if off >= slice.len() {
+                    return Ok(());
+                }
+                // Remainder under the decided configuration. Morsel and
+                // chunk boundaries are relative to the remainder slice;
+                // pipeline stages are row-local, so partitioning does not
+                // affect output bytes or error order.
+                let rest = &slice[off..];
+                if (b.is_full_shared() || seg.is_some()) && self.cfg.parallel_for(rest.len()) {
+                    let progs = if self.row_only && seg.is_none() {
+                        None
+                    } else {
+                        self.programs.as_deref()
+                    };
+                    let rows = morsel::par_pipeline(rest, &self.stages, progs, self.cfg)?;
+                    push_rows(&mut self.out, rows);
+                    return Ok(());
+                }
+                for (k, chunk) in rest.chunks(BATCH_SIZE).enumerate() {
+                    let rows = match (&self.programs, &seg) {
+                        (Some(progs), Some(seg)) => {
+                            let seed = segment_lanes(seg, off + k * BATCH_SIZE, chunk.len());
+                            vector::run_batch_seeded(&self.stages, progs, chunk, seed)?
+                        }
+                        (Some(progs), None) if !self.row_only => {
+                            vector::run_batch(&self.stages, progs, chunk)?
+                        }
+                        _ => {
+                            let mut rows = Vec::with_capacity(chunk.len());
+                            for row in chunk {
+                                if let Some(r) = apply_stages(&self.stages, Flow::Borrowed(row))? {
+                                    rows.push(r);
+                                }
+                            }
+                            rows
+                        }
+                    };
+                    push_rows(&mut self.out, rows);
+                }
+                Ok(())
+            }
+            Batch::Owned(batch_rows) => {
+                // Owned batches run row-wise either way; just thread them
+                // through the counters until warm-up completes.
+                let mut rows = Vec::with_capacity(batch_rows.len());
+                let mut since_decide_check = 0usize;
+                for row in batch_rows {
+                    let kept = if self.adapt.is_some() {
+                        since_decide_check += 1;
+                        let r = self.apply_counted(Flow::Owned(row))?;
+                        if since_decide_check >= BATCH_SIZE {
+                            since_decide_check = 0;
+                            if self
+                                .adapt
+                                .as_ref()
+                                .is_some_and(|s| s.observed >= ADAPT_WARMUP)
+                            {
+                                self.decide();
+                            }
+                        }
+                        r
+                    } else {
+                        apply_stages(&self.stages, Flow::Owned(row))?
+                    };
+                    if let Some(r) = kept {
+                        rows.push(r);
+                    }
+                }
+                if self
+                    .adapt
+                    .as_ref()
+                    .is_some_and(|s| s.observed >= ADAPT_WARMUP)
+                {
+                    self.decide();
+                }
+                push_rows(&mut self.out, rows);
+                Ok(())
+            }
         }
     }
 }
@@ -185,6 +411,16 @@ impl PhysicalOperator for PipelineOp<'_> {
         if self.cfg.mode == ExecMode::Vectorized && !self.stages.is_empty() {
             self.programs = Some(vector::compile_stages(&self.stages));
         }
+        if self.cfg.adaptive {
+            let prefix = reorderable_prefix(&self.stages);
+            if prefix >= 1 {
+                self.adapt = Some(AdaptState {
+                    prefix,
+                    counts: vec![(0, 0); prefix],
+                    observed: 0,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -193,18 +429,21 @@ impl PhysicalOperator for PipelineOp<'_> {
             self.out.push(batch);
             return Ok(());
         }
+        if self.adapt.is_some() {
+            return self.push_adaptive(batch);
+        }
         // Whole-table windows and per-segment windows both partition
         // deterministically (morsel bounds are relative to the window, so
         // output and error order match the serial run batch for batch).
         if (batch.is_full_shared() || batch.segment().is_some())
             && self.cfg.parallel_for(batch.len())
         {
-            let rows = morsel::par_pipeline(
-                batch.as_slice(),
-                &self.stages,
-                self.programs.as_deref(),
-                self.cfg,
-            )?;
+            let progs = if self.row_only && batch.segment().is_none() {
+                None
+            } else {
+                self.programs.as_deref()
+            };
+            let rows = morsel::par_pipeline(batch.as_slice(), &self.stages, progs, self.cfg)?;
             push_rows(&mut self.out, rows);
             return Ok(());
         }
@@ -224,8 +463,10 @@ impl PhysicalOperator for PipelineOp<'_> {
                             let seed = segment_lanes(seg, k * BATCH_SIZE, chunk.len());
                             vector::run_batch_seeded(&self.stages, progs, chunk, seed)?
                         }
-                        (Some(progs), None) => vector::run_batch(&self.stages, progs, chunk)?,
-                        (None, _) => {
+                        (Some(progs), None) if !self.row_only => {
+                            vector::run_batch(&self.stages, progs, chunk)?
+                        }
+                        _ => {
                             let mut rows = Vec::with_capacity(chunk.len());
                             for row in chunk {
                                 if let Some(r) = apply_stages(&self.stages, Flow::Borrowed(row))? {

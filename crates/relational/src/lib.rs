@@ -56,6 +56,7 @@ pub mod optimize;
 pub mod rank;
 pub mod schema;
 pub mod segment;
+pub mod stats;
 pub mod table;
 pub mod value;
 
@@ -72,6 +73,10 @@ pub mod prelude {
     pub use crate::expr::{BinOp, Expr};
     pub use crate::optimize::optimize;
     pub use crate::schema::{Column, Schema};
+    pub use crate::stats::{
+        explain_plan, optimize_with_stats, ColumnStats, DistinctSketch, PlanCost, StatsCatalog,
+        TableStats,
+    };
     pub use crate::table::{Row, Table};
     pub use crate::value::{DataType, Value};
 }

@@ -34,6 +34,7 @@
 //! kernels' "cannot compare" errors.
 
 use crate::schema::Schema;
+use crate::stats::DistinctSketch;
 use crate::table::Row;
 use crate::value::{DataType, Value};
 use std::collections::HashMap;
@@ -118,12 +119,21 @@ pub struct SegmentColumn {
     /// `true` where the row is NULL (parallel to `data`).
     pub(crate) nulls: Vec<bool>,
     pub(crate) zone: ZoneMap,
+    /// Distinct-value sketch over the segment's non-null values, built in
+    /// the same sealing pass as the zone map and merged table-wide by the
+    /// statistics catalog ([`crate::stats::TableStats::from_table`]).
+    pub(crate) ndv: DistinctSketch,
 }
 
 impl SegmentColumn {
     /// The column's zone map.
     pub fn zone(&self) -> &ZoneMap {
         &self.zone
+    }
+
+    /// The column's distinct-value sketch (non-null values only).
+    pub fn ndv_sketch(&self) -> &DistinctSketch {
+        &self.ndv
     }
 
     /// The column's storage encoding (`"dict"`, `"mixed"`, ...).
@@ -139,6 +149,7 @@ impl SegmentColumn {
             null_count: 0,
             has_nan: false,
         };
+        let mut ndv = DistinctSketch::new();
         for row in rows {
             let v = &row[col];
             nulls.push(v.is_null());
@@ -146,6 +157,7 @@ impl SegmentColumn {
                 zone.null_count += 1;
                 continue;
             }
+            ndv.insert(v);
             if let Value::Float(f) = v {
                 zone.has_nan |= f.is_nan();
             }
@@ -158,7 +170,12 @@ impl SegmentColumn {
         }
         let data = Self::build_data(decl, rows, col)
             .unwrap_or_else(|| ColumnData::Mixed(rows.iter().map(|r| r[col].clone()).collect()));
-        SegmentColumn { data, nulls, zone }
+        SegmentColumn {
+            data,
+            nulls,
+            zone,
+            ndv,
+        }
     }
 
     /// Typed storage for the declared type, or `None` when some non-null

@@ -1,0 +1,372 @@
+//! The cost model and the cost-based plan rewrite (DESIGN.md §17).
+//!
+//! # What the CBO is allowed to change
+//!
+//! The executor's contract is byte-identity: every lane produces the
+//! same rows *in the same order* with the same first error as the
+//! materializing oracle. A cost-based rewrite must preserve that, so the
+//! only join transformation applied is **leaf-order-preserving
+//! re-association** of inner-equi-join chains: the left-to-right
+//! sequence of join leaves is kept fixed and only the *shape* of the
+//! tree over that sequence changes (matrix-chain / Selinger-style
+//! interval DP). This is byte-identity-safe because, for the engine's
+//! equi-joins:
+//!
+//! - output rows of any association are ordered lexicographically by
+//!   leaf row indices (probe emits left rows in order, matches in
+//!   build-insertion order), so every shape yields the same row sequence;
+//! - the join output schema name is the `_`-concatenation of its input
+//!   names — associative, so every shape names the result identically,
+//!   and with globally distinct leaf columns the column list is the same
+//!   plain concatenation in leaf order;
+//! - equi-key matching is infallible (NULL keys never match, no
+//!   comparisons that can error), every shape evaluates all leaves, and
+//!   each equi-edge is applied exactly once at its lowest common
+//!   ancestor in the new shape — same predicate set, same matches.
+//!
+//! Commuting a join's sides would reorder output rows and is therefore
+//! **never** done. Hash-build-side selection still falls out of the DP:
+//! the build side is always a node's right subrange, so choosing the
+//! split point chooses how many rows are built against
+//! ([`COST_HASH_BUILD`] prices builds above probes).
+//!
+//! Single-fault error parity is preserved (all leaves are always
+//! evaluated, so the one failing operator fails in every shape); plans
+//! with *several* independent data errors may surface a different one of
+//! them, exactly the latitude the executor lanes already have
+//! (`exec::ops` module docs).
+//!
+//! # Guards
+//!
+//! Re-association bails — returning the plan unchanged — unless every
+//! guard holds: only `JoinKind::Inner` nodes are flattened (`Left` joins
+//! and every non-join operator are chain boundaries), every leaf's
+//! output columns are derivable and globally distinct across the chain
+//! (so no shape ever triggers collision prefixing), and every `on`
+//! column resolves to exactly one leaf on the correct side of its
+//! original join. Cross-join nodes (`on = []`) may appear in the chosen
+//! shape when edges don't cover a split; the cost model prices them at
+//! the full row product, so they are only chosen when genuinely cheaper.
+
+use super::estimate::{estimate_rows, join_edge_selectivity, plan_table_stats};
+use super::StatsCatalog;
+use crate::algebra::{JoinKind, Plan};
+use crate::database::Database;
+use crate::optimize::{map_children, optimize};
+
+/// Cost units charged per row on the build side of a hash join, relative
+/// to 1.0 per probed or emitted row. Building (allocating buckets,
+/// hashing keys into them) is costlier than probing, which is what makes
+/// the DP prefer small build (right) sides.
+pub const COST_HASH_BUILD: f64 = 2.0;
+
+/// Longest inner-join chain the interval DP will re-associate. The DP is
+/// `O(n³)`; beyond this a chain is left as written.
+const MAX_CHAIN_LEAVES: usize = 16;
+
+/// Estimated rows and cumulative cost of a plan under a catalog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCost {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated total work (rows touched, weighted) for the subtree.
+    pub cost: f64,
+}
+
+/// Estimate rows and total cost for `plan`. Purely advisory — used to
+/// rank byte-identical alternatives and to annotate `explain` output.
+pub fn cost_plan(plan: &Plan, catalog: &StatsCatalog) -> PlanCost {
+    let rows = estimate_rows(plan, catalog);
+    let cost = match plan {
+        Plan::Scan(_) | Plan::Values { .. } => rows,
+        Plan::Select { input, .. } | Plan::Project { input, .. } | Plan::Distinct { input } => {
+            let c = cost_plan(input, catalog);
+            c.cost + c.rows
+        }
+        Plan::Rename { input, .. } | Plan::Limit { input, .. } => cost_plan(input, catalog).cost,
+        Plan::Join { left, right, .. } => {
+            let l = cost_plan(left, catalog);
+            let r = cost_plan(right, catalog);
+            l.cost + r.cost + join_node_cost(l.rows, r.rows, rows)
+        }
+        Plan::Union { inputs } => {
+            inputs
+                .iter()
+                .map(|p| cost_plan(p, catalog).cost)
+                .sum::<f64>()
+                + rows
+        }
+        Plan::Unpivot { input, .. } => cost_plan(input, catalog).cost + rows,
+        Plan::Pivot { input, .. } | Plan::AggregateBy { input, .. } => {
+            let c = cost_plan(input, catalog);
+            c.cost + c.rows + rows
+        }
+        Plan::Sort { input, .. } => {
+            let c = cost_plan(input, catalog);
+            c.cost + c.rows * c.rows.max(2.0).log2()
+        }
+    };
+    PlanCost { rows, cost }
+}
+
+/// Cost of one hash-join node: build the right side, probe the left,
+/// emit the output.
+fn join_node_cost(left_rows: f64, right_rows: f64, out_rows: f64) -> f64 {
+    COST_HASH_BUILD * right_rows + left_rows + out_rows
+}
+
+/// The cost-based optimizer entry point: rule-based rewrites
+/// ([`optimize`]) followed by statistics-driven re-association of
+/// inner-join chains. The returned plan evaluates byte-identically to
+/// `plan` — rows, order, and (single-fault) errors — under every
+/// executor lane; only its join shape (and therefore its cost) differs.
+///
+/// This is deliberately a *separate* entry point from [`optimize`]: the
+/// rule layer is stats-free and conservative by contract (it leaves
+/// joins untouched), while this rewrite needs a [`Database`] to resolve
+/// leaf schemas and a [`StatsCatalog`] to price alternatives.
+pub fn optimize_with_stats(plan: &Plan, db: &Database, catalog: &StatsCatalog) -> Plan {
+    reorder(&optimize(plan), db, catalog)
+}
+
+fn reorder(plan: &Plan, db: &Database, catalog: &StatsCatalog) -> Plan {
+    if matches!(
+        plan,
+        Plan::Join {
+            kind: JoinKind::Inner,
+            ..
+        }
+    ) {
+        if let Some(rebuilt) = try_reassociate(plan, db, catalog) {
+            return rebuilt;
+        }
+    }
+    map_children(plan, &|child| reorder(child, db, catalog))
+}
+
+/// One equi-join edge of a flattened chain, attributed to its leaves.
+struct Edge {
+    li: usize,
+    ri: usize,
+    lcol: String,
+    rcol: String,
+}
+
+/// Flatten a maximal inner-join chain, run the interval DP over its leaf
+/// sequence, and rebuild the cheapest shape. `None` = a guard failed;
+/// the caller falls back to the generic child-wise descent.
+fn try_reassociate(plan: &Plan, db: &Database, catalog: &StatsCatalog) -> Option<Plan> {
+    let mut leaf_refs: Vec<&Plan> = Vec::new();
+    let mut pending: Vec<(String, String, usize)> = Vec::new(); // (lcol, rcol, split)
+    flatten(plan, &mut leaf_refs, &mut pending);
+    let n = leaf_refs.len();
+    if !(3..=MAX_CHAIN_LEAVES).contains(&n) {
+        return None;
+    }
+
+    // Reorder within each leaf first (nested chains past boundaries),
+    // then derive the leaves' output columns. Re-association never
+    // changes a subtree's schema, so columns computed on the reordered
+    // leaves hold for the original ones too.
+    let leaves: Vec<Plan> = leaf_refs.iter().map(|l| reorder(l, db, catalog)).collect();
+    let mut col_leaf: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for (i, leaf) in leaves.iter().enumerate() {
+        let (_, cols) = output_columns(leaf, db)?;
+        for c in cols {
+            // Globally distinct column names: the guard that keeps every
+            // shape's join schema a plain concatenation (no collision
+            // prefixing) and makes edge attribution unambiguous.
+            if col_leaf.insert(c, i).is_some() {
+                return None;
+            }
+        }
+    }
+
+    // Attribute each equi-edge to its leaves and verify it respects the
+    // original join's sides (left column left of the split, right column
+    // at or past it) — anything else means name shadowing or a plan that
+    // would not have compiled; keep it as written.
+    let mut edges: Vec<Edge> = Vec::with_capacity(pending.len());
+    for (lcol, rcol, split) in pending {
+        let li = *col_leaf.get(&lcol)?;
+        let ri = *col_leaf.get(&rcol)?;
+        if li >= split || ri < split {
+            return None;
+        }
+        edges.push(Edge { li, ri, lcol, rcol });
+    }
+    edges.sort_by(|a, b| (a.li, a.ri, &a.lcol, &a.rcol).cmp(&(b.li, b.ri, &b.lcol, &b.rcol)));
+
+    // Estimated cardinality of every contiguous leaf range: product of
+    // leaf estimates times the selectivity of every edge internal to the
+    // range (independence assumption).
+    let leaf_rows: Vec<f64> = leaves
+        .iter()
+        .map(|l| estimate_rows(l, catalog).max(1.0))
+        .collect();
+    let leaf_costs: Vec<f64> = leaves.iter().map(|l| cost_plan(l, catalog).cost).collect();
+    let edge_sels: Vec<f64> = edges
+        .iter()
+        .map(|e| {
+            join_edge_selectivity(
+                plan_table_stats(&leaves[e.li], catalog),
+                &e.lcol,
+                plan_table_stats(&leaves[e.ri], catalog),
+                &e.rcol,
+                leaf_rows[e.li],
+                leaf_rows[e.ri],
+            )
+        })
+        .collect();
+    let mut range_rows = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        range_rows[i][i] = leaf_rows[i];
+        for j in i + 1..n {
+            let mut rows = range_rows[i][j - 1] * leaf_rows[j];
+            for (e, sel) in edges.iter().zip(&edge_sels) {
+                if e.li >= i && e.ri == j {
+                    rows *= sel;
+                }
+            }
+            range_rows[i][j] = rows;
+        }
+    }
+
+    // Interval DP (matrix-chain over the fixed leaf order). Splits are
+    // scanned from `j-1` down so the syntactic left-deep shape is the
+    // first candidate and wins all cost ties — determinism, and no
+    // gratuitous reshaping of already-optimal plans.
+    let mut cost = vec![vec![0.0f64; n]; n];
+    let mut split = vec![vec![0usize; n]; n];
+    for (i, c) in leaf_costs.iter().enumerate() {
+        cost[i][i] = *c;
+    }
+    for len in 2..=n {
+        for i in 0..=n - len {
+            let j = i + len - 1;
+            let mut best = f64::INFINITY;
+            let mut best_k = j - 1;
+            for k in (i..j).rev() {
+                let c = cost[i][k]
+                    + cost[k + 1][j]
+                    + join_node_cost(range_rows[i][k], range_rows[k + 1][j], range_rows[i][j]);
+                if c < best {
+                    best = c;
+                    best_k = k;
+                }
+            }
+            cost[i][j] = best;
+            split[i][j] = best_k;
+        }
+    }
+
+    Some(rebuild(&leaves, &edges, &split, 0, n - 1))
+}
+
+/// Collect the leaves (left-to-right) and `on` pairs of a maximal
+/// inner-join chain. Each pending edge remembers the leaf count at its
+/// node's left/right boundary for side verification.
+fn flatten<'p>(
+    p: &'p Plan,
+    leaves: &mut Vec<&'p Plan>,
+    pending: &mut Vec<(String, String, usize)>,
+) {
+    match p {
+        Plan::Join {
+            left,
+            right,
+            on,
+            kind: JoinKind::Inner,
+        } => {
+            flatten(left, leaves, pending);
+            let split = leaves.len();
+            flatten(right, leaves, pending);
+            for (lc, rc) in on {
+                pending.push((lc.clone(), rc.clone(), split));
+            }
+        }
+        other => leaves.push(other),
+    }
+}
+
+/// Reassemble the DP's chosen shape, attaching each edge at its lowest
+/// common ancestor (the unique node whose split separates its leaves).
+fn rebuild(leaves: &[Plan], edges: &[Edge], split: &[Vec<usize>], i: usize, j: usize) -> Plan {
+    if i == j {
+        return leaves[i].clone();
+    }
+    let k = split[i][j];
+    let on: Vec<(String, String)> = edges
+        .iter()
+        .filter(|e| e.li >= i && e.li <= k && e.ri > k && e.ri <= j)
+        .map(|e| (e.lcol.clone(), e.rcol.clone()))
+        .collect();
+    Plan::Join {
+        left: Box::new(rebuild(leaves, edges, split, i, k)),
+        right: Box::new(rebuild(leaves, edges, split, k + 1, j)),
+        on,
+        kind: JoinKind::Inner,
+    }
+}
+
+/// The output relation name and column names of a plan, derived without
+/// evaluating it — mirrors the schema computations in `algebra`. `None`
+/// when derivation would need machinery this advisory layer doesn't
+/// carry (aggregates, pivots, unions); chains over such leaves are
+/// simply not re-associated.
+fn output_columns(plan: &Plan, db: &Database) -> Option<(String, Vec<String>)> {
+    match plan {
+        Plan::Scan(name) => {
+            let s = db.table(name).ok()?.schema();
+            Some((
+                s.name.clone(),
+                s.columns().iter().map(|c| c.name.clone()).collect(),
+            ))
+        }
+        Plan::Values { schema, .. } => Some((
+            schema.name.clone(),
+            schema.columns().iter().map(|c| c.name.clone()).collect(),
+        )),
+        Plan::Select { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => output_columns(input, db),
+        Plan::Project { input, columns } => {
+            let (name, _) = output_columns(input, db)?;
+            Some((name, columns.iter().map(|(a, _)| a.clone()).collect()))
+        }
+        Plan::Rename {
+            input,
+            table,
+            columns,
+        } => {
+            let (mut name, mut cols) = output_columns(input, db)?;
+            if let Some(t) = table {
+                name = t.clone();
+            }
+            for (from, to) in columns {
+                let idx = cols.iter().position(|c| c == from)?;
+                cols[idx] = to.clone();
+            }
+            Some((name, cols))
+        }
+        Plan::Join { left, right, .. } => {
+            let (ln, lcols) = output_columns(left, db)?;
+            let (rn, rcols) = output_columns(right, db)?;
+            let mut cols = lcols;
+            for c in rcols {
+                // Mirror `join_output_schema`'s collision prefixing.
+                if cols.contains(&c) {
+                    cols.push(format!("{rn}.{c}"));
+                } else {
+                    cols.push(c);
+                }
+            }
+            Some((format!("{ln}_{rn}"), cols))
+        }
+        Plan::Union { .. }
+        | Plan::Unpivot { .. }
+        | Plan::Pivot { .. }
+        | Plan::AggregateBy { .. } => None,
+    }
+}

@@ -1,0 +1,321 @@
+//! Selectivity and cardinality estimation over [`Plan`]s.
+//!
+//! Textbook Selinger-style formulas driven by the [`StatsCatalog`]:
+//! equality → `(1 - null_frac) / ndv`, ranges → linear interpolation
+//! inside the column's `[min, max]` interval, `IS NULL` → the null
+//! fraction, conjuncts multiply, disjuncts add with the independence
+//! correction. Everything is clamped to `[0, 1]`, so estimates over
+//! empty or all-NULL columns degrade to zero-row predictions rather than
+//! NaNs or negative cardinalities.
+//!
+//! The estimator understands the optimizer's fused-select shape: the
+//! rule layer ([`optimize`](crate::optimize::optimize)) fuses stacked selections into the
+//! lazy `CASE WHEN inner THEN outer ELSE FALSE` form to preserve error
+//! order, and [`selectivity`] prices that exactly like the conjunction
+//! it represents.
+//!
+//! Estimates never change results — they only rank byte-identical plan
+//! alternatives in [`super::cost`].
+
+use super::{StatsCatalog, TableStats};
+use crate::algebra::Plan;
+use crate::expr::{BinOp, Expr};
+use crate::value::Value;
+
+/// Selectivity assumed for predicates the estimator cannot price
+/// (opaque expressions, arithmetic, cross-column comparisons).
+pub const DEFAULT_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Equality selectivity without column statistics.
+const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+
+/// Rows assumed for a table the catalog has no statistics for.
+const DEFAULT_TABLE_ROWS: f64 = 1_000.0;
+
+/// Estimated fraction of rows satisfying `predicate`, given the input's
+/// table statistics (when the input maps onto a base table). Always in
+/// `[0, 1]`.
+pub fn selectivity(predicate: &Expr, stats: Option<&TableStats>) -> f64 {
+    sel(predicate, stats).clamp(0.0, 1.0)
+}
+
+fn sel(e: &Expr, stats: Option<&TableStats>) -> f64 {
+    match e {
+        Expr::Bin(BinOp::And, a, b) => sel(a, stats) * sel(b, stats),
+        Expr::Bin(BinOp::Or, a, b) => {
+            let (sa, sb) = (sel(a, stats), sel(b, stats));
+            (sa + sb - sa * sb).clamp(0.0, 1.0)
+        }
+        Expr::Not(inner) => 1.0 - sel(inner, stats),
+        // The rule optimizer's fused-select shape: CASE WHEN inner THEN
+        // outer ELSE FALSE ≡ inner ∧ outer (lazily evaluated).
+        Expr::Case { arms, default }
+            if arms.len() == 1 && **default == Expr::Lit(Value::Bool(false)) =>
+        {
+            sel(&arms[0].0, stats) * sel(&arms[0].1, stats)
+        }
+        Expr::Lit(Value::Bool(true)) => 1.0,
+        Expr::Lit(Value::Bool(false)) | Expr::Lit(Value::Null) => 0.0,
+        Expr::IsNull(inner) => match col_of(inner).and_then(|c| col_stats(stats, c)) {
+            Some((cs, rows)) => cs.null_fraction(rows),
+            None => DEFAULT_SELECTIVITY,
+        },
+        Expr::IsNotNull(inner) => match col_of(inner).and_then(|c| col_stats(stats, c)) {
+            Some((cs, rows)) => 1.0 - cs.null_fraction(rows),
+            None => 1.0 - DEFAULT_SELECTIVITY,
+        },
+        Expr::InList(inner, values) => match col_of(inner) {
+            Some(c) => values
+                .iter()
+                .map(|v| eq_selectivity(stats, c, v))
+                .sum::<f64>()
+                .clamp(0.0, 1.0),
+            None => DEFAULT_SELECTIVITY,
+        },
+        Expr::Bin(op, a, b) => {
+            // Normalize to `column ⟨op⟩ literal`.
+            let (col, op, lit) = match (&**a, &**b) {
+                (Expr::Col(c), Expr::Lit(v)) => (c.as_str(), *op, v),
+                (Expr::Lit(v), Expr::Col(c)) => (c.as_str(), flip(*op), v),
+                _ => return DEFAULT_SELECTIVITY,
+            };
+            if lit.is_null() {
+                // SQL three-valued logic: comparisons with NULL never pass.
+                return 0.0;
+            }
+            match op {
+                BinOp::Eq => eq_selectivity(stats, col, lit),
+                BinOp::Ne => {
+                    let (base, eq) = match col_stats(stats, col) {
+                        Some((cs, rows)) => (
+                            1.0 - cs.null_fraction(rows),
+                            eq_selectivity(stats, col, lit),
+                        ),
+                        None => (1.0, DEFAULT_EQ_SELECTIVITY),
+                    };
+                    (base - eq).max(0.0)
+                }
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    range_selectivity(stats, col, op, lit)
+                }
+                _ => DEFAULT_SELECTIVITY,
+            }
+        }
+        _ => DEFAULT_SELECTIVITY,
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn col_of(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Col(name) => Some(name),
+        _ => None,
+    }
+}
+
+fn col_stats<'a>(
+    stats: Option<&'a TableStats>,
+    col: &str,
+) -> Option<(&'a super::ColumnStats, usize)> {
+    let t = stats?;
+    Some((t.column(col)?, t.rows()))
+}
+
+fn eq_selectivity(stats: Option<&TableStats>, col: &str, lit: &Value) -> f64 {
+    let Some((cs, rows)) = col_stats(stats, col) else {
+        return DEFAULT_EQ_SELECTIVITY;
+    };
+    if lit.is_null() {
+        return 0.0;
+    }
+    let ndv = cs.ndv();
+    if ndv <= 0.0 {
+        // Empty or all-NULL column: nothing can match.
+        return 0.0;
+    }
+    // Outside the observed range nothing matches (range is widen-only, so
+    // this can only under-prune after deletes — still an estimate, never
+    // a correctness input).
+    if out_of_range(cs, lit) {
+        return 0.0;
+    }
+    ((1.0 - cs.null_fraction(rows)) / ndv).clamp(0.0, 1.0)
+}
+
+fn out_of_range(cs: &super::ColumnStats, lit: &Value) -> bool {
+    if cs.min.is_null() {
+        return true; // no non-null values at all
+    }
+    matches!(lit.sql_cmp(&cs.min), Some(std::cmp::Ordering::Less))
+        || matches!(lit.sql_cmp(&cs.max), Some(std::cmp::Ordering::Greater))
+}
+
+fn range_selectivity(stats: Option<&TableStats>, col: &str, op: BinOp, lit: &Value) -> f64 {
+    let Some((cs, rows)) = col_stats(stats, col) else {
+        return DEFAULT_SELECTIVITY;
+    };
+    if cs.ndv() <= 0.0 {
+        return 0.0;
+    }
+    let non_null = 1.0 - cs.null_fraction(rows);
+    let (min, max, point) = match (numeric(&cs.min), numeric(&cs.max), numeric(lit)) {
+        (Some(a), Some(b), Some(p)) => (a, b, p),
+        _ => return DEFAULT_SELECTIVITY * non_null,
+    };
+    let below = if max <= min {
+        // Degenerate single-point range: everything is at `min`.
+        if point >= min {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        ((point - min) / (max - min)).clamp(0.0, 1.0)
+    };
+    let frac = match op {
+        BinOp::Lt | BinOp::Le => below,
+        BinOp::Gt | BinOp::Ge => 1.0 - below,
+        _ => DEFAULT_SELECTIVITY,
+    };
+    (frac * non_null).clamp(0.0, 1.0)
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) if !f.is_nan() => Some(*f),
+        Value::Date(d) => Some(*d as f64),
+        _ => None,
+    }
+}
+
+/// Table statistics visible at a plan node, when the node's rows are
+/// still (a filtered/reordered view of) one base table. `Select`, `Sort`,
+/// `Limit`, and `Distinct` preserve the mapping; everything else drops it.
+pub(crate) fn plan_table_stats<'a>(
+    plan: &Plan,
+    catalog: &'a StatsCatalog,
+) -> Option<&'a TableStats> {
+    match plan {
+        Plan::Scan(name) => catalog.table(name),
+        Plan::Select { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::Distinct { input } => plan_table_stats(input, catalog),
+        _ => None,
+    }
+}
+
+/// Estimated output cardinality of `plan` under `catalog`. Never
+/// negative; unknown tables assume a fixed default row count.
+pub fn estimate_rows(plan: &Plan, catalog: &StatsCatalog) -> f64 {
+    match plan {
+        Plan::Scan(name) => catalog
+            .table(name)
+            .map_or(DEFAULT_TABLE_ROWS, |t| t.rows() as f64),
+        Plan::Values { rows, .. } => rows.len() as f64,
+        Plan::Select { input, predicate } => {
+            let in_rows = estimate_rows(input, catalog);
+            in_rows * selectivity(predicate, plan_table_stats(input, catalog))
+        }
+        Plan::Project { input, .. } | Plan::Rename { input, .. } | Plan::Sort { input, .. } => {
+            estimate_rows(input, catalog)
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            kind,
+        } => {
+            let l = estimate_rows(left, catalog);
+            let r = estimate_rows(right, catalog);
+            let mut rows = l * r;
+            for (lc, rc) in on {
+                rows *= join_edge_selectivity(
+                    plan_table_stats(left, catalog),
+                    lc,
+                    plan_table_stats(right, catalog),
+                    rc,
+                    l,
+                    r,
+                );
+            }
+            if *kind == crate::algebra::JoinKind::Left {
+                rows = rows.max(l);
+            }
+            rows
+        }
+        Plan::Union { inputs } => inputs.iter().map(|p| estimate_rows(p, catalog)).sum(),
+        Plan::Distinct { input } => estimate_rows(input, catalog),
+        Plan::Unpivot { input, keys, .. } => {
+            // One output row per non-key column; without the input arity we
+            // approximate data columns from the base table's column count.
+            let data_cols = plan_table_stats(input, catalog)
+                .map(|t| t.column_names().count().saturating_sub(keys.len()))
+                .unwrap_or(3)
+                .max(1);
+            estimate_rows(input, catalog) * data_cols as f64
+        }
+        Plan::Pivot { input, attrs, .. } => {
+            estimate_rows(input, catalog) / attrs.len().max(1) as f64
+        }
+        Plan::AggregateBy {
+            input, group_by, ..
+        } => {
+            let in_rows = estimate_rows(input, catalog);
+            if group_by.is_empty() {
+                return 1.0;
+            }
+            let stats = plan_table_stats(input, catalog);
+            let mut groups = 1.0;
+            let mut known = false;
+            for g in group_by {
+                if let Some((cs, _)) = col_stats(stats, g) {
+                    groups *= cs.ndv().max(1.0);
+                    known = true;
+                }
+            }
+            if known {
+                groups.min(in_rows)
+            } else {
+                in_rows.sqrt().max(1.0)
+            }
+        }
+        Plan::Limit { input, n } => estimate_rows(input, catalog).min(*n as f64),
+    }
+}
+
+/// Selectivity of one equi-join edge: `1 / max(ndv_left, ndv_right)`,
+/// falling back to `1 / max(|L|, |R|)` when neither side has column
+/// statistics (the classic key-join assumption).
+pub(crate) fn join_edge_selectivity(
+    left: Option<&TableStats>,
+    lcol: &str,
+    right: Option<&TableStats>,
+    rcol: &str,
+    l_rows: f64,
+    r_rows: f64,
+) -> f64 {
+    let lndv = left
+        .and_then(|t| t.column(lcol))
+        .map(super::ColumnStats::ndv);
+    let rndv = right
+        .and_then(|t| t.column(rcol))
+        .map(super::ColumnStats::ndv);
+    let denom = match (lndv, rndv) {
+        (Some(a), Some(b)) => a.max(b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => l_rows.max(r_rows),
+    };
+    (1.0 / denom.max(1.0)).clamp(0.0, 1.0)
+}

@@ -1,0 +1,132 @@
+//! Plan explanation: render a plan tree with per-node cost estimates.
+//!
+//! Backs the `guava explain` CLI subcommand. Each node prints its
+//! operator, the estimator's row/cost figures from [`cost_plan`], and —
+//! in analyze mode — the *actual* row count obtained by materializing
+//! the node's subtree with the oracle evaluator, so estimate drift is
+//! visible next to the estimate it drifted from.
+
+use super::cost::cost_plan;
+use super::StatsCatalog;
+use crate::algebra::{JoinKind, Plan};
+use crate::database::Database;
+use crate::error::RelResult;
+
+/// Render `plan` as an indented operator tree with estimated rows and
+/// cumulative cost per node. With `analyze`, every node's subtree is
+/// additionally evaluated via [`Plan::eval_materialized`] and its actual
+/// row count printed; a failing plan fails the explain with the same
+/// error the query itself would raise.
+pub fn explain_plan(
+    plan: &Plan,
+    db: &Database,
+    catalog: &StatsCatalog,
+    analyze: bool,
+) -> RelResult<String> {
+    let mut out = String::new();
+    render(plan, db, catalog, analyze, 0, &mut out)?;
+    Ok(out)
+}
+
+fn render(
+    plan: &Plan,
+    db: &Database,
+    catalog: &StatsCatalog,
+    analyze: bool,
+    depth: usize,
+    out: &mut String,
+) -> RelResult<()> {
+    let c = cost_plan(plan, catalog);
+    let mut line = format!(
+        "{:indent$}{}  (rows≈{}, cost≈{})",
+        "",
+        label(plan),
+        fmt_num(c.rows),
+        fmt_num(c.cost),
+        indent = depth * 2
+    );
+    if analyze {
+        let actual = plan.eval_materialized(db)?.len();
+        line.push_str(&format!("  [actual rows={actual}]"));
+    }
+    out.push_str(&line);
+    out.push('\n');
+    for child in children(plan) {
+        render(child, db, catalog, analyze, depth + 1, out)?;
+    }
+    Ok(())
+}
+
+fn children(plan: &Plan) -> Vec<&Plan> {
+    match plan {
+        Plan::Scan(_) | Plan::Values { .. } => vec![],
+        Plan::Select { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Rename { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Unpivot { input, .. }
+        | Plan::Pivot { input, .. }
+        | Plan::AggregateBy { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => vec![input],
+        Plan::Join { left, right, .. } => vec![left, right],
+        Plan::Union { inputs } => inputs.iter().collect(),
+    }
+}
+
+fn label(plan: &Plan) -> String {
+    match plan {
+        Plan::Scan(name) => format!("Scan {name}"),
+        Plan::Values { rows, .. } => format!("Values [{} rows]", rows.len()),
+        Plan::Select { predicate, .. } => format!("Select {predicate}"),
+        Plan::Project { columns, .. } => {
+            let names: Vec<&str> = columns.iter().map(|(a, _)| a.as_str()).collect();
+            format!("Project [{}]", names.join(", "))
+        }
+        Plan::Rename { table, columns, .. } => match table {
+            Some(t) => format!("Rename → {t} ({} columns)", columns.len()),
+            None => format!("Rename ({} columns)", columns.len()),
+        },
+        Plan::Join { on, kind, .. } => {
+            let k = match kind {
+                JoinKind::Inner => "HashJoin",
+                JoinKind::Left => "LeftHashJoin",
+            };
+            if on.is_empty() {
+                format!("{k} (cross)  [build: right]")
+            } else {
+                let pairs: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                format!("{k} on {}  [build: right]", pairs.join(" AND "))
+            }
+        }
+        Plan::Union { inputs } => format!("Union [{} inputs]", inputs.len()),
+        Plan::Distinct { .. } => "Distinct".to_owned(),
+        Plan::Unpivot {
+            attr_col, val_col, ..
+        } => format!("Unpivot → ({attr_col}, {val_col})"),
+        Plan::Pivot { attrs, .. } => format!("Pivot [{} attrs]", attrs.len()),
+        Plan::AggregateBy {
+            group_by,
+            aggregates,
+            ..
+        } => format!(
+            "Aggregate by [{}] ({} aggregates)",
+            group_by.join(", "),
+            aggregates.len()
+        ),
+        Plan::Sort { by, .. } => format!("Sort [{}]", by.join(", ")),
+        Plan::Limit { n, .. } => format!("Limit {n}"),
+    }
+}
+
+/// Compact numeric formatting for estimates: integers under a million
+/// print exactly, everything else in short scientific-ish form.
+fn fmt_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1.0e6 {
+        format!("{}", x as i64)
+    } else if x.abs() < 1.0e6 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2e}")
+    }
+}

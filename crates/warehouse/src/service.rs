@@ -120,9 +120,10 @@ use crate::materialize::StudyStore;
 use guava_multiclass::classifier::BoundClassifier;
 use guava_relational::algebra::Plan;
 use guava_relational::database::Database;
-use guava_relational::delta::{Change, DeltaCatalog, DeltaPlan, Patch, TableChanges, TableDelta};
+use guava_relational::delta::{DeltaCatalog, DeltaPlan, TableChanges, TableDelta};
 use guava_relational::error::{RelError, RelResult};
 use guava_relational::exec::Executor;
+use guava_relational::stats::{optimize_with_stats, StatsCatalog};
 use guava_relational::table::Row;
 use guava_relational::value::Value;
 use guava_relational::Catalog;
@@ -143,20 +144,44 @@ pub struct Snapshot {
     generation: u64,
     store: StudyStore,
     db: Database,
+    /// Statistics for [`Self::database`], collected once at generation 0
+    /// and patched in `O(delta)` on every refresh (never rebuilt — the
+    /// generational install keeps them warm for the cost-based optimizer).
+    stats: Arc<StatsCatalog>,
 }
 
 impl Snapshot {
     fn new(generation: u64, store: StudyStore) -> Snapshot {
+        let db = Self::database_for(&store);
+        let stats = Arc::new(StatsCatalog::collect(&db));
+        Snapshot {
+            generation,
+            store,
+            db,
+            stats,
+        }
+    }
+
+    /// A refreshed generation carrying forward a *patched* statistics
+    /// catalog (see [`Engine::refresh`] — the catalog is never re-collected
+    /// on the refresh path).
+    fn with_stats(generation: u64, store: StudyStore, stats: StatsCatalog) -> Snapshot {
+        let db = Self::database_for(&store);
+        Snapshot {
+            generation,
+            store,
+            db,
+            stats: Arc::new(stats),
+        }
+    }
+
+    fn database_for(store: &StudyStore) -> Database {
         let mut db = Database::new(store.source.clone());
         db.put_table(store.naive_form.clone());
         if let Some(m) = &store.materialized {
             db.put_table(m.table.clone());
         }
-        Snapshot {
-            generation,
-            store,
-            db,
-        }
+        db
     }
 
     /// The generation number (0 for the engine's initial build; each
@@ -180,6 +205,21 @@ impl Snapshot {
     /// Name of the naïve form table inside [`Self::database`].
     pub fn naive_table(&self) -> &str {
         &self.store.naive_form.schema().name
+    }
+
+    /// Per-table statistics for this generation's database: collected at
+    /// generation 0, patched incrementally on every refresh. Feeds the
+    /// cost-based optimizer and `guava explain`.
+    pub fn stats(&self) -> &StatsCatalog {
+        &self.stats
+    }
+
+    /// Cost-based-optimize `plan` against this snapshot's statistics:
+    /// rule rewrites plus statistics-driven join re-association
+    /// ([`optimize_with_stats`]). The result evaluates byte-identically
+    /// to `plan` on this snapshot's database.
+    pub fn optimize(&self, plan: &Plan) -> Plan {
+        optimize_with_stats(plan, &self.db, &self.stats)
     }
 }
 
@@ -422,11 +462,19 @@ impl Engine {
             }
         }
 
-        // Build the next generation off to the side.
+        // Build the next generation off to the side. The statistics
+        // catalog is carried forward by O(delta) patches — the naïve
+        // form's captured delta plus the materialized table's implied
+        // positional delta — never re-collected from the new tables.
         let mut store = snap.store.clone();
         store.refresh(delta, &self.inner.entity, &self.inner.classifier_refs())?;
         let generation = snap.generation + 1;
-        let next = Arc::new(Snapshot::new(generation, store));
+        let mut stats = (*snap.stats).clone();
+        stats.patch(snap.naive_table(), delta);
+        if let Some((name, mdelta)) = materialized_delta(&snap, &store, delta)? {
+            stats.patch(&name, &mdelta);
+        }
+        let next = Arc::new(Snapshot::with_stats(generation, store, stats));
 
         // Positional changes of the base tables, for the resident plans.
         let changes = base_changes(&snap, &next, delta)?;
@@ -474,36 +522,53 @@ impl Engine {
 fn base_changes(old: &Snapshot, new: &Snapshot, delta: &TableDelta) -> ServiceResult<TableChanges> {
     let mut changes = TableChanges::new();
     changes.set(old.naive_table(), delta.to_change());
-    if let (Some(old_m), Some(new_m)) = (&old.store.materialized, &new.store.materialized) {
-        let naive_schema = old.store.naive_form.schema();
-        let iid = naive_schema
-            .index_of("instance_id")
-            .ok_or_else(|| RelError::UnknownColumn {
-                table: naive_schema.name.clone(),
-                column: "instance_id".into(),
-            })?;
-        let dropped: HashSet<&Value> = delta.deleted.iter().map(|(_, row)| &row[iid]).collect();
-        let deleted: Vec<usize> = old_m
-            .table
-            .rows()
-            .iter()
-            .enumerate()
-            .filter(|(_, row)| dropped.contains(&row[0]))
-            .map(|(i, _)| i)
-            .collect();
-        let retained = old_m.table.len() - deleted.len();
-        let appended: Vec<Row> = new_m.table.rows()[retained..].to_vec();
-        let change = if deleted.is_empty() && appended.is_empty() {
-            Change::Unchanged
-        } else {
-            let inserted = if appended.is_empty() {
-                Vec::new()
-            } else {
-                vec![(old_m.table.len(), appended)]
-            };
-            Change::Patch(Patch::new(deleted, inserted)?)
-        };
-        changes.set(new_m.table.schema().name.clone(), change);
+    if let Some((name, mdelta)) = materialized_delta(old, &new.store, delta)? {
+        changes.set(name, mdelta.to_change());
     }
     Ok(changes)
+}
+
+/// The row-level [`TableDelta`] that [`StudyStore::refresh`]'s patch rule
+/// implies for the materialized study table: rows whose `instance_id` was
+/// deleted drop at their old ordinals (with their old content — which is
+/// what lets the statistics catalog retract null counts exactly), and the
+/// freshly classified rows append past the retained count (byte-stable
+/// retained outputs, §12). `None` when the policy keeps no materialized
+/// table. Shared by [`base_changes`] (positional changes for resident
+/// plans, via [`TableDelta::to_change`]) and the refresh path's
+/// statistics patching — one derivation, two consumers.
+fn materialized_delta(
+    old: &Snapshot,
+    new_store: &StudyStore,
+    delta: &TableDelta,
+) -> ServiceResult<Option<(String, TableDelta)>> {
+    let (Some(old_m), Some(new_m)) = (&old.store.materialized, &new_store.materialized) else {
+        return Ok(None);
+    };
+    let naive_schema = old.store.naive_form.schema();
+    let iid = naive_schema
+        .index_of("instance_id")
+        .ok_or_else(|| RelError::UnknownColumn {
+            table: naive_schema.name.clone(),
+            column: "instance_id".into(),
+        })?;
+    let dropped: HashSet<&Value> = delta.deleted.iter().map(|(_, row)| &row[iid]).collect();
+    let deleted: Vec<(usize, Row)> = old_m
+        .table
+        .rows()
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| dropped.contains(&row[0]))
+        .map(|(i, row)| (i, row.clone()))
+        .collect();
+    let retained = old_m.table.len() - deleted.len();
+    let inserted: Vec<Row> = new_m.table.rows()[retained..].to_vec();
+    Ok(Some((
+        new_m.table.schema().name.clone(),
+        TableDelta {
+            pre_len: old_m.table.len(),
+            deleted,
+            inserted,
+        },
+    )))
 }

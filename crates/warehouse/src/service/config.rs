@@ -73,9 +73,10 @@ impl EngineConfig {
         threads: Option<&str>,
         mode: Option<&str>,
         storage: Option<&str>,
+        adaptive: Option<&str>,
     ) -> ServiceResult<EngineConfig> {
         Ok(EngineConfig {
-            exec: ExecConfig::from_env_values(threads, mode, storage)?,
+            exec: ExecConfig::from_env_values(threads, mode, storage, adaptive)?,
             policy: MaterializationPolicy::Full,
         })
     }
@@ -119,6 +120,13 @@ impl EngineConfig {
         self
     }
 
+    /// Enable or disable adaptive execution
+    /// ([`ExecConfig::adaptive`] / `GUAVA_EXEC_ADAPTIVE`).
+    pub fn adaptive(mut self, adaptive: bool) -> EngineConfig {
+        self.exec.adaptive = adaptive;
+        self
+    }
+
     /// Warehouse materialization policy for the engine's
     /// [`StudyStore`](crate::materialize::StudyStore).
     pub fn policy(mut self, policy: MaterializationPolicy) -> EngineConfig {
@@ -148,27 +156,42 @@ mod tests {
 
     #[test]
     fn env_defaults_then_builder_overrides() {
-        let cfg = EngineConfig::from_env_values(Some("3"), Some("streaming"), Some("row"))
-            .unwrap()
-            .threads(5)
-            .mode(ExecMode::Materialized);
+        let cfg =
+            EngineConfig::from_env_values(Some("3"), Some("streaming"), Some("row"), Some("on"))
+                .unwrap()
+                .threads(5)
+                .mode(ExecMode::Materialized);
         assert_eq!(cfg.exec().threads, 5);
         assert_eq!(cfg.exec().mode, ExecMode::Materialized);
         // Untouched fields keep the env layer.
         assert_eq!(cfg.exec().storage, StorageMode::Row);
+        assert!(cfg.exec().adaptive);
     }
 
     #[test]
     fn env_hard_errors_preserved() {
         // The builder path must not soften the env grammar: unparsable
         // values stay hard errors, exactly as ExecConfig::from_env.
-        assert!(EngineConfig::from_env_values(Some("two"), None, None).is_err());
-        assert!(EngineConfig::from_env_values(None, Some("turbo"), None).is_err());
-        assert!(EngineConfig::from_env_values(None, None, Some("tape")).is_err());
+        assert!(EngineConfig::from_env_values(Some("two"), None, None, None).is_err());
+        assert!(EngineConfig::from_env_values(None, Some("turbo"), None, None).is_err());
+        assert!(EngineConfig::from_env_values(None, None, Some("tape"), None).is_err());
+        assert!(EngineConfig::from_env_values(None, None, None, Some("maybe")).is_err());
         // Unset / empty / "0" keep defaults.
-        let auto = EngineConfig::from_env_values(Some("0"), Some(""), None).unwrap();
+        let auto = EngineConfig::from_env_values(Some("0"), Some(""), None, Some("")).unwrap();
         assert_eq!(auto.exec().mode, ExecMode::default());
         assert_eq!(auto.exec().storage, StorageMode::default());
+        assert!(!auto.exec().adaptive);
+        // The adaptive grammar accepts the documented spellings.
+        for (v, want) in [
+            ("1", true),
+            ("true", true),
+            ("ON", true),
+            ("0", false),
+            ("off", false),
+        ] {
+            let cfg = EngineConfig::from_env_values(None, None, None, Some(v)).unwrap();
+            assert_eq!(cfg.exec().adaptive, want, "adaptive={v}");
+        }
     }
 
     #[test]
@@ -176,10 +199,12 @@ mod tests {
         let cfg = EngineConfig::with_exec(ExecConfig::serial())
             .policy(MaterializationPolicy::OnDemand)
             .morsel_size(0)
-            .parallel_threshold(1);
+            .parallel_threshold(1)
+            .adaptive(true);
         assert_eq!(cfg.exec().threads, 1);
         assert_eq!(cfg.exec().morsel_size, 1); // clamped
         assert_eq!(cfg.exec().parallel_threshold, 1);
+        assert!(cfg.exec().adaptive);
         assert_eq!(
             cfg.materialization_policy(),
             &MaterializationPolicy::OnDemand

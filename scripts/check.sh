@@ -13,13 +13,51 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # §11), the blocking-operator axis (DESIGN.md §13), and the
 # resting-storage axis (DESIGN.md §14); a regeneration from a stale
 # binary would silently drop them.
-for axis in vectorized blocking storage; do
+for axis in vectorized blocking storage optimizer; do
   if ! grep -q "\"$axis\"" BENCH_executor.json; then
     echo "check.sh: BENCH_executor.json lacks the '$axis' axis — regenerate with" >&2
     echo "  cargo run --release -p guava-bench --bin tables -- --bench-executor" >&2
     exit 1
   fi
 done
+
+# Regression canary for the §17 cost-based optimizer: a statistics-driven
+# plan choice must never land slower than 0.9x the syntactic physical
+# plan it replaced (the optimizer only chooses between byte-identical
+# plans, so any slowdown is pure mischoice), and the skewed multi-join
+# study must keep the >= 1.3x win that justifies join re-association.
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_executor.json") as f:
+    report = json.load(f)
+failed = False
+for b in report["optimizer"]:
+    if b["speedup"] < 0.9:
+        print(
+            f"check.sh: optimizer '{b['name']}' chose a plan {b['speedup']:.2f}x "
+            "the syntactic baseline (< 0.9x) — cost-model mischoice (DESIGN.md §17)",
+            file=sys.stderr,
+        )
+        failed = True
+join = [b for b in report["optimizer"] if b["name"] == "join_order"]
+if not join:
+    print(
+        "check.sh: BENCH_executor.json optimizer axis lacks the 'join_order' "
+        "entry — regenerate with\n"
+        "  cargo run --release -p guava-bench --bin tables -- --bench-executor",
+        file=sys.stderr,
+    )
+    failed = True
+elif join[0]["speedup"] < 1.3:
+    print(
+        f"check.sh: optimizer 'join_order' speedup {join[0]['speedup']:.2f}x "
+        "< 1.3x — cost-based join re-association lost its win (DESIGN.md §17)",
+        file=sys.stderr,
+    )
+    failed = True
+if failed:
+    sys.exit(1)
+EOF
 
 # The refresh snapshot (DESIGN.md §12) must exist and carry per-entry
 # speedups; it gates the incremental-refresh claim in EXPERIMENTS.md.
